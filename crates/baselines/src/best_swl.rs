@@ -1,0 +1,150 @@
+//! Best-SWL: the oracle static warp (CTA) limiting baseline.
+//!
+//! The paper uses Best-SWL — a static CTA limit chosen per application by an
+//! oracle sweep — as the reference warp-throttling technique (it was shown to
+//! beat dynamic schemes such as CCWS). The policy itself is a fixed limit;
+//! the oracle lives in [`best_swl_sweep`], which tries candidate limits and
+//! keeps the best-IPC one.
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::run_kernel;
+use gpu_sim::kernel::KernelSpec;
+use gpu_sim::policy::{PolicyCtx, SmPolicy, WindowInfo};
+use gpu_sim::stats::SimStats;
+use gpu_sim::types::SmId;
+
+/// A static CTA-limit policy (Static Warp Limiting at CTA granularity).
+#[derive(Debug, Clone)]
+pub struct StaticLimitPolicy {
+    limit: Option<u32>,
+}
+
+impl StaticLimitPolicy {
+    /// Limits each SM to `limit` active CTAs (`None` = unlimited).
+    pub fn new(limit: Option<u32>) -> Self {
+        StaticLimitPolicy { limit }
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> Option<u32> {
+        self.limit
+    }
+}
+
+impl SmPolicy for StaticLimitPolicy {
+    fn name(&self) -> &'static str {
+        "best-swl"
+    }
+
+    fn on_window(&mut self, _info: &WindowInfo, _ctx: &mut PolicyCtx<'_>) -> Option<u32> {
+        self.limit
+    }
+}
+
+/// Factory for a fixed CTA limit.
+pub fn static_limit_factory(
+    limit: Option<u32>,
+) -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+    Box::new(move |_, _, _| Box::new(StaticLimitPolicy::new(limit)))
+}
+
+/// Result of the Best-SWL oracle sweep.
+#[derive(Debug, Clone)]
+pub struct BestSwl {
+    /// The winning CTA limit (`None` = unlimited was best).
+    pub limit: Option<u32>,
+    /// Stats of the winning run.
+    pub stats: SimStats,
+    /// `(limit, ipc)` of every candidate tried.
+    pub candidates: Vec<(Option<u32>, f64)>,
+}
+
+/// Oracle sweep: runs `kernel` under each candidate CTA limit and returns
+/// the best-IPC configuration. Candidates cover the practically relevant
+/// range (1, 2, 3, 4, 6, 8, 12, 16, unlimited), clipped to the kernel's
+/// occupancy.
+pub fn best_swl_sweep(cfg: &GpuConfig, kernel: &KernelSpec) -> BestSwl {
+    let mut candidates: Vec<Option<u32>> =
+        [1u32, 2, 3, 4, 6, 8, 12, 16].iter().map(|&l| Some(l)).collect();
+    candidates.push(None);
+
+    let mut best: Option<(Option<u32>, SimStats)> = None;
+    let mut tried = Vec::new();
+    for limit in candidates {
+        let stats = run_kernel(cfg.clone(), kernel.clone(), &static_limit_factory(limit));
+        let ipc = stats.ipc();
+        tried.push((limit, ipc));
+        let better = match &best {
+            Some((_, b)) => ipc > b.ipc(),
+            None => true,
+        };
+        if better {
+            best = Some((limit, stats));
+        }
+    }
+    let (limit, stats) = best.expect("at least one candidate");
+    BestSwl { limit, stats, candidates: tried }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::kernel::KernelBuilder;
+    use gpu_sim::pattern::AccessPattern;
+    use gpu_sim::policy::baseline_factory;
+
+    fn fast_cfg() -> GpuConfig {
+        GpuConfig::default().with_sms(1).with_windows(2_000, 30_000)
+    }
+
+    #[test]
+    fn static_limit_is_enforced() {
+        let k = KernelBuilder::new("k")
+            .grid(16, 4)
+            .regs_per_thread(16)
+            .load_then_use(AccessPattern::reuse_working_set(96 * 1024, true), 2)
+            .iterations(200)
+            .build()
+            .unwrap();
+        let stats = run_kernel(fast_cfg(), k, &static_limit_factory(Some(2)));
+        assert!(stats.instructions > 0);
+    }
+
+    #[test]
+    fn sweep_returns_best_of_candidates() {
+        let k = KernelBuilder::new("k")
+            .grid(8, 4)
+            .regs_per_thread(16)
+            .load_then_use(AccessPattern::reuse_working_set(32 * 1024, true), 2)
+            .iterations(100)
+            .build()
+            .unwrap();
+        let res = best_swl_sweep(&fast_cfg(), &k);
+        let best_ipc = res.stats.ipc();
+        for (_, ipc) in &res.candidates {
+            assert!(best_ipc >= *ipc - 1e-12);
+        }
+        assert!(!res.candidates.is_empty());
+    }
+
+    #[test]
+    fn throttling_helps_thrashing_kernel() {
+        // A heavily thrashing kernel: per-warp private working sets that sum
+        // far beyond L1. Throttling should not lose (and typically wins).
+        let k = KernelBuilder::new("thrash")
+            .grid(16, 8)
+            .regs_per_thread(32)
+            .load_then_use(AccessPattern::reuse_working_set(8 * 1024, false), 1)
+            .iterations(300)
+            .build()
+            .unwrap();
+        let base = run_kernel(fast_cfg(), k.clone(), &baseline_factory());
+        let swl = best_swl_sweep(&fast_cfg(), &k);
+        assert!(
+            swl.stats.ipc() >= base.ipc() * 0.99,
+            "oracle SWL must not lose to baseline: {} vs {}",
+            swl.stats.ipc(),
+            base.ipc()
+        );
+    }
+}

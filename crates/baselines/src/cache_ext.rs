@@ -1,0 +1,132 @@
+//! CacheExt: the idealized enlarged-L1 study of the paper's §2.4.
+//!
+//! CacheExt assumes the statically unused register file space can simply be
+//! re-wired as extra L1 capacity (and, combined with Best-SWL, the
+//! dynamically unused space too). It is an upper-bound configuration, not a
+//! realizable design — the paper uses it to motivate Linebacker and revisits
+//! it in Figure 15 (LB+CacheExt).
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::kernel::KernelSpec;
+use gpu_sim::types::LINE_BYTES;
+
+/// Statically unused register bytes for `kernel` on `cfg`: register file
+/// size minus what the maximum resident CTA count occupies.
+pub fn statically_unused_bytes(cfg: &GpuConfig, kernel: &KernelSpec) -> u64 {
+    let regs_per_cta = kernel.regs_per_cta() as u64;
+    let total_regs = cfg.warp_regs_per_sm() as u64;
+    if regs_per_cta == 0 {
+        return total_regs * LINE_BYTES;
+    }
+    let by_regs = total_regs / regs_per_cta;
+    let by_slots = cfg.max_ctas_per_sm as u64;
+    let by_warps = (cfg.max_warps_per_sm / kernel.warps_per_cta.max(1)) as u64;
+    let by_threads =
+        (cfg.max_threads_per_sm / (kernel.warps_per_cta.max(1) * cfg.simd_width)) as u64;
+    let by_smem = if kernel.shared_mem_per_cta > 0 {
+        cfg.shared_mem_bytes_per_sm / kernel.shared_mem_per_cta
+    } else {
+        u64::MAX
+    };
+    let resident = by_regs.min(by_slots).min(by_warps).min(by_threads).min(by_smem);
+    let used = resident * regs_per_cta;
+    (total_regs - used.min(total_regs)) * LINE_BYTES
+}
+
+/// Returns a configuration whose L1 is enlarged by the statically unused
+/// register space (rounded down to a whole number of 8-way x 128 B sets so
+/// the geometry stays valid).
+pub fn cache_ext_config(cfg: &GpuConfig, kernel: &KernelSpec) -> GpuConfig {
+    enlarge_l1(cfg, statically_unused_bytes(cfg, kernel))
+}
+
+/// Returns a configuration whose L1 is enlarged by `extra_bytes`.
+pub fn enlarge_l1(cfg: &GpuConfig, extra_bytes: u64) -> GpuConfig {
+    let set_bytes = cfg.l1.assoc as u64 * cfg.l1.line_bytes;
+    let extra = extra_bytes / set_bytes * set_bytes;
+    let mut out = cfg.clone();
+    out.l1.size_bytes += extra;
+    out
+}
+
+/// CacheExt combined with a Best-SWL limit: the L1 additionally absorbs the
+/// dynamically unused register space freed by limiting to `cta_limit` CTAs.
+pub fn best_swl_cache_ext_config(
+    cfg: &GpuConfig,
+    kernel: &KernelSpec,
+    cta_limit: u32,
+) -> GpuConfig {
+    let static_bytes = statically_unused_bytes(cfg, kernel);
+    let regs_per_cta = kernel.regs_per_cta() as u64;
+    let total_regs = cfg.warp_regs_per_sm() as u64;
+    let resident = if regs_per_cta == 0 { 0 } else { total_regs / regs_per_cta };
+    let resident = resident
+        .min(cfg.max_ctas_per_sm as u64)
+        .min((cfg.max_warps_per_sm / kernel.warps_per_cta.max(1)) as u64);
+    let throttled = resident.saturating_sub(cta_limit as u64);
+    let dynamic_bytes = throttled * regs_per_cta * LINE_BYTES;
+    enlarge_l1(cfg, static_bytes + dynamic_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::kernel::KernelBuilder;
+
+    fn kernel(regs: u32, warps: u32) -> KernelSpec {
+        KernelBuilder::new("k")
+            .grid(64, warps)
+            .regs_per_thread(regs)
+            .alu(1)
+            .iterations(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fully_packed_kernel_has_no_static_slack() {
+        // 8 warps x 64 regs = 512 regs per CTA; 4 CTAs fill 2048 exactly.
+        let cfg = GpuConfig::default();
+        let k = kernel(64, 8);
+        assert_eq!(statically_unused_bytes(&cfg, &k), 0);
+    }
+
+    #[test]
+    fn light_kernel_leaves_static_slack() {
+        // 2 warps x 16 regs = 32 regs/CTA; 32 CTA slots use 1024 of 2048.
+        let cfg = GpuConfig::default();
+        let k = kernel(16, 2);
+        assert_eq!(statically_unused_bytes(&cfg, &k), 1024 * 128);
+    }
+
+    #[test]
+    fn cache_ext_grows_l1_in_whole_sets() {
+        let cfg = GpuConfig::default();
+        let k = kernel(16, 2);
+        let ext = cache_ext_config(&cfg, &k);
+        assert!(ext.l1.size_bytes > cfg.l1.size_bytes);
+        // Geometry must stay valid.
+        let _ = ext.l1.n_sets();
+        assert_eq!(ext.l1.size_bytes % (8 * 128), 0);
+    }
+
+    #[test]
+    fn best_swl_cache_ext_adds_dynamic_space() {
+        let cfg = GpuConfig::default();
+        let k = kernel(64, 8); // 4 resident CTAs, no static slack
+        let only_static = cache_ext_config(&cfg, &k);
+        let with_dynamic = best_swl_cache_ext_config(&cfg, &k, 2);
+        // Throttling 2 of 4 CTAs frees 2 x 512 regs = 128 KB.
+        assert_eq!(
+            with_dynamic.l1.size_bytes - only_static.l1.size_bytes,
+            128 * 1024
+        );
+    }
+
+    #[test]
+    fn zero_extra_keeps_config() {
+        let cfg = GpuConfig::default();
+        let same = enlarge_l1(&cfg, 0);
+        assert_eq!(same.l1.size_bytes, cfg.l1.size_bytes);
+    }
+}

@@ -1,0 +1,313 @@
+//! CERF: the Cache-Emulated Register File (Jing et al., MICRO 2016).
+//!
+//! CERF unifies the register file and L1 into one on-chip local memory
+//! (304 KB = 256 KB RF + 48 KB L1 at the paper's baseline) and uses the
+//! rarely-accessed register space as additional cache. It differs from
+//! Linebacker in three ways that the evaluation exposes:
+//!
+//! * it caches **every** line, including streaming data (no load-locality
+//!   filter), so streaming kernels still thrash;
+//! * it has no CTA throttling, so only statically-idle register space (plus
+//!   rarely-used live registers) is available;
+//! * the unified structure puts cache traffic and operand traffic on the
+//!   same banks, roughly doubling bank conflicts (Figure 16: +52.4 % vs the
+//!   baseline against Linebacker's +29.1 %).
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::kernel::KernelSpec;
+use gpu_sim::policy::{MissService, PolicyCtx, SmPolicy, WindowInfo};
+use gpu_sim::types::{Cycle, LineAddr, LoadId, Pc, RegNum, SmId};
+
+/// One way of the register-resident cache.
+#[derive(Debug, Clone, Copy, Default)]
+struct CerfWay {
+    valid: bool,
+    line: LineAddr,
+    last_use: Cycle,
+}
+
+/// CERF for one SM.
+#[derive(Debug)]
+pub struct CerfPolicy {
+    /// 48-set, 32-way tag store over the unified space.
+    sets: Vec<Vec<CerfWay>>,
+    /// Maximum lines the register-resident cache may hold (recomputed each
+    /// window from idle + rarely-used register space).
+    capacity: u32,
+    occupancy: u32,
+    tick: Cycle,
+    access_latency: u32,
+    /// Fraction of *live* registers treated as rarely-accessed and usable as
+    /// cache (CERF's register-liveness analysis).
+    rare_fraction: f64,
+    reg_hits: u64,
+}
+
+const CERF_SETS: u32 = 48;
+const CERF_WAYS: usize = 32;
+
+impl CerfPolicy {
+    /// Creates CERF. `access_latency` is the extra latency of a hit in the
+    /// register-resident cache beyond an L1 hit.
+    pub fn new(_gpu: &GpuConfig) -> Self {
+        CerfPolicy {
+            sets: (0..CERF_SETS).map(|_| vec![CerfWay::default(); CERF_WAYS]).collect(),
+            capacity: 0,
+            occupancy: 0,
+            tick: 0,
+            access_latency: 22,
+            rare_fraction: 0.0,
+            reg_hits: 0,
+        }
+    }
+
+    /// Current register-cache capacity in lines.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Hits served from the register-resident cache.
+    pub fn reg_hits(&self) -> u64 {
+        self.reg_hits
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 % CERF_SETS as u64) as usize
+    }
+
+    /// A pseudo register number for bank-conflict modelling: CERF spreads
+    /// cached lines over the whole unified register file.
+    fn pseudo_rn(&self, line: LineAddr) -> RegNum {
+        RegNum((line.0 % 2048) as u32)
+    }
+
+    fn lookup(&mut self, line: LineAddr) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        for w in self.sets[set].iter_mut() {
+            if w.valid && w.line == line {
+                w.last_use = tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn insert(&mut self, line: LineAddr) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        if self.sets[set].iter().any(|w| w.valid && w.line == line) {
+            return false;
+        }
+        // Free way while under capacity; otherwise evict set-LRU.
+        if self.occupancy < self.capacity {
+            if let Some(w) = self.sets[set].iter_mut().find(|w| !w.valid) {
+                *w = CerfWay { valid: true, line, last_use: tick };
+                self.occupancy += 1;
+                return true;
+            }
+        }
+        let victim = self.sets[set]
+            .iter_mut()
+            .filter(|w| w.valid)
+            .min_by_key(|w| w.last_use);
+        match victim {
+            Some(w) => {
+                *w = CerfWay { valid: true, line, last_use: tick };
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn invalidate(&mut self, line: LineAddr) {
+        let set = self.set_of(line);
+        for w in self.sets[set].iter_mut() {
+            if w.valid && w.line == line {
+                w.valid = false;
+                self.occupancy = self.occupancy.saturating_sub(1);
+            }
+        }
+    }
+}
+
+impl SmPolicy for CerfPolicy {
+    fn name(&self) -> &'static str {
+        "cerf"
+    }
+
+    fn on_hit(&mut self, _pc: Pc, _load: LoadId, line: LineAddr, ctx: &mut PolicyCtx<'_>) {
+        // Unified structure: every L1-side access also occupies a register
+        // bank — the source of CERF's extra bank conflicts.
+        let rn = self.pseudo_rn(line);
+        ctx.regfile.access(rn, ctx.cycle, false);
+    }
+
+    fn on_miss(
+        &mut self,
+        _pc: Pc,
+        _load: LoadId,
+        line: LineAddr,
+        ctx: &mut PolicyCtx<'_>,
+    ) -> MissService {
+        if self.lookup(line) {
+            self.reg_hits += 1;
+            let rn = self.pseudo_rn(line);
+            let conflict = ctx.regfile.access(rn, ctx.cycle, false);
+            MissService::VictimHit { extra_latency: self.access_latency + conflict }
+        } else {
+            MissService::ToL2
+        }
+    }
+
+    fn on_evict(&mut self, victim: LineAddr, _victim_hpc: u8, ctx: &mut PolicyCtx<'_>) {
+        // No filtering: every evicted line (streaming included) is cached.
+        if self.insert(victim) {
+            let rn = self.pseudo_rn(victim);
+            ctx.regfile.access(rn, ctx.cycle, true);
+        }
+    }
+
+    fn on_store(&mut self, line: LineAddr, _ctx: &mut PolicyCtx<'_>) {
+        self.invalidate(line);
+    }
+
+    fn on_window(&mut self, _info: &WindowInfo, ctx: &mut PolicyCtx<'_>) -> Option<u32> {
+        // Recompute capacity: statically idle registers plus the
+        // rarely-accessed fraction of live registers.
+        let space = ctx.regfile.space();
+        let usable = space.static_unused as f64
+            + space.dynamic_unused as f64
+            + space.active_used as f64 * self.rare_fraction;
+        self.capacity = usable as u32;
+        None
+    }
+
+    fn victim_space_regs(&self) -> u32 {
+        self.capacity
+    }
+}
+
+/// Factory for CERF.
+pub fn cerf_factory() -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+    Box::new(|_, gpu, _| Box::new(CerfPolicy::new(gpu)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::regfile::RegFile;
+    use gpu_sim::stats::SimStats;
+
+    fn prepared() -> (CerfPolicy, RegFile, SimStats) {
+        let mut p = CerfPolicy::new(&GpuConfig::default());
+        let mut rf = RegFile::new(2048, 32, 32);
+        let mut st = SimStats::default();
+        let info = WindowInfo {
+            index: 0,
+            cycles: 1000,
+            instructions: 0,
+            ipc: 0.0,
+            active_ctas: 0,
+            inactive_ctas: 0,
+        };
+        let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
+        p.on_window(&info, &mut ctx); // capacity = all 2048 idle regs
+        (p, rf, st)
+    }
+
+    #[test]
+    fn caches_all_evictions_including_streaming() {
+        let (mut p, mut rf, mut st) = prepared();
+        let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
+        p.on_evict(LineAddr(5), 31, &mut ctx);
+        assert!(matches!(
+            p.on_miss(Pc(0), LoadId(0), LineAddr(5), &mut ctx),
+            MissService::VictimHit { .. }
+        ));
+        assert_eq!(p.reg_hits(), 1);
+    }
+
+    #[test]
+    fn capacity_zero_before_first_window() {
+        let mut p = CerfPolicy::new(&GpuConfig::default());
+        let mut rf = RegFile::new(2048, 32, 32);
+        let mut st = SimStats::default();
+        let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
+        p.on_evict(LineAddr(5), 0, &mut ctx);
+        assert_eq!(
+            p.on_miss(Pc(0), LoadId(0), LineAddr(5), &mut ctx),
+            MissService::ToL2
+        );
+    }
+
+    #[test]
+    fn capacity_counts_idle_registers_only() {
+        let mut p = CerfPolicy::new(&GpuConfig::default());
+        let mut rf = RegFile::new(2048, 32, 32);
+        rf.allocate_cta(gpu_sim::types::CtaId(0), 1000);
+        let mut st = SimStats::default();
+        let info = WindowInfo {
+            index: 0,
+            cycles: 1000,
+            instructions: 0,
+            ipc: 0.0,
+            active_ctas: 1,
+            inactive_ctas: 0,
+        };
+        let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
+        p.on_window(&info, &mut ctx);
+        // 1048 idle registers; live registers are not usable without
+        // throttling (conservative liveness assumption).
+        assert_eq!(p.capacity(), 1048);
+    }
+
+    #[test]
+    fn store_invalidates_cached_line() {
+        let (mut p, mut rf, mut st) = prepared();
+        let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
+        p.on_evict(LineAddr(9), 0, &mut ctx);
+        p.on_store(LineAddr(9), &mut ctx);
+        assert_eq!(
+            p.on_miss(Pc(0), LoadId(0), LineAddr(9), &mut ctx),
+            MissService::ToL2
+        );
+    }
+
+    #[test]
+    fn unified_structure_adds_bank_traffic_on_l1_hits() {
+        let (mut p, mut rf, mut st) = prepared();
+        let before = {
+            let (r, w, _) = rf.stats();
+            r + w
+        };
+        let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
+        p.on_hit(Pc(0), LoadId(0), LineAddr(1), &mut ctx);
+        let after = {
+            let (r, w, _) = rf.stats();
+            r + w
+        };
+        assert_eq!(after, before + 1, "every L1 hit touches a unified bank");
+    }
+
+    #[test]
+    fn capacity_bounds_occupancy() {
+        let (mut p, mut rf, mut st) = prepared();
+        p.capacity = 4;
+        p.occupancy = 0;
+        let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
+        // Insert lines mapping to distinct sets.
+        for i in 0..10u64 {
+            p.on_evict(LineAddr(i), 0, &mut ctx);
+        }
+        assert!(p.occupancy <= 10);
+        // Lines beyond capacity in *new* sets are rejected; same-set LRU
+        // replacement still works.
+        assert!(p.occupancy >= 4);
+    }
+}

@@ -1,0 +1,232 @@
+//! PCAL: Priority-based Cache Allocation (Li et al., HPCA 2015), the warp
+//! throttling + cache bypassing combination the paper compares against.
+//!
+//! PCAL grants a number of *tokens*; warps holding a token may allocate in
+//! L1, while token-less warps bypass L1 entirely (their requests go straight
+//! to L2/DRAM, trading latency for reduced cache contention). The token
+//! count is tuned at window boundaries by a hill-climbing controller on IPC,
+//! mirroring the performance-monitoring description in the paper.
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::kernel::KernelSpec;
+use gpu_sim::policy::{PolicyCtx, PreAccess, SmPolicy, WindowInfo};
+use gpu_sim::types::{LineAddr, LoadId, Pc, SmId};
+
+/// Direction of the current hill-climbing probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Probe {
+    Down,
+    Up,
+}
+
+/// PCAL for one SM.
+#[derive(Debug)]
+pub struct PcalPolicy {
+    /// Warps holding L1-allocation tokens (warp id < tokens).
+    tokens: u32,
+    max_warps: u32,
+    prev_ipc: Option<f64>,
+    probe: Probe,
+    /// Every other window settles (token changes perturb the cache; the
+    /// transition window's IPC is not compared).
+    settle: bool,
+    bypasses: u64,
+}
+
+impl PcalPolicy {
+    /// Creates PCAL with all warps initially holding tokens.
+    pub fn new(gpu: &GpuConfig) -> Self {
+        PcalPolicy {
+            tokens: gpu.max_warps_per_sm,
+            max_warps: gpu.max_warps_per_sm,
+            prev_ipc: None,
+            probe: Probe::Down,
+            settle: true,
+            bypasses: 0,
+        }
+    }
+
+    /// Current token count.
+    pub fn tokens(&self) -> u32 {
+        self.tokens
+    }
+
+    /// Bypassed accesses so far.
+    pub fn bypasses(&self) -> u64 {
+        self.bypasses
+    }
+
+    /// Downward hill-climb step (aggressive: an eighth of the warp pool).
+    fn step(&self) -> u32 {
+        (self.max_warps / 8).max(1)
+    }
+
+    /// Upward (recovery) step: finer, a sixteenth of the warp pool.
+    fn up_step(&self) -> u32 {
+        (self.max_warps / 16).max(1)
+    }
+}
+
+impl SmPolicy for PcalPolicy {
+    fn name(&self) -> &'static str {
+        "pcal"
+    }
+
+    fn pre_access(
+        &mut self,
+        warp: u32,
+        _pc: Pc,
+        _load: LoadId,
+        _line: LineAddr,
+        _ctx: &mut PolicyCtx<'_>,
+    ) -> PreAccess {
+        if warp < self.tokens {
+            PreAccess::Normal
+        } else {
+            self.bypasses += 1;
+            PreAccess::Bypass
+        }
+    }
+
+    fn on_window(&mut self, info: &WindowInfo, _ctx: &mut PolicyCtx<'_>) -> Option<u32> {
+        self.settle = !self.settle;
+        if self.settle {
+            return None;
+        }
+        let ipc = info.ipc;
+        let step = self.step();
+        match self.prev_ipc {
+            None => {
+                // First window: probe downward (fewer tokens = less
+                // contention).
+                self.tokens = self.tokens.saturating_sub(step).max(1);
+            }
+            Some(prev) => {
+                let improved = ipc > prev * 1.02;
+                let regressed = ipc < prev * 0.98;
+                match (self.probe, improved, regressed) {
+                    (Probe::Down, _, false) => {
+                        // Improvement or plateau: bypassing more warps has
+                        // not hurt, keep removing tokens (restricting L1
+                        // allocation costs nothing while misses dominate).
+                        self.tokens = self.tokens.saturating_sub(step).max(1);
+                    }
+                    (Probe::Down, _, true) => {
+                        // Went too far: give tokens back (finer step) and flip.
+                        self.tokens = (self.tokens + self.up_step()).min(self.max_warps);
+                        self.probe = Probe::Up;
+                    }
+                    (Probe::Up, true, _) => {
+                        self.tokens = (self.tokens + self.up_step()).min(self.max_warps);
+                    }
+                    (Probe::Up, _, true) => {
+                        self.tokens = self.tokens.saturating_sub(self.up_step()).max(1);
+                        self.probe = Probe::Down;
+                    }
+                    _ => {} // plateau while climbing: hold
+                }
+            }
+        }
+        self.prev_ipc = Some(ipc);
+        None // PCAL does not deactivate CTAs; token-less warps bypass.
+    }
+
+    fn debug_state(&self) -> String {
+        format!("tokens={} probe={:?} bypasses={}", self.tokens, self.probe, self.bypasses)
+    }
+}
+
+/// Factory for PCAL.
+pub fn pcal_factory() -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+    Box::new(|_, gpu, _| Box::new(PcalPolicy::new(gpu)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::regfile::RegFile;
+    use gpu_sim::stats::SimStats;
+
+    fn ctx_parts() -> (RegFile, SimStats) {
+        (RegFile::new(2048, 32, 32), SimStats::default())
+    }
+
+    fn window(ipc: f64, i: u32) -> WindowInfo {
+        WindowInfo {
+            index: i,
+            cycles: 1000,
+            instructions: (ipc * 1000.0) as u64,
+            ipc,
+            active_ctas: 8,
+            inactive_ctas: 0,
+        }
+    }
+
+    #[test]
+    fn tokenless_warps_bypass() {
+        let gpu = GpuConfig::default();
+        let mut p = PcalPolicy::new(&gpu);
+        p.tokens = 4;
+        let (mut rf, mut st) = ctx_parts();
+        let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
+        assert_eq!(
+            p.pre_access(3, Pc(0), LoadId(0), LineAddr(0), &mut ctx),
+            PreAccess::Normal
+        );
+        assert_eq!(
+            p.pre_access(4, Pc(0), LoadId(0), LineAddr(0), &mut ctx),
+            PreAccess::Bypass
+        );
+        assert_eq!(p.bypasses(), 1);
+    }
+
+    #[test]
+    fn hill_climb_reduces_tokens_while_improving() {
+        let gpu = GpuConfig::default();
+        let mut p = PcalPolicy::new(&gpu);
+        let (mut rf, mut st) = ctx_parts();
+        let t0 = p.tokens();
+        let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
+        p.on_window(&window(1.0, 0), &mut ctx);
+        let t1 = p.tokens();
+        assert!(t1 < t0, "first window probes down");
+        p.on_window(&window(0.1, 1), &mut ctx); // settle window (ignored)
+        assert_eq!(p.tokens(), t1);
+        p.on_window(&window(1.2, 2), &mut ctx); // improved: keep going down
+        assert!(p.tokens() < t1);
+    }
+
+    #[test]
+    fn hill_climb_backs_off_on_regression() {
+        let gpu = GpuConfig::default();
+        let mut p = PcalPolicy::new(&gpu);
+        let (mut rf, mut st) = ctx_parts();
+        let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
+        p.on_window(&window(1.0, 0), &mut ctx);
+        let t_after_probe = p.tokens();
+        p.on_window(&window(0.7, 1), &mut ctx); // settle window (ignored)
+        p.on_window(&window(0.5, 2), &mut ctx); // big regression
+        assert!(p.tokens() > t_after_probe, "regression must restore tokens");
+    }
+
+    #[test]
+    fn tokens_never_reach_zero() {
+        let gpu = GpuConfig::default();
+        let mut p = PcalPolicy::new(&gpu);
+        let (mut rf, mut st) = ctx_parts();
+        let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
+        for i in 0..100 {
+            p.on_window(&window(1.0 + i as f64, i), &mut ctx);
+        }
+        assert!(p.tokens() >= 1);
+    }
+
+    #[test]
+    fn no_cta_throttling() {
+        let gpu = GpuConfig::default();
+        let mut p = PcalPolicy::new(&gpu);
+        let (mut rf, mut st) = ctx_parts();
+        let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
+        assert_eq!(p.on_window(&window(1.0, 0), &mut ctx), None);
+    }
+}

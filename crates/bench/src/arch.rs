@@ -1,0 +1,155 @@
+//! The architecture registry: every configuration evaluated in the paper.
+
+use baselines::{
+    baseline_svc_factory, best_swl_cache_ext_config, cache_ext_config, cerf_factory,
+    pcal_cerf_factory, pcal_factory, pcal_svc_factory, static_limit_factory,
+};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::kernel::KernelSpec;
+use gpu_sim::policy::{baseline_factory, SmPolicy};
+use gpu_sim::types::SmId;
+use linebacker::{
+    linebacker_factory, selective_victim_caching_factory, victim_caching_factory, LbConfig,
+};
+use workloads::AppSpec;
+
+/// An architecture under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// Unmodified GTO baseline.
+    Baseline,
+    /// A fixed CTA limit (one point of the Best-SWL sweep).
+    StaticLimit(u32),
+    /// PCAL (token-based bypass).
+    Pcal,
+    /// CERF (cache-emulated register file).
+    Cerf,
+    /// Full Linebacker.
+    Linebacker,
+    /// Linebacker with a non-default VTT-partition associativity (Fig. 10).
+    LinebackerAssoc(u32),
+    /// Victim Caching ablation (no selection, no throttling).
+    VictimCaching,
+    /// Selective Victim Caching ablation (no throttling).
+    Svc,
+    /// PCAL stacked on CERF (§5.5).
+    PcalCerf,
+    /// PCAL stacked on SVC (§5.5).
+    PcalSvc,
+    /// Baseline + SVC naming of §5.5.
+    BaselineSvc,
+    /// Idealized enlarged L1 (by SUR) with baseline scheduling (§2.4).
+    CacheExt,
+    /// Best-SWL limit `l` with L1 enlarged by SUR+DUR (§2.4).
+    BestSwlCacheExt(u32),
+    /// Linebacker running on the CacheExt configuration (§5.5).
+    LbCacheExt,
+}
+
+impl Arch {
+    /// Short name used in table headers.
+    pub fn label(&self) -> String {
+        match self {
+            Arch::Baseline => "Baseline".into(),
+            Arch::StaticLimit(l) => format!("SWL({l})"),
+            Arch::Pcal => "PCAL".into(),
+            Arch::Cerf => "CERF".into(),
+            Arch::Linebacker => "LB".into(),
+            Arch::LinebackerAssoc(a) => format!("LB({a}-way)"),
+            Arch::VictimCaching => "VC".into(),
+            Arch::Svc => "SVC".into(),
+            Arch::PcalCerf => "PCAL+CERF".into(),
+            Arch::PcalSvc => "PCAL+SVC".into(),
+            Arch::BaselineSvc => "Base+SVC".into(),
+            Arch::CacheExt => "CacheExt".into(),
+            Arch::BestSwlCacheExt(l) => format!("BSWL({l})+CacheExt"),
+            Arch::LbCacheExt => "LB+CacheExt".into(),
+        }
+    }
+
+    /// Builds the policy factory for this architecture.
+    pub fn factory(&self) -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+        match self {
+            Arch::Baseline | Arch::CacheExt => baseline_factory(),
+            Arch::StaticLimit(l) | Arch::BestSwlCacheExt(l) => static_limit_factory(Some(*l)),
+            Arch::Pcal => pcal_factory(),
+            Arch::Cerf => cerf_factory(),
+            Arch::Linebacker | Arch::LbCacheExt => linebacker_factory(LbConfig::default()),
+            Arch::LinebackerAssoc(a) => linebacker_factory(LbConfig::with_vp_assoc(*a)),
+            Arch::VictimCaching => victim_caching_factory(),
+            Arch::Svc => selective_victim_caching_factory(),
+            Arch::PcalCerf => pcal_cerf_factory(),
+            Arch::PcalSvc => pcal_svc_factory(),
+            Arch::BaselineSvc => baseline_svc_factory(),
+        }
+    }
+
+    /// Transforms the base configuration (CacheExt variants enlarge the L1).
+    pub fn transform_config(&self, cfg: &GpuConfig, app: &AppSpec) -> GpuConfig {
+        let kernel = app.kernel(cfg.n_sms);
+        match self {
+            Arch::CacheExt | Arch::LbCacheExt => cache_ext_config(cfg, &kernel),
+            Arch::BestSwlCacheExt(l) => best_swl_cache_ext_config(cfg, &kernel, *l),
+            _ => cfg.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use workloads::app;
+
+    #[test]
+    fn labels_unique_for_headline_archs() {
+        let archs = [
+            Arch::Baseline,
+            Arch::Pcal,
+            Arch::Cerf,
+            Arch::Linebacker,
+            Arch::VictimCaching,
+            Arch::Svc,
+            Arch::PcalCerf,
+            Arch::PcalSvc,
+            Arch::CacheExt,
+            Arch::LbCacheExt,
+        ];
+        let labels: std::collections::HashSet<String> =
+            archs.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), archs.len());
+    }
+
+    #[test]
+    fn factories_build() {
+        let cfg = Scale::Quick.config();
+        let a = app("GE").unwrap();
+        let k = a.kernel(cfg.n_sms);
+        for arch in [
+            Arch::Baseline,
+            Arch::StaticLimit(2),
+            Arch::Pcal,
+            Arch::Cerf,
+            Arch::Linebacker,
+            Arch::LinebackerAssoc(1),
+            Arch::VictimCaching,
+            Arch::Svc,
+            Arch::PcalCerf,
+            Arch::PcalSvc,
+            Arch::BaselineSvc,
+        ] {
+            let f = arch.factory();
+            let _p = f(SmId(0), &cfg, &k);
+        }
+    }
+
+    #[test]
+    fn cache_ext_transform_enlarges_l1() {
+        let cfg = Scale::Quick.config();
+        let a = app("GE").unwrap(); // has static register slack
+        let t = Arch::CacheExt.transform_config(&cfg, &a);
+        assert!(t.l1.size_bytes > cfg.l1.size_bytes);
+        let same = Arch::Linebacker.transform_config(&cfg, &a);
+        assert_eq!(same.l1.size_bytes, cfg.l1.size_bytes);
+    }
+}

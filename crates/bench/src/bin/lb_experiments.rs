@@ -1,0 +1,87 @@
+//! Command-line experiment harness.
+//!
+//! ```text
+//! lb-experiments [--scale quick|default|full] [--verbose] [ids... | all]
+//! ```
+
+use std::io::Write;
+
+use lb_bench::{experiments, Runner, Scale};
+
+fn main() {
+    let mut scale = Scale::Default;
+    let mut ids: Vec<String> = Vec::new();
+    let mut verbose = false;
+    let mut out_path: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}' (quick|default|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--verbose" => verbose = true,
+            "--out" => out_path = args.next(),
+            "--csv-dir" => csv_dir = args.next(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: lb-experiments [--scale quick|default|full] [--verbose] \
+                     [--out FILE] [--csv-dir DIR] [ids... | all]\n  ids: {}",
+                    experiments::ALL.join(" ")
+                );
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut runner = Runner::new(scale);
+    runner.verbose = verbose;
+    let mut rendered = String::new();
+    let started = std::time::Instant::now();
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        match experiments::run(id, &runner) {
+            Some(t) => {
+                let s = t.render();
+                println!("{s}");
+                rendered.push_str(&s);
+                rendered.push('\n');
+                if let Some(dir) = &csv_dir {
+                    std::fs::create_dir_all(dir).expect("create csv dir");
+                    let path = format!("{dir}/{}.csv", t.id);
+                    std::fs::write(&path, t.render_csv()).expect("write csv");
+                }
+                eprintln!(
+                    "[{id}] done in {:.1}s ({} sims so far)",
+                    t0.elapsed().as_secs_f64(),
+                    runner.sims_run()
+                );
+            }
+            None => {
+                eprintln!("unknown experiment id '{id}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "all done: {} experiments, {} simulations, {:.1}s, scale={}",
+        ids.len(),
+        runner.sims_run(),
+        started.elapsed().as_secs_f64(),
+        scale
+    );
+    if let Some(p) = out_path {
+        let mut f = std::fs::File::create(&p).expect("create output file");
+        f.write_all(rendered.as_bytes()).expect("write output file");
+        eprintln!("wrote {p}");
+    }
+}

@@ -1,0 +1,30 @@
+use baselines::{best_swl_sweep, cerf_factory, pcal_factory};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::run_kernel;
+use gpu_sim::policy::baseline_factory;
+use linebacker::{linebacker_factory, LbConfig};
+use workloads::all_apps;
+
+fn main() {
+    let cfg = GpuConfig::default().with_sms(4).with_windows(10_000, 240_000);
+    println!("{:<4} {:>8} {:>8} {:>8} {:>8} {:>8}  reg_hit%  periods", "app", "base", "bswl", "pcal", "cerf", "lb");
+    for app in all_apps() {
+        let k = app.kernel(cfg.n_sms);
+        let base = run_kernel(cfg.clone(), k.clone(), &baseline_factory());
+        let swl = best_swl_sweep(&cfg, &k);
+        let pcal = run_kernel(cfg.clone(), k.clone(), &pcal_factory());
+        let cerf = run_kernel(cfg.clone(), k.clone(), &cerf_factory());
+        let lb = run_kernel(cfg.clone(), k.clone(), &linebacker_factory(LbConfig::default()));
+        println!(
+            "{:<4} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}  {:>6.1}%  {}",
+            app.abbrev,
+            base.ipc(),
+            swl.stats.ipc(),
+            pcal.ipc(),
+            cerf.ipc(),
+            lb.ipc(),
+            lb.outcome_fraction(gpu_sim::types::AccessOutcome::RegHit) * 100.0,
+            lb.monitor_periods,
+        );
+    }
+}

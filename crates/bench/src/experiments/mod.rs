@@ -1,0 +1,72 @@
+//! One module per reproduced artifact of the paper's evaluation.
+
+pub mod ablation;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod overhead;
+pub mod table2;
+
+use crate::runner::Runner;
+use crate::table::Table;
+
+/// Experiment ids in presentation order.
+pub const ALL: [&str; 18] = [
+    "table2", "fig01", "fig02", "fig03", "fig04", "fig05", "overhead", "fig09", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation",
+];
+
+/// Runs one experiment by id.
+pub fn run(id: &str, r: &Runner) -> Option<Table> {
+    let t = match id {
+        "table2" => table2::run(r),
+        "fig01" | "fig1" => fig01::run(r),
+        "fig02" | "fig2" => fig02::run(r),
+        "fig03" | "fig3" => fig03::run(r),
+        "fig04" | "fig4" => fig04::run(r),
+        "fig05" | "fig5" => fig05::run(r),
+        "fig09" | "fig9" => fig09::run(r),
+        "fig10" => fig10::run(r),
+        "fig11" => fig11::run(r),
+        "fig12" => fig12::run(r),
+        "fig13" => fig13::run(r),
+        "fig14" => fig14::run(r),
+        "fig15" => fig15::run(r),
+        "fig16" => fig16::run(r),
+        "fig17" => fig17::run(r),
+        "fig18" => fig18::run(r),
+        "overhead" => overhead::run(r),
+        "ablation" => ablation::run(r),
+        _ => return None,
+    };
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        let r = crate::shared_quick_runner();
+        assert!(run("fig99", &r).is_none());
+    }
+
+    #[test]
+    fn alias_ids_resolve() {
+        let r = crate::shared_quick_runner();
+        assert!(run("overhead", &r).is_some());
+    }
+}

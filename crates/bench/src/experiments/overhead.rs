@@ -1,0 +1,40 @@
+//! §4.2: Linebacker's storage overhead (≈5.88 KB per SM, ~0.9 % of SM area).
+
+use linebacker::StorageOverhead;
+
+use crate::runner::Runner;
+use crate::table::Table;
+
+/// Computes the storage-overhead table.
+pub fn run(_r: &Runner) -> Table {
+    let o = StorageOverhead::default();
+    let mut t = Table::new(
+        "overhead",
+        "Linebacker per-SM storage overhead (§4.2)",
+        vec!["structure".into(), "bytes".into()],
+    );
+    t.row(vec!["L1 per-line HPC fields".into(), o.hpc_fields_bytes.to_string()]);
+    t.row(vec!["Load Monitor (32 entries)".into(), o.lm_bytes.to_string()]);
+    t.row(vec!["IPC monitor".into(), o.ipc_monitor_bytes.to_string()]);
+    t.row(vec!["CTA manager common info".into(), o.cta_common_bytes.to_string()]);
+    t.row(vec!["Per-CTA info (32 entries)".into(), o.per_cta_bytes.to_string()]);
+    t.row(vec!["Victim tag table (1536 entries)".into(), o.vtt_bytes.to_string()]);
+    t.row(vec!["6-entry transfer buffer".into(), o.buffer_bytes.to_string()]);
+    t.row(vec!["TOTAL".into(), o.total_bytes().to_string()]);
+    t.note(format!("total {:.2} KB (paper: 5.88 KB, <0.9% of SM area)", o.total_kb()));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_close_to_paper() {
+        let r = crate::shared_quick_runner();
+        let t = run(r);
+        let total: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        let kb = total / 1024.0;
+        assert!((5.5..6.2).contains(&kb), "total {kb} KB should be ~5.88 KB");
+    }
+}

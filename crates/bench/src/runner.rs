@@ -1,0 +1,179 @@
+//! Memoized experiment runner: many figures share the same simulations
+//! (Figures 12, 13, 16, 17 and 18 all read the same five-architecture run
+//! set), so results are cached per (app, architecture, L1 size, detail flag)
+//! within one harness invocation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::run_kernel;
+use gpu_sim::stats::SimStats;
+use workloads::AppSpec;
+
+use crate::arch::Arch;
+use crate::scale::Scale;
+
+/// Candidate CTA limits tried by the Best-SWL oracle sweep.
+pub const SWL_CANDIDATES: [u32; 8] = [1, 2, 3, 4, 6, 8, 12, 16];
+
+/// The memoized runner.
+#[derive(Debug)]
+pub struct Runner {
+    scale: Scale,
+    cfg: GpuConfig,
+    memo: Mutex<HashMap<String, Arc<SimStats>>>,
+    /// Simulations actually executed (cache misses).
+    sims_run: AtomicU64,
+    /// Progress reporting to stderr.
+    pub verbose: bool,
+}
+
+impl Runner {
+    /// Creates a runner at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Runner {
+            cfg: scale.config(),
+            scale,
+            memo: Mutex::new(HashMap::new()),
+            sims_run: AtomicU64::new(0),
+            verbose: false,
+        }
+    }
+
+    /// The scale in use.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The base configuration (before per-architecture transforms).
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Number of simulations actually executed so far.
+    pub fn sims_run(&self) -> u64 {
+        self.sims_run.load(Ordering::Relaxed)
+    }
+
+    /// Runs (or recalls) `app` under `arch` on the scale's base config.
+    pub fn run(&self, app: &AppSpec, arch: Arch) -> Arc<SimStats> {
+        self.run_inner(app, arch, None, false)
+    }
+
+    /// Runs with an overridden L1 size (Figure 14 sweeps).
+    pub fn run_l1(&self, app: &AppSpec, arch: Arch, l1_bytes: u64) -> Arc<SimStats> {
+        self.run_inner(app, arch, Some(l1_bytes), false)
+    }
+
+    /// Runs the baseline with detailed per-load statistics (Figures 2/3).
+    ///
+    /// The paper defines reuse and streaming over 50 000-cycle windows;
+    /// shorter scale windows cannot observe typical reuse distances, so
+    /// detailed runs always use the paper's window length (and enough
+    /// cycles for several windows), independent of the scale.
+    pub fn run_detailed(&self, app: &AppSpec) -> Arc<SimStats> {
+        self.run_inner(app, Arch::Baseline, None, true)
+    }
+
+    fn run_inner(
+        &self,
+        app: &AppSpec,
+        arch: Arch,
+        l1_bytes: Option<u64>,
+        detailed: bool,
+    ) -> Arc<SimStats> {
+        let key = format!("{}/{:?}/{:?}/{}", app.abbrev, arch, l1_bytes, detailed);
+        if let Some(hit) = self.memo.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        let mut cfg = self.cfg.clone();
+        if let Some(l1) = l1_bytes {
+            cfg = cfg.with_l1_size(l1);
+        }
+        cfg = arch.transform_config(&cfg, app);
+        cfg.detailed_load_stats = detailed;
+        if detailed {
+            // Figures 2/3 use the paper's 50 k-cycle window definition.
+            let max = cfg.max_cycles.max(250_000);
+            cfg = cfg.with_windows(50_000, max);
+        }
+        if self.verbose {
+            eprintln!("  sim {key}");
+        }
+        let kernel = app.kernel(cfg.n_sms);
+        let stats = Arc::new(run_kernel(cfg, kernel, &arch.factory()));
+        self.sims_run.fetch_add(1, Ordering::Relaxed);
+        self.memo.lock().insert(key, Arc::clone(&stats));
+        stats
+    }
+
+    /// Best-SWL oracle for `app`: sweeps [`SWL_CANDIDATES`] plus unlimited
+    /// and returns `(best limit, stats of the best run)`. `None` means the
+    /// unlimited baseline won.
+    pub fn best_swl(&self, app: &AppSpec) -> (Option<u32>, Arc<SimStats>) {
+        let resident = app.resident_ctas(&self.cfg);
+        let mut best: (Option<u32>, Arc<SimStats>) = (None, self.run(app, Arch::Baseline));
+        for l in SWL_CANDIDATES {
+            if l >= resident {
+                continue; // no throttling effect
+            }
+            let s = self.run(app, Arch::StaticLimit(l));
+            if s.ipc() > best.1.ipc() {
+                best = (Some(l), s);
+            }
+        }
+        best
+    }
+
+    /// IPC of the Best-SWL oracle (the usual normalization denominator).
+    pub fn best_swl_ipc(&self, app: &AppSpec) -> f64 {
+        self.best_swl(app).1.ipc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::app;
+
+    #[test]
+    fn memoization_avoids_reruns() {
+        let r = Runner::new(Scale::Quick);
+        let a = app("GA").unwrap();
+        let s1 = r.run(&a, Arch::Baseline);
+        let n = r.sims_run();
+        let s2 = r.run(&a, Arch::Baseline);
+        assert_eq!(r.sims_run(), n, "second call must hit the memo");
+        assert!(Arc::ptr_eq(&s1, &s2));
+    }
+
+    #[test]
+    fn l1_override_is_distinct_key() {
+        let r = Runner::new(Scale::Quick);
+        let a = app("GA").unwrap();
+        let _ = r.run(&a, Arch::Baseline);
+        let _ = r.run_l1(&a, Arch::Baseline, 16 * 1024);
+        assert_eq!(r.sims_run(), 2);
+    }
+
+    #[test]
+    fn best_swl_never_below_baseline() {
+        let r = Runner::new(Scale::Quick);
+        let a = app("S2").unwrap();
+        let base = r.run(&a, Arch::Baseline).ipc();
+        let (_, best) = r.best_swl(&a);
+        assert!(best.ipc() >= base - 1e-12);
+    }
+
+    #[test]
+    fn detailed_run_collects_load_windows() {
+        let r = Runner::new(Scale::Quick);
+        let a = app("GA").unwrap();
+        let s = r.run_detailed(&a);
+        assert!(!s.load_detail.is_empty(), "detailed stats must be collected");
+    }
+}

@@ -1,0 +1,80 @@
+//! Experiment scale presets.
+//!
+//! The paper simulates 16 SMs with 50 000-cycle windows for millions of
+//! cycles; the workload model here is homogeneous across SMs, so smaller
+//! configurations reproduce the same *relative* results far faster. Scales
+//! only change machine size and run length — never the mechanism parameters.
+
+use gpu_sim::config::GpuConfig;
+
+/// A named simulation scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny runs for unit tests and Criterion benches (1 SM, 4 k windows).
+    Quick,
+    /// Default experiment scale (2 SMs, 8 k windows, 200 k cycles).
+    Default,
+    /// Paper-faithful scale (16 SMs, 50 k windows, 1.2 M cycles). Slow.
+    Full,
+}
+
+impl Scale {
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "default" => Some(Scale::Default),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// The GPU configuration for this scale (Table 1 otherwise).
+    pub fn config(&self) -> GpuConfig {
+        match self {
+            Scale::Quick => GpuConfig::default().with_sms(1).with_windows(6_000, 150_000),
+            Scale::Default => GpuConfig::default().with_sms(2).with_windows(8_000, 200_000),
+            Scale::Full => GpuConfig::default().with_windows(50_000, 1_200_000),
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Scale::Quick => "quick",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in [Scale::Quick, Scale::Default, Scale::Full] {
+            assert_eq!(Scale::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn full_scale_matches_table1() {
+        let c = Scale::Full.config();
+        assert_eq!(c.n_sms, 16);
+        assert_eq!(c.window_cycles, 50_000);
+    }
+
+    #[test]
+    fn scales_keep_mechanism_parameters() {
+        for s in [Scale::Quick, Scale::Default, Scale::Full] {
+            let c = s.config();
+            assert_eq!(c.l1.size_bytes, 48 * 1024);
+            assert_eq!(c.regfile_bytes_per_sm, 256 * 1024);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Plain-text result tables in the shape of the paper's figures.
+
+use gpu_sim::stats::geometric_mean;
+
+/// A printable result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. "fig12".
+    pub id: String,
+    /// What the table reproduces.
+    pub title: String,
+    /// Column headers; the first column is the row key (usually the app).
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (paper reference values,
+    /// caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table { id: id.into(), title: title.into(), headers, rows: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Adds a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Appends a geometric-mean row computed over the numeric columns
+    /// `cols` (by index) of all current rows.
+    pub fn gm_row(&mut self, label: &str, cols: &[usize]) {
+        let mut cells = vec![String::new(); self.headers.len()];
+        cells[0] = label.to_string();
+        for &c in cols {
+            let vals: Vec<f64> = self
+                .rows
+                .iter()
+                .filter_map(|r| r[c].parse::<f64>().ok())
+                .collect();
+            cells[c] = format!("{:.3}", geometric_mean(&vals));
+        }
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as CSV (header row first; notes become trailing
+    /// comment lines prefixed with `#`).
+    pub fn render_csv(&self) -> String {
+        let esc = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("# {n}\n"));
+        }
+        out
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a byte count as KB with one decimal.
+pub fn kb(bytes: f64) -> String {
+    format!("{:.1}", bytes / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        let mut t = Table::new("t", "demo", vec!["app".into(), "x".into()]);
+        t.row(vec!["A".into(), "2.0".into()]);
+        t.row(vec!["B".into(), "8.0".into()]);
+        t
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let t = demo();
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("A") && s.contains("8.0"));
+    }
+
+    #[test]
+    fn gm_row_computes_geometric_mean() {
+        let mut t = demo();
+        t.gm_row("GM", &[1]);
+        let last = t.rows.last().unwrap();
+        assert_eq!(last[0], "GM");
+        assert_eq!(last[1], "4.000"); // sqrt(2*8)
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = demo();
+        t.row(vec!["oops".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_and_includes_notes() {
+        let mut t = Table::new("t", "demo", vec!["app".into(), "x,y".into()]);
+        t.row(vec!["A\"q\"".into(), "1".into()]);
+        t.note("hello");
+        let csv = t.render_csv();
+        assert!(csv.starts_with("app,\"x,y\"\n"));
+        assert!(csv.contains("\"A\"\"q\"\"\",1\n"));
+        assert!(csv.ends_with("# hello\n"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(pct(0.295), "29.5%");
+        assert_eq!(kb(49152.0), "48.0");
+    }
+}

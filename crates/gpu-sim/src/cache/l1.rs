@@ -1,0 +1,189 @@
+//! Per-SM L1 data cache: tag array + MSHRs + miss classification + the
+//! per-line hashed-PC field Linebacker adds (§4, Figure 7).
+
+use std::collections::HashSet;
+
+use crate::cache::mshr::MshrFile;
+use crate::cache::tag_array::{Evicted, TagArray};
+use crate::config::CacheConfig;
+use crate::types::{LineAddr, MissClass};
+
+/// Per-line metadata stored alongside the tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LineMeta {
+    /// 5-bit hashed PC of the load that last fetched or accessed the line.
+    /// Linebacker consults this on eviction to decide whether the victim was
+    /// produced by a high-locality load.
+    pub hpc: u8,
+}
+
+/// Result of an L1 lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Lookup {
+    /// Line present.
+    Hit,
+    /// Line absent; classified cold or capacity/conflict.
+    Miss(MissClass),
+}
+
+/// The L1 data cache of one SM.
+#[derive(Debug)]
+pub struct L1Cache {
+    tags: TagArray<LineMeta>,
+    mshrs: MshrFile,
+    /// Lines ever resident — distinguishes cold from capacity/conflict
+    /// misses per the paper's §2.2 definition.
+    ever_resident: HashSet<LineAddr>,
+}
+
+impl L1Cache {
+    /// Builds an L1 from a [`CacheConfig`].
+    pub fn new(cfg: &CacheConfig) -> Self {
+        L1Cache {
+            tags: TagArray::new(cfg.n_sets(), cfg.assoc),
+            mshrs: MshrFile::new(cfg.mshrs),
+            ever_resident: HashSet::new(),
+        }
+    }
+
+    /// Looks up `line`, updating LRU and the per-line HPC on a hit.
+    pub fn access(&mut self, line: LineAddr, hpc: u8) -> L1Lookup {
+        match self.tags.probe(line) {
+            Some(meta) => {
+                meta.hpc = hpc;
+                L1Lookup::Hit
+            }
+            None => {
+                let class = if self.ever_resident.contains(&line) {
+                    MissClass::CapacityConflict
+                } else {
+                    MissClass::Cold
+                };
+                L1Lookup::Miss(class)
+            }
+        }
+    }
+
+    /// Fills `line` (tagged with the fetching load's `hpc`), returning the
+    /// evicted victim if the set was full.
+    pub fn fill(&mut self, line: LineAddr, hpc: u8) -> Option<Evicted<LineMeta>> {
+        self.ever_resident.insert(line);
+        if self.tags.peek(line).is_some() {
+            // A racing fill (e.g. two merged MSHR paths) may try to re-fill;
+            // treat as a no-op.
+            return None;
+        }
+        self.tags.fill(line, LineMeta { hpc })
+    }
+
+    /// Invalidates `line` (write-evict on store hit). Returns true if the
+    /// line was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        self.tags.invalidate(line).is_some()
+    }
+
+    /// Is the line currently resident? (No LRU side effects.)
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.tags.peek(line).is_some()
+    }
+
+    /// Access to the MSHR file.
+    pub fn mshrs(&mut self) -> &mut MshrFile {
+        &mut self.mshrs
+    }
+
+    /// Immutable MSHR view.
+    pub fn mshrs_ref(&self) -> &MshrFile {
+        &self.mshrs
+    }
+
+    /// Resident line count.
+    pub fn occupancy(&self) -> usize {
+        self.tags.occupancy()
+    }
+
+    /// Underlying tag geometry (sets, assoc).
+    pub fn geometry(&self) -> (u32, u32) {
+        (self.tags.n_sets(), self.tags.assoc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> L1Cache {
+        L1Cache::new(&CacheConfig::l1_default())
+    }
+
+    #[test]
+    fn geometry_is_48x8() {
+        assert_eq!(l1().geometry(), (48, 8));
+    }
+
+    #[test]
+    fn first_miss_is_cold_second_is_2c() {
+        let mut c = l1();
+        assert_eq!(c.access(LineAddr(7), 0), L1Lookup::Miss(MissClass::Cold));
+        c.fill(LineAddr(7), 0);
+        assert_eq!(c.access(LineAddr(7), 0), L1Lookup::Hit);
+        c.invalidate(LineAddr(7));
+        assert_eq!(
+            c.access(LineAddr(7), 0),
+            L1Lookup::Miss(MissClass::CapacityConflict)
+        );
+    }
+
+    #[test]
+    fn eviction_makes_next_miss_capacity() {
+        let mut c = l1();
+        // Fill set 0 (lines congruent mod 48) beyond capacity.
+        for i in 0..9u64 {
+            c.fill(LineAddr(i * 48), 0);
+        }
+        // Line 0 was LRU and evicted.
+        assert!(!c.contains(LineAddr(0)));
+        assert_eq!(
+            c.access(LineAddr(0), 0),
+            L1Lookup::Miss(MissClass::CapacityConflict)
+        );
+    }
+
+    #[test]
+    fn hit_updates_hpc() {
+        let mut c = l1();
+        c.fill(LineAddr(1), 3);
+        c.access(LineAddr(1), 9);
+        // Evict it to observe the payload.
+        for i in 1..9u64 {
+            c.fill(LineAddr(1 + i * 48), 0);
+        }
+        // Our line should eventually be evicted with the updated HPC.
+        let mut evicted_hpc = None;
+        let mut c2 = l1();
+        c2.fill(LineAddr(1), 3);
+        c2.access(LineAddr(1), 9);
+        for i in 1..=8u64 {
+            if let Some(ev) = c2.fill(LineAddr(1 + i * 48), 0) {
+                if ev.line == LineAddr(1) {
+                    evicted_hpc = Some(ev.payload.hpc);
+                }
+            }
+        }
+        assert_eq!(evicted_hpc, Some(9));
+    }
+
+    #[test]
+    fn double_fill_is_noop() {
+        let mut c = l1();
+        assert!(c.fill(LineAddr(5), 1).is_none());
+        assert!(c.fill(LineAddr(5), 2).is_none());
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_missing_line_is_false() {
+        let mut c = l1();
+        assert!(!c.invalidate(LineAddr(77)));
+    }
+}

@@ -1,0 +1,98 @@
+//! The shared L2 cache (2048 KB, 8-way in Table 1).
+//!
+//! The L2 is modeled as a single shared bank with its own MSHR file; its
+//! service latency is folded into `GpuConfig::l2_latency`, and misses are
+//! forwarded to the DRAM model.
+
+use crate::cache::mshr::MshrFile;
+use crate::cache::tag_array::TagArray;
+use crate::config::CacheConfig;
+use crate::types::LineAddr;
+
+/// The GPU-wide shared L2.
+#[derive(Debug)]
+pub struct L2Cache {
+    tags: TagArray<()>,
+    mshrs: MshrFile,
+    hits: u64,
+    misses: u64,
+}
+
+impl L2Cache {
+    /// Builds an L2 from a [`CacheConfig`].
+    pub fn new(cfg: &CacheConfig) -> Self {
+        L2Cache {
+            tags: TagArray::new(cfg.n_sets(), cfg.assoc),
+            mshrs: MshrFile::new(cfg.mshrs),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `line`. Returns `true` on hit. On miss the caller forwards
+    /// the request to DRAM and later calls [`L2Cache::fill`].
+    pub fn access(&mut self, line: LineAddr) -> bool {
+        if self.tags.probe(line).is_some() {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Fills `line` after a DRAM response. Evictions at L2 are silent (clean
+    /// data; write-through traffic is accounted separately).
+    pub fn fill(&mut self, line: LineAddr) {
+        if self.tags.peek(line).is_none() {
+            let _ = self.tags.fill(line, ());
+        }
+    }
+
+    /// Is the line resident? (No side effects.)
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.tags.peek(line).is_some()
+    }
+
+    /// The L2 MSHR file (merging concurrent SM misses to one DRAM fetch).
+    pub fn mshrs(&mut self) -> &mut MshrFile {
+        &mut self.mshrs
+    }
+
+    /// (hits, misses) since construction.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2() -> L2Cache {
+        L2Cache::new(&CacheConfig::l2_default())
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = l2();
+        assert!(!c.access(LineAddr(3)));
+        c.fill(LineAddr(3));
+        assert!(c.access(LineAddr(3)));
+        assert_eq!(c.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn geometry_2mb() {
+        let cfg = CacheConfig::l2_default();
+        assert_eq!(cfg.n_sets() * cfg.assoc, 16384); // 2 MB / 128 B
+    }
+
+    #[test]
+    fn duplicate_fill_is_noop() {
+        let mut c = l2();
+        c.fill(LineAddr(1));
+        c.fill(LineAddr(1));
+        assert!(c.contains(LineAddr(1)));
+    }
+}

@@ -1,0 +1,141 @@
+//! Miss-Status Holding Registers: merge concurrent misses to the same line.
+
+use std::collections::HashMap;
+
+use crate::types::LineAddr;
+
+/// A waiter blocked on an outstanding fill: `(sm-local warp id, load id)` is
+/// enough for the simulator to credit completion back to the right
+/// scoreboard entry. Opaque `u64` keeps the MSHR file generic.
+pub type WaiterToken = u64;
+
+/// Outcome of [`MshrFile::allocate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated — the request must be forwarded downstream.
+    NewEntry,
+    /// Merged into an existing entry — no new downstream request.
+    Merged,
+    /// The MSHR file is full; the access must be retried later (structural
+    /// stall).
+    Full,
+}
+
+/// A fixed-capacity MSHR file.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<LineAddr, Vec<WaiterToken>>,
+    merges: u64,
+    stalls: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    pub fn new(capacity: u32) -> Self {
+        MshrFile {
+            capacity: capacity as usize,
+            entries: HashMap::with_capacity(capacity as usize),
+            merges: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Records a miss on `line` from `waiter`.
+    pub fn allocate(&mut self, line: LineAddr, waiter: WaiterToken) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&line) {
+            waiters.push(waiter);
+            self.merges += 1;
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line, vec![waiter]);
+        MshrOutcome::NewEntry
+    }
+
+    /// Completes the fill of `line`, returning all merged waiters.
+    /// Returns an empty vector if no entry existed (e.g. a prefetch).
+    pub fn complete(&mut self, line: LineAddr) -> Vec<WaiterToken> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Is a fill for `line` already outstanding?
+    pub fn pending(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Entries currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Lifetime merge count (secondary misses absorbed).
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Lifetime structural-stall count (allocation attempts while full).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_miss_allocates() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.allocate(LineAddr(1), 10), MshrOutcome::NewEntry);
+        assert!(m.pending(LineAddr(1)));
+    }
+
+    #[test]
+    fn secondary_miss_merges() {
+        let mut m = MshrFile::new(4);
+        m.allocate(LineAddr(1), 10);
+        assert_eq!(m.allocate(LineAddr(1), 11), MshrOutcome::Merged);
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn complete_returns_all_waiters() {
+        let mut m = MshrFile::new(4);
+        m.allocate(LineAddr(1), 10);
+        m.allocate(LineAddr(1), 11);
+        let w = m.complete(LineAddr(1));
+        assert_eq!(w, vec![10, 11]);
+        assert!(!m.pending(LineAddr(1)));
+    }
+
+    #[test]
+    fn full_file_stalls_new_lines_but_merges_existing() {
+        let mut m = MshrFile::new(2);
+        m.allocate(LineAddr(1), 0);
+        m.allocate(LineAddr(2), 0);
+        assert_eq!(m.allocate(LineAddr(3), 0), MshrOutcome::Full);
+        assert_eq!(m.stalls(), 1);
+        // Merging into an existing entry is still allowed when full.
+        assert_eq!(m.allocate(LineAddr(2), 1), MshrOutcome::Merged);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m = MshrFile::new(2);
+        assert!(m.complete(LineAddr(9)).is_empty());
+    }
+
+    #[test]
+    fn capacity_freed_after_complete() {
+        let mut m = MshrFile::new(1);
+        m.allocate(LineAddr(1), 0);
+        assert_eq!(m.allocate(LineAddr(2), 0), MshrOutcome::Full);
+        m.complete(LineAddr(1));
+        assert_eq!(m.allocate(LineAddr(2), 0), MshrOutcome::NewEntry);
+    }
+}

@@ -1,0 +1,264 @@
+//! Generic set-associative tag array with true-LRU replacement.
+//!
+//! Used by the L1 and L2 data caches, by CERF's cache-emulated register file,
+//! and (via the same geometry) mirrored by Linebacker's Victim Tag Table.
+
+use crate::types::{Cycle, LineAddr};
+
+/// One way of one set.
+#[derive(Debug, Clone)]
+struct Way<P> {
+    valid: bool,
+    line: LineAddr,
+    last_use: Cycle,
+    payload: P,
+}
+
+/// Result of a [`TagArray::fill`]: the line that had to be evicted, if any.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted<P> {
+    /// Address of the evicted line.
+    pub line: LineAddr,
+    /// Payload that was stored with it (e.g. the hashed PC of the last
+    /// accessor, which Linebacker uses to filter victims).
+    pub payload: P,
+}
+
+/// A set-associative tag array. `P` is per-line metadata.
+#[derive(Debug, Clone)]
+pub struct TagArray<P> {
+    sets: Vec<Vec<Way<P>>>,
+    assoc: usize,
+    /// Monotone access counter used as the LRU clock.
+    tick: Cycle,
+    hits: u64,
+    misses: u64,
+}
+
+impl<P: Clone> TagArray<P> {
+    /// Creates an array with `n_sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(n_sets: u32, assoc: u32) -> Self {
+        assert!(n_sets > 0 && assoc > 0, "tag array must have nonzero geometry");
+        TagArray {
+            sets: (0..n_sets).map(|_| Vec::with_capacity(assoc as usize)).collect(),
+            assoc: assoc as usize,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> u32 {
+        self.sets.len() as u32
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> u32 {
+        self.assoc as u32
+    }
+
+    /// Total (hits, misses) since construction.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Set index for a line. The L1 of the paper has 48 sets, which is not a
+    /// power of two, so indexing is modulo rather than bit-sliced.
+    #[inline]
+    pub fn set_index(&self, line: LineAddr) -> usize {
+        (line.0 % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `line`; on a hit, updates LRU state and returns a mutable
+    /// reference to the payload. Counts the access.
+    pub fn probe(&mut self, line: LineAddr) -> Option<&mut P> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(line);
+        let found = self.sets[set].iter_mut().find(|w| w.valid && w.line == line);
+        match found {
+            Some(w) => {
+                w.last_use = tick;
+                self.hits += 1;
+                Some(&mut w.payload)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `line` without touching LRU or counters.
+    pub fn peek(&self, line: LineAddr) -> Option<&P> {
+        let set = self.set_index(line);
+        self.sets[set].iter().find(|w| w.valid && w.line == line).map(|w| &w.payload)
+    }
+
+    /// Inserts `line` (which must not be present), evicting the LRU way if
+    /// the set is full. Returns the evicted line, if any.
+    pub fn fill(&mut self, line: LineAddr, payload: P) -> Option<Evicted<P>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_index(line);
+        let set = &mut self.sets[set_idx];
+        debug_assert!(
+            !set.iter().any(|w| w.valid && w.line == line),
+            "fill of already-present line {line}"
+        );
+        // Reuse an invalid way first.
+        if let Some(w) = set.iter_mut().find(|w| !w.valid) {
+            *w = Way { valid: true, line, last_use: tick, payload };
+            return None;
+        }
+        if set.len() < self.assoc {
+            set.push(Way { valid: true, line, last_use: tick, payload });
+            return None;
+        }
+        // Evict true-LRU.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.last_use)
+            .expect("set is full, so nonempty");
+        let evicted = Evicted { line: victim.line, payload: victim.payload.clone() };
+        *victim = Way { valid: true, line, last_use: tick, payload };
+        Some(evicted)
+    }
+
+    /// Invalidates `line` if present; returns its payload.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<P> {
+        let set = self.set_index(line);
+        let w = self.sets[set].iter_mut().find(|w| w.valid && w.line == line)?;
+        w.valid = false;
+        Some(w.payload.clone())
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid).count()
+    }
+
+    /// Iterates over all resident lines.
+    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.sets.iter().flatten().filter(|w| w.valid).map(|w| w.line)
+    }
+
+    /// Clears all contents and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(sets: u32, assoc: u32) -> TagArray<u8> {
+        TagArray::new(sets, assoc)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = arr(4, 2);
+        assert!(t.probe(LineAddr(100)).is_none());
+        assert!(t.fill(LineAddr(100), 7).is_none());
+        assert_eq!(t.probe(LineAddr(100)), Some(&mut 7));
+        assert_eq!(t.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut t = arr(1, 2);
+        t.fill(LineAddr(1), 0);
+        t.fill(LineAddr(2), 0);
+        // Touch line 1 so line 2 becomes LRU.
+        t.probe(LineAddr(1));
+        let ev = t.fill(LineAddr(3), 0).expect("set full");
+        assert_eq!(ev.line, LineAddr(2));
+    }
+
+    #[test]
+    fn eviction_carries_payload() {
+        let mut t = arr(1, 1);
+        t.fill(LineAddr(9), 42);
+        let ev = t.fill(LineAddr(10), 43).unwrap();
+        assert_eq!(ev, Evicted { line: LineAddr(9), payload: 42 });
+    }
+
+    #[test]
+    fn conflict_within_set_only() {
+        let mut t = arr(2, 1);
+        t.fill(LineAddr(0), 0); // set 0
+        t.fill(LineAddr(1), 0); // set 1
+        // Filling another set-0 line evicts line 0, not line 1.
+        let ev = t.fill(LineAddr(2), 0).unwrap();
+        assert_eq!(ev.line, LineAddr(0));
+        assert!(t.peek(LineAddr(1)).is_some());
+    }
+
+    #[test]
+    fn invalidate_frees_way() {
+        let mut t = arr(1, 1);
+        t.fill(LineAddr(5), 1);
+        assert_eq!(t.invalidate(LineAddr(5)), Some(1));
+        assert!(t.peek(LineAddr(5)).is_none());
+        // The invalid way is reused without eviction.
+        assert!(t.fill(LineAddr(6), 2).is_none());
+    }
+
+    #[test]
+    fn occupancy_tracks_fills() {
+        let mut t = arr(4, 4);
+        for i in 0..10 {
+            t.fill(LineAddr(i), 0);
+        }
+        assert_eq!(t.occupancy(), 10);
+        t.invalidate(LineAddr(0));
+        assert_eq!(t.occupancy(), 9);
+    }
+
+    #[test]
+    fn modulo_indexing_for_48_sets() {
+        let t = arr(48, 8);
+        assert_eq!(t.set_index(LineAddr(48)), 0);
+        assert_eq!(t.set_index(LineAddr(49)), 1);
+        assert_eq!(t.set_index(LineAddr(47)), 47);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru() {
+        let mut t = arr(1, 2);
+        t.fill(LineAddr(1), 0);
+        t.fill(LineAddr(2), 0);
+        t.peek(LineAddr(1));
+        // LRU is still line 1 because peek did not touch it.
+        let ev = t.fill(LineAddr(3), 0).unwrap();
+        assert_eq!(ev.line, LineAddr(1));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = arr(2, 2);
+        t.fill(LineAddr(1), 0);
+        t.probe(LineAddr(1));
+        t.reset();
+        assert_eq!(t.occupancy(), 0);
+        assert_eq!(t.hit_miss(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero geometry")]
+    fn zero_geometry_panics() {
+        let _ = arr(0, 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Warp memory coalescer.
+//!
+//! A warp-wide load produces up to 32 lane addresses; the coalescer merges
+//! lanes falling in the same 128 B line into a single memory request, the way
+//! GPU load/store units do for global accesses.
+
+use crate::types::{Address, LineAddr};
+
+/// Coalesces lane byte-addresses into distinct line requests, preserving the
+/// first-lane order, and appends them to `out`.
+///
+/// Order preservation matters: the sequence of line requests issued to the L1
+/// follows lane order, which keeps replacement behaviour deterministic.
+pub fn coalesce_into(lanes: &[Address], out: &mut Vec<LineAddr>) {
+    let start = out.len();
+    'lanes: for a in lanes {
+        let line = a.line();
+        // Linear scan: a warp emits at most 32 lines, so this beats hashing.
+        for seen in &out[start..] {
+            if *seen == line {
+                continue 'lanes;
+            }
+        }
+        out.push(line);
+    }
+}
+
+/// Convenience wrapper returning a fresh vector.
+pub fn coalesce(lanes: &[Address]) -> Vec<LineAddr> {
+    let mut out = Vec::with_capacity(4);
+    coalesce_into(lanes, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::LINE_BYTES;
+
+    #[test]
+    fn fully_coalesced_warp_is_one_request() {
+        let lanes: Vec<Address> = (0..32).map(|l| Address(0x1000 + l * 4)).collect();
+        assert_eq!(coalesce(&lanes).len(), 1);
+    }
+
+    #[test]
+    fn fully_divergent_warp_is_32_requests() {
+        let lanes: Vec<Address> = (0..32).map(|l| Address(l * 4096)).collect();
+        assert_eq!(coalesce(&lanes).len(), 32);
+    }
+
+    #[test]
+    fn two_line_straddle() {
+        // 16 lanes in one line, 16 in the next.
+        let lanes: Vec<Address> = (0..32).map(|l| Address(l * 8)).collect();
+        assert_eq!(coalesce(&lanes).len(), 2);
+    }
+
+    #[test]
+    fn order_preserved() {
+        let lanes = [Address(5 * LINE_BYTES), Address(1 * LINE_BYTES), Address(5 * LINE_BYTES)];
+        let lines = coalesce(&lanes);
+        assert_eq!(lines, vec![LineAddr(5), LineAddr(1)]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(coalesce(&[]).is_empty());
+    }
+
+    #[test]
+    fn coalesce_into_appends_after_existing() {
+        let mut out = vec![LineAddr(42)];
+        coalesce_into(&[Address(42 * LINE_BYTES)], &mut out);
+        // The pre-existing entry belongs to a previous access and must not
+        // suppress the new request.
+        assert_eq!(out, vec![LineAddr(42), LineAddr(42)]);
+    }
+}

@@ -1,0 +1,92 @@
+//! CTA (cooperative thread array) lifecycle state within an SM.
+
+use crate::types::{CtaId, RegNum};
+
+/// Scheduling status of a resident CTA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtaStatus {
+    /// Warps are schedulable.
+    Active,
+    /// Deactivated by throttling; register backup in flight.
+    BackingUp {
+        /// Backup lines still outstanding in the DRAM queue.
+        remaining: u32,
+    },
+    /// Deactivated; registers fully backed up off-chip (C bit set).
+    Inactive,
+    /// Being re-activated; register restore in flight.
+    Restoring {
+        /// Restore lines still outstanding.
+        remaining: u32,
+    },
+}
+
+/// One resident CTA.
+#[derive(Debug, Clone)]
+pub struct CtaState {
+    /// Hardware CTA slot id (SM-local).
+    pub id: CtaId,
+    /// Scheduling status.
+    pub status: CtaStatus,
+    /// First warp register allocated (the paper's FRN).
+    pub first_reg: RegNum,
+    /// Warp registers allocated.
+    pub reg_count: u32,
+    /// SM-local warp ids belonging to this CTA.
+    pub warps: Vec<u32>,
+    /// Warps that have finished all iterations.
+    pub warps_done: u32,
+    /// Launch sequence number (GTO age base).
+    pub launch_seq: u64,
+}
+
+impl CtaState {
+    /// Is the CTA finished (all warps done)?
+    pub fn is_complete(&self) -> bool {
+        self.warps_done as usize == self.warps.len()
+    }
+
+    /// Can warps of this CTA issue instructions?
+    pub fn schedulable(&self) -> bool {
+        matches!(self.status, CtaStatus::Active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cta() -> CtaState {
+        CtaState {
+            id: CtaId(0),
+            status: CtaStatus::Active,
+            first_reg: RegNum(0),
+            reg_count: 64,
+            warps: vec![0, 1, 2, 3],
+            warps_done: 0,
+            launch_seq: 0,
+        }
+    }
+
+    #[test]
+    fn completion_requires_all_warps() {
+        let mut c = cta();
+        assert!(!c.is_complete());
+        c.warps_done = 4;
+        assert!(c.is_complete());
+    }
+
+    #[test]
+    fn only_active_is_schedulable() {
+        let mut c = cta();
+        assert!(c.schedulable());
+        for s in [
+            CtaStatus::BackingUp { remaining: 3 },
+            CtaStatus::Inactive,
+            CtaStatus::Restoring { remaining: 2 },
+        ] {
+            c.status = s;
+            assert!(!c.schedulable(), "{s:?} must not be schedulable");
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Top-level GPU: CTA dispatcher, interconnect, shared L2, DRAM, and the
+//! per-cycle simulation loop.
+
+use crate::cache::{L2Cache, MshrOutcome};
+use crate::config::GpuConfig;
+use crate::dram::{Dram, DramDone, TrafficClass};
+use crate::energy::Activity;
+use crate::icnt::IcntQueue;
+use crate::kernel::KernelSpec;
+use crate::mem::{MemReq, MemReqKind};
+use crate::policy::{PolicyFactory, SmPolicy};
+use crate::sm::Sm;
+use crate::stats::SimStats;
+use crate::types::{Cycle, Pc, SmId};
+
+/// A complete simulated GPU executing one kernel.
+pub struct Gpu {
+    cfg: GpuConfig,
+    kernel: KernelSpec,
+    sms: Vec<Sm>,
+    l2: L2Cache,
+    to_l2: IcntQueue<MemReq>,
+    from_l2: IcntQueue<MemReq>,
+    dram: Dram,
+    /// Requests whose DRAM token indexes this table.
+    dram_pending: Vec<MemReq>,
+    dram_free: Vec<usize>,
+    /// CTAs of the grid not yet dispatched.
+    remaining_ctas: u32,
+    cycle: Cycle,
+    load_pcs: Vec<Pc>,
+    l2_access_count: u64,
+    scratch_msgs: Vec<MemReq>,
+    scratch_done: Vec<DramDone>,
+}
+
+impl Gpu {
+    /// Builds a GPU for `kernel` with one policy instance per SM.
+    pub fn new(cfg: GpuConfig, kernel: KernelSpec, factory: &PolicyFactory<'_>) -> Self {
+        let sms = (0..cfg.n_sms)
+            .map(|i| {
+                let policy: Box<dyn SmPolicy> = factory(SmId(i), &cfg, &kernel);
+                Sm::new(SmId(i), &cfg, policy, 0x5eed ^ (i as u64))
+            })
+            .collect();
+        let lines_per_cycle = cfg.dram_lines_per_cycle();
+        let load_pcs = kernel.loads.iter().map(|l| l.pc).collect();
+        let icnt_bw = (cfg.n_sms * 2).max(8);
+        let mut gpu = Gpu {
+            l2: L2Cache::new(&cfg.l2),
+            to_l2: IcntQueue::new(cfg.icnt_latency, icnt_bw),
+            from_l2: IcntQueue::new(cfg.icnt_latency, icnt_bw),
+            dram: Dram::new(cfg.dram.clone(), lines_per_cycle),
+            dram_pending: Vec::new(),
+            dram_free: Vec::new(),
+            remaining_ctas: kernel.grid_ctas,
+            cycle: 0,
+            load_pcs,
+            l2_access_count: 0,
+            scratch_msgs: Vec::new(),
+            scratch_done: Vec::new(),
+            sms,
+            cfg,
+            kernel,
+        };
+        // Fill the SMs immediately so both `run()` and manual `step()`
+        // loops start with work on board.
+        gpu.dispatch_ctas();
+        gpu
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The kernel being executed.
+    pub fn kernel(&self) -> &KernelSpec {
+        &self.kernel
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Read-only view of an SM (tests, experiments).
+    pub fn sm(&self, i: u32) -> &Sm {
+        &self.sms[i as usize]
+    }
+
+    /// Dispatches CTAs to every SM that has room and wants more work.
+    fn dispatch_ctas(&mut self) {
+        loop {
+            let mut launched = false;
+            for sm in &mut self.sms {
+                if self.remaining_ctas == 0 {
+                    break;
+                }
+                if sm.wants_new_cta() && sm.try_launch_cta(&self.kernel, &self.cfg) {
+                    self.remaining_ctas -= 1;
+                    launched = true;
+                }
+            }
+            if !launched || self.remaining_ctas == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Runs the kernel to completion or `max_cycles`, returning merged stats.
+    pub fn run(&mut self) -> SimStats {
+        while self.cycle < self.cfg.max_cycles {
+            self.step();
+            if self.done() {
+                break;
+            }
+        }
+        self.collect_stats()
+    }
+
+    /// All work dispatched and drained.
+    pub fn done(&self) -> bool {
+        self.remaining_ctas == 0
+            && self.sms.iter().all(|s| s.drained())
+            && self.to_l2.in_flight() == 0
+            && self.from_l2.in_flight() == 0
+            && self.dram.pending() == 0
+    }
+
+    /// Advances the whole GPU one cycle.
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+
+        // 1. SM pipelines.
+        for sm in &mut self.sms {
+            sm.tick(cycle, &self.kernel, &self.cfg);
+            let completed = sm.reap_completed_ctas(cycle);
+            if completed > 0 && self.remaining_ctas > 0 {
+                // Replace finished CTAs promptly (an inactive CTA, if any,
+                // was already re-activated inside the SM).
+                while self.remaining_ctas > 0
+                    && sm.wants_new_cta()
+                    && sm.try_launch_cta(&self.kernel, &self.cfg)
+                {
+                    self.remaining_ctas -= 1;
+                }
+            }
+            // Drain SM outbox into the interconnect.
+            for req in sm.outbox.drain(..) {
+                self.to_l2.push(req, cycle);
+            }
+        }
+
+        // 2. L2 side: consume arriving requests.
+        self.scratch_msgs.clear();
+        self.to_l2.pop_ready(cycle, &mut self.scratch_msgs);
+        for i in 0..self.scratch_msgs.len() {
+            let req = self.scratch_msgs[i];
+            self.handle_at_l2(req, cycle);
+        }
+
+        // 3. DRAM.
+        self.scratch_done.clear();
+        self.dram.tick(cycle, &mut self.scratch_done);
+        for i in 0..self.scratch_done.len() {
+            let d = self.scratch_done[i];
+            let req = self.dram_pending[d.token as usize];
+            self.dram_free.push(d.token as usize);
+            match req.kind {
+                MemReqKind::Read | MemReqKind::BypassRead => {
+                    self.l2.fill(req.line);
+                    self.l2_access_count += 1;
+                    // Wake all L2-MSHR waiters merged on this line.
+                    for t in self.l2.mshrs().complete(req.line) {
+                        let waiter = self.dram_pending[t as usize];
+                        self.dram_free.push(t as usize);
+                        self.from_l2.push(waiter, cycle);
+                    }
+                }
+                MemReqKind::Store => {
+                    // Store-buffer credit back to the SM (backpressure).
+                    self.from_l2.push(req, cycle);
+                }
+                MemReqKind::RegBackup { .. } => {
+                    // Completion notification back to the SM.
+                    self.from_l2.push(req, cycle);
+                }
+                MemReqKind::RegRestore { .. } => {
+                    self.from_l2.push(req, cycle);
+                }
+            }
+        }
+
+        // 4. Responses back to SMs.
+        self.scratch_msgs.clear();
+        self.from_l2.pop_ready(cycle, &mut self.scratch_msgs);
+        for i in 0..self.scratch_msgs.len() {
+            let rsp = self.scratch_msgs[i];
+            let sm = &mut self.sms[rsp.sm.0 as usize];
+            sm.handle_response(rsp, cycle, &self.load_pcs);
+        }
+
+        self.cycle += 1;
+
+        // 5. Window boundary: IPC monitoring, policy decisions, throttling
+        //    enforcement, and refill of freed CTA capacity.
+        if self.cycle % self.cfg.window_cycles == 0 {
+            for sm in &mut self.sms {
+                sm.end_window(self.cycle, &self.cfg);
+            }
+            self.dispatch_ctas();
+        }
+    }
+
+    fn alloc_dram_slot(&mut self, req: MemReq) -> u64 {
+        if let Some(i) = self.dram_free.pop() {
+            self.dram_pending[i] = req;
+            i as u64
+        } else {
+            self.dram_pending.push(req);
+            (self.dram_pending.len() - 1) as u64
+        }
+    }
+
+    fn handle_at_l2(&mut self, req: MemReq, cycle: Cycle) {
+        match req.kind {
+            MemReqKind::Read | MemReqKind::BypassRead => {
+                self.l2_access_count += 1;
+                if self.l2.access(req.line) {
+                    // L2 hit: response after the L2 pipeline latency.
+                    self.from_l2.push(req, cycle + self.cfg.l2_latency as u64);
+                } else {
+                    let token = self.alloc_dram_slot(req);
+                    match self.l2.mshrs().allocate(req.line, token) {
+                        MshrOutcome::NewEntry => {
+                            // The DRAM request itself carries a fresh token
+                            // so the fill can find the merged waiter list.
+                            let dram_token = self.alloc_dram_slot(req);
+                            self.dram.push(
+                                req.line,
+                                TrafficClass::DemandRead,
+                                dram_token,
+                                cycle + self.cfg.l2_latency as u64,
+                            );
+                        }
+                        MshrOutcome::Merged => {}
+                        MshrOutcome::Full => {
+                            // Model back-pressure as a retried request.
+                            self.to_l2.push(req, cycle + 16);
+                            self.dram_free.push(token as usize);
+                        }
+                    }
+                }
+            }
+            MemReqKind::Store => {
+                // Write-through, no-allocate: straight to DRAM.
+                self.l2_access_count += 1;
+                let token = self.alloc_dram_slot(req);
+                self.dram.push(req.line, TrafficClass::StoreWrite, token, cycle);
+            }
+            MemReqKind::RegBackup { .. } => {
+                let token = self.alloc_dram_slot(req);
+                self.dram.push(req.line, TrafficClass::RegBackup, token, cycle);
+            }
+            MemReqKind::RegRestore { .. } => {
+                let token = self.alloc_dram_slot(req);
+                self.dram.push(req.line, TrafficClass::RegRestore, token, cycle);
+            }
+        }
+    }
+
+    /// One-line snapshot of queue depths (debugging stalls).
+    pub fn debug_queues(&self) -> String {
+        let sm0 = &self.sms[0];
+        format!(
+            "cycle={} dram={} to_l2={} from_l2={} l1_mshr(sm0)={} sm0_active={} sm0_inactive={}",
+            self.cycle,
+            self.dram.pending(),
+            self.to_l2.in_flight(),
+            self.from_l2.in_flight(),
+            sm0.l1.mshrs_ref().in_flight(),
+            sm0.active_ctas(),
+            sm0.inactive_ctas(),
+        )
+    }
+
+    /// Merges per-SM stats, computes energy, and returns the run summary.
+    pub fn collect_stats(&mut self) -> SimStats {
+        let mut total = SimStats::default();
+        total.cycles = self.cycle;
+        total.completed = self.done();
+        for sm in &mut self.sms {
+            sm.finalize_stats();
+            let s = &sm.stats;
+            total.instructions += s.instructions;
+            total.l1_hits += s.l1_hits;
+            total.miss_cold += s.miss_cold;
+            total.miss_2c += s.miss_2c;
+            total.bypasses += s.bypasses;
+            total.reg_hits += s.reg_hits;
+            total.stores += s.stores;
+            total.rf_reads += s.rf_reads;
+            total.rf_writes += s.rf_writes;
+            total.rf_bank_conflicts += s.rf_bank_conflicts;
+            total.mshr_stalls += s.mshr_stalls;
+            total.policy_extra_pj += s.policy_extra_pj;
+            total.monitor_periods = total.monitor_periods.max(s.monitor_periods);
+            for (l, ls) in &s.per_load {
+                let e = total.per_load.entry(*l).or_default();
+                e.accesses += ls.accesses;
+                e.l1_hits += ls.l1_hits;
+                e.misses += ls.misses;
+                e.reg_hits += ls.reg_hits;
+                e.bypasses += ls.bypasses;
+            }
+            // RF samples: averaged per SM, then concatenated (homogeneous).
+            total.rf_samples.extend(s.rf_samples.iter().copied());
+            total.timeline.extend(s.timeline.iter().copied());
+            for (l, d) in &s.load_detail {
+                let agg = total.load_detail.entry(*l).or_default();
+                agg.windows.extend(d.windows.iter().copied());
+            }
+        }
+        let (l2h, l2m) = self.l2.hit_miss();
+        total.l2_hits = l2h;
+        total.l2_misses = l2m;
+        total.dram_bytes = self.dram.traffic_bytes();
+        let activity = Activity {
+            cycles: total.cycles,
+            n_sms: self.cfg.n_sms,
+            instructions: total.instructions,
+            rf_accesses: total.rf_reads + total.rf_writes,
+            l1_accesses: total.mem_accesses() + total.stores,
+            l2_accesses: self.l2_access_count,
+            dram_bytes: total.dram_bytes.iter().sum(),
+            policy_extra_pj: total.policy_extra_pj,
+        };
+        total.energy_mj = self.cfg.energy.total_mj(&activity);
+        total
+    }
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("cycle", &self.cycle)
+            .field("kernel", &self.kernel.name)
+            .field("remaining_ctas", &self.remaining_ctas)
+            .finish()
+    }
+}
+
+/// Convenience: run `kernel` on `cfg` with the given policy factory.
+pub fn run_kernel(cfg: GpuConfig, kernel: KernelSpec, factory: &PolicyFactory<'_>) -> SimStats {
+    Gpu::new(cfg, kernel, factory).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::pattern::AccessPattern;
+    use crate::policy::baseline_factory;
+
+    fn fast_cfg() -> GpuConfig {
+        GpuConfig::default().with_sms(2).with_windows(5_000, 60_000)
+    }
+
+    fn cache_friendly_kernel() -> KernelSpec {
+        KernelBuilder::new("friendly")
+            .grid(8, 4)
+            .regs_per_thread(32)
+            .load_then_use(AccessPattern::reuse_working_set(8 * 1024, true), 2)
+            .alu(4)
+            .iterations(300)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn small_kernel_completes() {
+        let k = KernelBuilder::new("tiny")
+            .grid(4, 2)
+            .regs_per_thread(16)
+            .alu(2)
+            .iterations(10)
+            .build()
+            .unwrap();
+        let stats = run_kernel(fast_cfg(), k, &baseline_factory());
+        assert!(stats.completed, "tiny ALU kernel must drain");
+        // 4 CTAs x 2 warps x 1 body instruction x 10 iterations.
+        assert_eq!(stats.instructions, 4 * 2 * 10);
+    }
+
+    #[test]
+    fn memory_kernel_produces_hits_and_misses() {
+        let stats = run_kernel(fast_cfg(), cache_friendly_kernel(), &baseline_factory());
+        assert!(stats.mem_accesses() > 1000);
+        assert!(stats.l1_hits > 0, "8 KB shared working set must hit in 48 KB L1");
+        assert!(stats.miss_cold > 0, "first touches are cold misses");
+        assert!(stats.ipc() > 0.1, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn streaming_kernel_mostly_misses() {
+        let k = KernelBuilder::new("stream")
+            .grid(8, 4)
+            .regs_per_thread(32)
+            .load_then_use(AccessPattern::streaming(128), 2)
+            .alu(4)
+            .iterations(200)
+            .build()
+            .unwrap();
+        let stats = run_kernel(fast_cfg(), k, &baseline_factory());
+        assert!(
+            stats.miss_ratio() > 0.9,
+            "streaming load should thrash: miss ratio {}",
+            stats.miss_ratio()
+        );
+    }
+
+    #[test]
+    fn thrashing_working_set_has_capacity_misses() {
+        let k = KernelBuilder::new("thrash")
+            .grid(8, 8)
+            .regs_per_thread(32)
+            .load_then_use(AccessPattern::reuse_working_set(256 * 1024, true), 2)
+            .alu(2)
+            .iterations(400)
+            .build()
+            .unwrap();
+        let stats = run_kernel(fast_cfg(), k, &baseline_factory());
+        assert!(
+            stats.miss_2c > stats.miss_cold,
+            "a 256 KB set in a 48 KB cache must produce capacity misses (2c={} cold={})",
+            stats.miss_2c,
+            stats.miss_cold
+        );
+    }
+
+    #[test]
+    fn dram_traffic_accounted() {
+        let stats = run_kernel(fast_cfg(), cache_friendly_kernel(), &baseline_factory());
+        assert!(stats.dram_bytes[0] > 0, "demand reads must reach DRAM");
+    }
+
+    #[test]
+    fn energy_positive() {
+        let stats = run_kernel(fast_cfg(), cache_friendly_kernel(), &baseline_factory());
+        assert!(stats.energy_mj > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_kernel(fast_cfg(), cache_friendly_kernel(), &baseline_factory());
+        let b = run_kernel(fast_cfg(), cache_friendly_kernel(), &baseline_factory());
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.l1_hits, b.l1_hits);
+        assert_eq!(a.miss_2c, b.miss_2c);
+    }
+
+    #[test]
+    fn cycle_cap_respected() {
+        let cfg = GpuConfig::default().with_sms(1).with_windows(1_000, 3_000);
+        let k = KernelBuilder::new("long")
+            .grid(64, 8)
+            .regs_per_thread(32)
+            .load_then_use(AccessPattern::streaming(128), 1)
+            .iterations(100_000)
+            .build()
+            .unwrap();
+        let stats = run_kernel(cfg, k, &baseline_factory());
+        assert!(!stats.completed);
+        assert!(stats.cycles <= 3_000);
+    }
+}

@@ -1,0 +1,109 @@
+//! SM <-> L2 interconnect: a fixed-latency, bandwidth-limited FIFO.
+
+use std::collections::VecDeque;
+
+use crate::types::Cycle;
+
+/// One direction of the interconnect carrying messages of type `T`.
+#[derive(Debug)]
+pub struct IcntQueue<T> {
+    latency: u32,
+    /// Messages that may be popped per cycle (flit bandwidth).
+    per_cycle: u32,
+    queue: VecDeque<(Cycle, T)>,
+    delivered: u64,
+}
+
+impl<T> IcntQueue<T> {
+    /// Creates a queue with one-way `latency` and `per_cycle` delivery
+    /// bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_cycle` is zero.
+    pub fn new(latency: u32, per_cycle: u32) -> Self {
+        assert!(per_cycle > 0, "interconnect needs nonzero bandwidth");
+        IcntQueue { latency, per_cycle, queue: VecDeque::new(), delivered: 0 }
+    }
+
+    /// Enqueues a message at `cycle`; it becomes deliverable after the
+    /// one-way latency.
+    pub fn push(&mut self, msg: T, cycle: Cycle) {
+        self.queue.push_back((cycle + self.latency as u64, msg));
+    }
+
+    /// Pops up to the per-cycle bandwidth of messages whose latency has
+    /// elapsed by `cycle`, appending them to `out`.
+    pub fn pop_ready(&mut self, cycle: Cycle, out: &mut Vec<T>) {
+        for _ in 0..self.per_cycle {
+            match self.queue.front() {
+                Some((ready, _)) if *ready <= cycle => {
+                    let (_, m) = self.queue.pop_front().expect("front exists");
+                    self.delivered += 1;
+                    out.push(m);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total messages delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_respected() {
+        let mut q: IcntQueue<u64> = IcntQueue::new(8, 4);
+        q.push(1, 100);
+        let mut out = Vec::new();
+        q.pop_ready(107, &mut out);
+        assert!(out.is_empty());
+        q.pop_ready(108, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn bandwidth_limits_pops() {
+        let mut q: IcntQueue<u64> = IcntQueue::new(0, 2);
+        for i in 0..5 {
+            q.push(i, 0);
+        }
+        let mut out = Vec::new();
+        q.pop_ready(0, &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        q.pop_ready(1, &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        q.pop_ready(2, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(q.delivered(), 5);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q: IcntQueue<&str> = IcntQueue::new(1, 8);
+        q.push("a", 0);
+        q.push("b", 0);
+        let mut out = Vec::new();
+        q.pop_ready(10, &mut out);
+        assert_eq!(out, vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero bandwidth")]
+    fn zero_bandwidth_panics() {
+        let _: IcntQueue<u8> = IcntQueue::new(1, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Memory request/response messages exchanged between SMs and the shared
+//! memory system (L2 + DRAM).
+
+use crate::types::{CtaId, LineAddr, LoadId, SmId};
+
+/// What a request is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemReqKind {
+    /// Demand read that missed L1 (fills L1 on return).
+    Read,
+    /// Demand read bypassing L1 (no fill on return).
+    BypassRead,
+    /// Write-through store (fire-and-forget).
+    Store,
+    /// Register backup write for a throttled CTA (fire-and-forget, but
+    /// completion is tracked to set the CTA's "backup complete" bit).
+    RegBackup {
+        /// CTA being backed up.
+        cta: CtaId,
+    },
+    /// Register restore read for a re-activated CTA.
+    RegRestore {
+        /// CTA being restored.
+        cta: CtaId,
+    },
+}
+
+/// A request leaving an SM for the shared memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemReq {
+    /// Issuing SM.
+    pub sm: SmId,
+    /// Issuing warp (SM-local index; meaningless for CTA register traffic).
+    pub warp: u32,
+    /// Static load (meaningless for CTA register traffic).
+    pub load: LoadId,
+    /// Requested line.
+    pub line: LineAddr,
+    /// Request class.
+    pub kind: MemReqKind,
+}
+
+/// A response returning to an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRsp {
+    /// The original request.
+    pub req: MemReq,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinguishable() {
+        assert_ne!(MemReqKind::Read, MemReqKind::BypassRead);
+        assert_ne!(MemReqKind::Store, MemReqKind::RegBackup { cta: CtaId(0) });
+        assert_eq!(
+            MemReqKind::RegRestore { cta: CtaId(3) },
+            MemReqKind::RegRestore { cta: CtaId(3) }
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! Per-load address-stream generators.
+//!
+//! The paper's observation (§2.3) is that a static load's locality class is
+//! stable across warps: a load is either *reused* (its working set is
+//! re-accessed) or *streaming* (every access touches new data). Patterns here
+//! are stateless functions of `(seed, SM, warp, load, access index)` so that
+//! simulation is reproducible and warp state stays tiny.
+
+use serde::{Deserialize, Serialize};
+
+use crate::coalesce::coalesce_into;
+use crate::types::{Address, LineAddr, LoadId, SmId, LINE_BYTES};
+
+/// Deterministic 64-bit mix (splitmix64 finalizer). Used as a stateless RNG.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Identifies one dynamic execution of a static load by one warp.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessCtx {
+    /// Global seed for the whole simulation.
+    pub seed: u64,
+    /// SM executing the access (per-SM data partitioning).
+    pub sm: SmId,
+    /// Globally unique warp number (across CTAs), for private working sets.
+    pub global_warp: u64,
+    /// The static load being executed.
+    pub load: LoadId,
+    /// Monotone per-(warp, load) access counter (the loop iteration).
+    pub access_index: u64,
+}
+
+/// The memory behaviour of one static load.
+///
+/// All sizes are *per SM* — matching how the paper reports working sets
+/// ("per-SM working set size", Figures 2 and 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Cyclic sweep over a working set of `ws_bytes`. If `shared`, all warps
+    /// of an SM walk the *same* region (inter-warp reuse); otherwise each
+    /// warp owns a private region of that size.
+    ReuseWorkingSet {
+        /// Working-set size in bytes (per SM if shared, per warp otherwise).
+        ws_bytes: u64,
+        /// Whether all warps of the SM share the region.
+        shared: bool,
+    },
+    /// Pure streaming: each access touches `bytes_per_access` of brand-new
+    /// data, never revisited. Models >95 %-miss loads of Figure 3.
+    Streaming {
+        /// New bytes consumed per dynamic access (>= one line).
+        bytes_per_access: u64,
+    },
+    /// Blocked reuse: the warp re-reads a `tile_bytes` tile `reuse` times,
+    /// then moves to the next tile.
+    Tiled {
+        /// Tile size in bytes.
+        tile_bytes: u64,
+        /// Times each tile line is accessed before moving on.
+        reuse: u32,
+        /// Whether warps of an SM share tiles.
+        shared: bool,
+    },
+    /// Uniform-random line within a working set (hash-based, reproducible).
+    RandomInSet {
+        /// Working-set size in bytes.
+        ws_bytes: u64,
+        /// Whether all warps of the SM share the region.
+        shared: bool,
+    },
+    /// Memory-divergent access: the 32 lanes hit `lines_per_access` distinct
+    /// random lines of a working set (exercises the coalescer).
+    Divergent {
+        /// Working-set size in bytes.
+        ws_bytes: u64,
+        /// Distinct lines produced per access (1..=32).
+        lines_per_access: u32,
+    },
+    /// Sparse streaming: emits one fresh line every `period`-th access and
+    /// nothing in between. Models result stores, which are far less frequent
+    /// than input loads in typical kernels. Only meaningful for stores —
+    /// loads must always access memory.
+    SparseStream {
+        /// Emit a line when `access_index % period == 0`.
+        period: u32,
+    },
+}
+
+impl AccessPattern {
+    /// Convenience constructor for a shared/private cyclic-reuse pattern.
+    pub fn reuse_working_set(ws_bytes: u64, shared: bool) -> Self {
+        AccessPattern::ReuseWorkingSet { ws_bytes, shared }
+    }
+
+    /// Convenience constructor for a streaming pattern.
+    pub fn streaming(bytes_per_access: u64) -> Self {
+        AccessPattern::Streaming { bytes_per_access }
+    }
+
+    /// Is this load a streaming load by construction?
+    pub fn is_streaming(&self) -> bool {
+        matches!(
+            self,
+            AccessPattern::Streaming { .. } | AccessPattern::SparseStream { .. }
+        )
+    }
+
+    /// Nominal per-SM reused working-set footprint of this load in bytes
+    /// (0 for streaming loads). `warps_per_sm` scales private patterns.
+    pub fn nominal_ws_bytes(&self, warps_per_sm: u64) -> u64 {
+        match *self {
+            AccessPattern::ReuseWorkingSet { ws_bytes, shared } => {
+                if shared {
+                    ws_bytes
+                } else {
+                    ws_bytes * warps_per_sm
+                }
+            }
+            AccessPattern::Streaming { .. } => 0,
+            AccessPattern::Tiled { tile_bytes, shared, .. } => {
+                if shared {
+                    tile_bytes
+                } else {
+                    tile_bytes * warps_per_sm
+                }
+            }
+            AccessPattern::RandomInSet { ws_bytes, shared } => {
+                if shared {
+                    ws_bytes
+                } else {
+                    ws_bytes * warps_per_sm
+                }
+            }
+            AccessPattern::Divergent { ws_bytes, .. } => ws_bytes,
+            AccessPattern::SparseStream { .. } => 0,
+        }
+    }
+
+    /// Generates the (already coalesced) line addresses of one dynamic
+    /// access, appending them to `out`.
+    ///
+    /// The common GPU case — a fully coalesced warp access — produces exactly
+    /// one line. [`AccessPattern::Divergent`] produces several, via per-lane
+    /// address generation and the hardware coalescer model.
+    pub fn gen_lines(&self, ctx: AccessCtx, out: &mut Vec<LineAddr>) {
+        let region = region_base(ctx.load, ctx.sm);
+        match *self {
+            AccessPattern::ReuseWorkingSet { ws_bytes, shared } => {
+                let lines = ws_lines(ws_bytes);
+                let base = if shared { region } else { region + private_slice(ctx.global_warp) };
+                // Different warps start at hashed offsets of the same sweep so
+                // shared working sets see inter-warp reuse without lockstep.
+                let start = if shared { mix64(ctx.seed ^ ctx.global_warp) % lines } else { 0 };
+                let idx = (start + ctx.access_index) % lines;
+                out.push(LineAddr(base + idx));
+            }
+            AccessPattern::Streaming { bytes_per_access } => {
+                let n = lines_per_access(bytes_per_access);
+                // Unique, never-revisited region per warp.
+                let base = region + private_slice(ctx.global_warp);
+                let first = ctx.access_index * n;
+                for k in 0..n {
+                    out.push(LineAddr(base + first + k));
+                }
+            }
+            AccessPattern::Tiled { tile_bytes, reuse, shared } => {
+                let tile_lines = ws_lines(tile_bytes);
+                let reuse = reuse.max(1) as u64;
+                let accesses_per_tile = tile_lines * reuse;
+                let tile = ctx.access_index / accesses_per_tile;
+                let idx = ctx.access_index % tile_lines;
+                let base = if shared { region } else { region + private_slice(ctx.global_warp) };
+                out.push(LineAddr(base + tile * tile_lines + idx));
+            }
+            AccessPattern::RandomInSet { ws_bytes, shared } => {
+                let lines = ws_lines(ws_bytes);
+                let base = if shared { region } else { region + private_slice(ctx.global_warp) };
+                let h = mix64(
+                    ctx.seed
+                        ^ mix64(ctx.access_index ^ ((ctx.load.0 as u64) << 32))
+                        ^ if shared { 0 } else { ctx.global_warp },
+                );
+                out.push(LineAddr(base + h % lines));
+            }
+            AccessPattern::Divergent { ws_bytes, lines_per_access } => {
+                let lanes = self.lane_addresses(ctx, ws_bytes, lines_per_access);
+                coalesce_into(&lanes, out);
+            }
+            AccessPattern::SparseStream { period } => {
+                let period = period.max(1) as u64;
+                if ctx.access_index % period == 0 {
+                    let base = region + private_slice(ctx.global_warp);
+                    out.push(LineAddr(base + ctx.access_index / period));
+                }
+            }
+        }
+    }
+
+    /// Generates the 32 per-lane byte addresses of a divergent access.
+    /// Public so the coalescer path is independently testable.
+    fn lane_addresses(&self, ctx: AccessCtx, ws_bytes: u64, lines_per_access: u32) -> Vec<Address> {
+        let lines = ws_lines(ws_bytes);
+        let region = region_base(ctx.load, ctx.sm);
+        let groups = lines_per_access.clamp(1, 32) as u64;
+        (0..32u64)
+            .map(|lane| {
+                let group = lane % groups;
+                let h = mix64(ctx.seed ^ mix64(ctx.access_index ^ (group << 40) ^ ctx.global_warp));
+                let line = region + h % lines;
+                Address((line << crate::types::LINE_SHIFT) + (lane % 32) * 4)
+            })
+            .collect()
+    }
+}
+
+/// First line number of the address region owned by `(load, sm)`.
+///
+/// Regions are disjoint by construction: bits [44..] encode the load, bits
+/// [36..44) the SM, leaving 2^36 lines (8 TiB) per (load, SM) slice.
+#[inline]
+fn region_base(load: LoadId, sm: SmId) -> u64 {
+    ((load.0 as u64 + 1) << 44) | ((sm.0 as u64) << 36)
+}
+
+/// Per-warp private sub-slice within a region: 65536 warp slices of
+/// 2^20 + 1 lines each, so streaming warps never collide within a
+/// simulation's footprint. The stride is deliberately *odd* (coprime with
+/// the 48/192-set cache geometries): a power-of-two stride would alias every
+/// warp's slice into the same few sets of the modulo-indexed caches.
+#[inline]
+fn private_slice(global_warp: u64) -> u64 {
+    (global_warp & 0xffff) * ((1 << 20) + 1)
+}
+
+#[inline]
+fn ws_lines(ws_bytes: u64) -> u64 {
+    (ws_bytes / LINE_BYTES).max(1)
+}
+
+#[inline]
+fn lines_per_access(bytes: u64) -> u64 {
+    (bytes / LINE_BYTES).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(warp: u64, idx: u64) -> AccessCtx {
+        AccessCtx { seed: 7, sm: SmId(0), global_warp: warp, load: LoadId(0), access_index: idx }
+    }
+
+    fn gen(p: &AccessPattern, warp: u64, idx: u64) -> Vec<LineAddr> {
+        let mut v = Vec::new();
+        p.gen_lines(ctx(warp, idx), &mut v);
+        v
+    }
+
+    #[test]
+    fn reuse_pattern_cycles() {
+        let p = AccessPattern::reuse_working_set(4 * LINE_BYTES, true);
+        let a0 = gen(&p, 0, 0);
+        let a4 = gen(&p, 0, 4);
+        assert_eq!(a0, a4, "period must equal the working-set line count");
+        let all: std::collections::HashSet<_> =
+            (0..16).flat_map(|i| gen(&p, 0, i)).collect();
+        assert_eq!(all.len(), 4, "footprint must equal the working set");
+    }
+
+    #[test]
+    fn shared_reuse_overlaps_across_warps() {
+        let p = AccessPattern::reuse_working_set(8 * LINE_BYTES, true);
+        let w0: std::collections::HashSet<_> = (0..32).flat_map(|i| gen(&p, 0, i)).collect();
+        let w1: std::collections::HashSet<_> = (0..32).flat_map(|i| gen(&p, 1, i)).collect();
+        assert_eq!(w0, w1, "shared working sets must coincide across warps");
+    }
+
+    #[test]
+    fn private_reuse_disjoint_across_warps() {
+        let p = AccessPattern::reuse_working_set(8 * LINE_BYTES, false);
+        let w0: std::collections::HashSet<_> = (0..8).flat_map(|i| gen(&p, 0, i)).collect();
+        let w1: std::collections::HashSet<_> = (0..8).flat_map(|i| gen(&p, 1, i)).collect();
+        assert!(w0.is_disjoint(&w1));
+    }
+
+    #[test]
+    fn streaming_never_repeats() {
+        let p = AccessPattern::streaming(LINE_BYTES);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            for l in gen(&p, 3, i) {
+                assert!(seen.insert(l), "streaming pattern repeated {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_multi_line_access() {
+        let p = AccessPattern::streaming(4 * LINE_BYTES);
+        assert_eq!(gen(&p, 0, 0).len(), 4);
+    }
+
+    #[test]
+    fn tiled_reuses_within_tile() {
+        let p = AccessPattern::Tiled { tile_bytes: 2 * LINE_BYTES, reuse: 3, shared: true };
+        // 2-line tile, reuse 3 => 6 accesses per tile; indices 0 and 2 hit the
+        // same line.
+        assert_eq!(gen(&p, 0, 0), gen(&p, 0, 2));
+        // After 6 accesses the tile advances.
+        assert_ne!(gen(&p, 0, 0), gen(&p, 0, 6));
+    }
+
+    #[test]
+    fn random_in_set_stays_in_set() {
+        let ws = 16 * LINE_BYTES;
+        let p = AccessPattern::RandomInSet { ws_bytes: ws, shared: true };
+        let base = gen(&p, 0, 0)[0].0 & !0xf;
+        for i in 0..200 {
+            let l = gen(&p, 0, i)[0];
+            assert!(l.0 >= base && l.0 < base + 16 + 16, "line out of working set");
+        }
+    }
+
+    #[test]
+    fn divergent_produces_multiple_coalesced_lines() {
+        let p = AccessPattern::Divergent { ws_bytes: 1 << 20, lines_per_access: 8 };
+        let lines = gen(&p, 0, 0);
+        assert!(lines.len() <= 8, "coalescer must merge same-line lanes");
+        assert!(lines.len() > 1, "divergent access should span multiple lines");
+        let set: std::collections::HashSet<_> = lines.iter().collect();
+        assert_eq!(set.len(), lines.len(), "coalesced output has no duplicates");
+    }
+
+    #[test]
+    fn regions_disjoint_across_loads_and_sms() {
+        let a = region_base(LoadId(0), SmId(0));
+        let b = region_base(LoadId(1), SmId(0));
+        let c = region_base(LoadId(0), SmId(1));
+        // Each (load, SM) slice spans 2^36 lines.
+        assert!(b - a >= 1 << 44);
+        assert_eq!(c - a, 1 << 36);
+    }
+
+    #[test]
+    fn determinism() {
+        let p = AccessPattern::RandomInSet { ws_bytes: 1 << 16, shared: false };
+        assert_eq!(gen(&p, 5, 99), gen(&p, 5, 99));
+    }
+
+    #[test]
+    fn nominal_ws_scales_private_patterns() {
+        let shared = AccessPattern::reuse_working_set(1024, true);
+        let private = AccessPattern::reuse_working_set(1024, false);
+        assert_eq!(shared.nominal_ws_bytes(48), 1024);
+        assert_eq!(private.nominal_ws_bytes(48), 48 * 1024);
+        assert_eq!(AccessPattern::streaming(128).nominal_ws_bytes(48), 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! The memory/scheduling policy extension point.
+//!
+//! Every architecture the paper evaluates — the GTO baseline, Best-SWL, PCAL,
+//! CERF, and Linebacker itself — is an implementation of [`SmPolicy`]. The
+//! simulator owns the pipeline, caches and DRAM; the policy observes cache
+//! events, may service misses from register-file victim storage, and may
+//! throttle CTAs at window boundaries.
+
+use crate::config::GpuConfig;
+use crate::kernel::KernelSpec;
+use crate::regfile::RegFile;
+use crate::stats::SimStats;
+use crate::types::{CtaId, Cycle, LineAddr, LoadId, Pc, SmId};
+
+/// Mutable simulator state a policy may touch during a hook.
+///
+/// Policies use `regfile` to model victim-line register reads/writes (which
+/// is where CERF's and Linebacker's extra bank conflicts come from) and
+/// `stats.policy_extra_pj` to charge energy for their own structures.
+#[derive(Debug)]
+pub struct PolicyCtx<'a> {
+    /// Current cycle.
+    pub cycle: Cycle,
+    /// SM this policy instance belongs to.
+    pub sm: SmId,
+    /// The SM's register file.
+    pub regfile: &'a mut RegFile,
+    /// The SM's statistics.
+    pub stats: &'a mut SimStats,
+}
+
+/// Decision taken before an L1 lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreAccess {
+    /// Access the L1 normally.
+    Normal,
+    /// Skip L1 and go straight to L2/DRAM (PCAL-style bypass).
+    Bypass,
+}
+
+/// How an L1 miss is serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissService {
+    /// Forward to L2/DRAM as usual.
+    ToL2,
+    /// Serviced from register-file victim storage ("Reg hit"): the data is
+    /// moved register-to-register; the line is *not* refilled into L1.
+    VictimHit {
+        /// Latency beyond the L1 hit latency (VTT partition searches,
+        /// arbitration, bank conflicts).
+        extra_latency: u32,
+    },
+}
+
+/// Per-window information passed to [`SmPolicy::on_window`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowInfo {
+    /// Zero-based window index since kernel launch.
+    pub index: u32,
+    /// Window length in cycles.
+    pub cycles: u64,
+    /// Warp instructions issued by this SM during the window.
+    pub instructions: u64,
+    /// IPC of this window.
+    pub ipc: f64,
+    /// CTAs currently active (schedulable) on this SM.
+    pub active_ctas: u32,
+    /// CTAs resident but deactivated (throttled).
+    pub inactive_ctas: u32,
+}
+
+/// Per-SM architecture policy. All hooks default to baseline (no-op)
+/// behaviour, so the GTO baseline is simply the empty implementation.
+pub trait SmPolicy {
+    /// Short architecture name ("baseline", "best-swl", "pcal", "cerf",
+    /// "linebacker", ...).
+    fn name(&self) -> &'static str;
+
+    /// Decide whether this access bypasses L1. Called once per line request.
+    /// `warp` is the issuing warp's SM-local id (PCAL's token scheme is
+    /// per-warp).
+    fn pre_access(
+        &mut self,
+        _warp: u32,
+        _pc: Pc,
+        _load: LoadId,
+        _line: LineAddr,
+        _ctx: &mut PolicyCtx<'_>,
+    ) -> PreAccess {
+        PreAccess::Normal
+    }
+
+    /// An L1 hit occurred for `line` (already counted in stats).
+    fn on_hit(&mut self, _pc: Pc, _load: LoadId, _line: LineAddr, _ctx: &mut PolicyCtx<'_>) {}
+
+    /// An L1 miss occurred; the policy may service it from victim storage.
+    fn on_miss(
+        &mut self,
+        _pc: Pc,
+        _load: LoadId,
+        _line: LineAddr,
+        _ctx: &mut PolicyCtx<'_>,
+    ) -> MissService {
+        MissService::ToL2
+    }
+
+    /// A fill evicted `victim` (with its per-line hashed-PC metadata).
+    fn on_evict(&mut self, _victim: LineAddr, _victim_hpc: u8, _ctx: &mut PolicyCtx<'_>) {}
+
+    /// A store touched `line` (write-evict/write-no-allocate is already
+    /// applied to L1; policies invalidate any preserved copy so victim data
+    /// is never dirty).
+    fn on_store(&mut self, _line: LineAddr, _ctx: &mut PolicyCtx<'_>) {}
+
+    /// Window boundary. Returns the desired number of active CTAs for the
+    /// next window (`None` = no limit). The simulator enforces the limit by
+    /// deactivating the highest-id active CTAs or re-activating inactive
+    /// ones.
+    fn on_window(&mut self, _info: &WindowInfo, _ctx: &mut PolicyCtx<'_>) -> Option<u32> {
+        None
+    }
+
+    /// A CTA was launched with its first register number (the paper's FRN).
+    fn on_cta_launch(&mut self, _cta: CtaId, _first_reg: crate::types::RegNum, _ctx: &mut PolicyCtx<'_>) {}
+
+    /// A CTA is being deactivated; its registers will be backed up off-chip.
+    /// Called before the backup traffic is injected.
+    fn on_cta_deactivate(&mut self, _cta: CtaId, _ctx: &mut PolicyCtx<'_>) {}
+
+    /// The register backup of `cta` has fully drained to memory (the C bit
+    /// of the Per-CTA Info entry is now set): the freed registers may be
+    /// claimed as victim space.
+    fn on_backup_complete(&mut self, _cta: CtaId, _ctx: &mut PolicyCtx<'_>) {}
+
+    /// A CTA is about to be re-activated; any victim partitions occupying
+    /// its registers must be released before the restore begins.
+    fn on_cta_activate(&mut self, _cta: CtaId, _ctx: &mut PolicyCtx<'_>) {}
+
+    /// A CTA completed and its registers were freed.
+    fn on_cta_complete(&mut self, _cta: CtaId, _ctx: &mut PolicyCtx<'_>) {}
+
+    /// Warp registers currently used as victim storage (for RF samples).
+    fn victim_space_regs(&self) -> u32 {
+        0
+    }
+
+    /// Monitoring periods consumed before locality classification converged
+    /// (Figure 9's parenthesized counts). Zero for policies that don't
+    /// monitor.
+    fn monitor_periods(&self) -> u32 {
+        0
+    }
+
+    /// One-line human-readable summary of internal state (tokens, limits,
+    /// partition counts) for experiment logs. Empty by default.
+    fn debug_state(&self) -> String {
+        String::new()
+    }
+}
+
+/// The unmodified GTO baseline: every hook is default.
+#[derive(Debug, Default, Clone)]
+pub struct NullPolicy;
+
+impl SmPolicy for NullPolicy {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+}
+
+/// Factory producing one policy instance per SM.
+pub type PolicyFactory<'a> = dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy> + 'a;
+
+/// Convenience: a factory for the baseline.
+pub fn baseline_factory() -> Box<PolicyFactory<'static>> {
+    Box::new(|_, _, _| Box::new(NullPolicy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_policy_defaults() {
+        let mut p = NullPolicy;
+        let mut rf = RegFile::new(16, 4, 4);
+        let mut stats = SimStats::default();
+        let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut stats };
+        assert_eq!(p.name(), "baseline");
+        assert_eq!(
+            p.pre_access(0, Pc(0), LoadId(0), LineAddr(0), &mut ctx),
+            PreAccess::Normal
+        );
+        assert_eq!(
+            p.on_miss(Pc(0), LoadId(0), LineAddr(0), &mut ctx),
+            MissService::ToL2
+        );
+        let info = WindowInfo {
+            index: 0,
+            cycles: 100,
+            instructions: 50,
+            ipc: 0.5,
+            active_ctas: 4,
+            inactive_ctas: 0,
+        };
+        assert_eq!(p.on_window(&info, &mut ctx), None);
+        assert_eq!(p.victim_space_regs(), 0);
+        assert_eq!(p.monitor_periods(), 0);
+    }
+
+    #[test]
+    fn factory_builds_baseline() {
+        let f = baseline_factory();
+        let cfg = GpuConfig::default();
+        let k = crate::kernel::KernelBuilder::new("k")
+            .alu(1)
+            .build()
+            .unwrap();
+        let p = f(SmId(0), &cfg, &k);
+        assert_eq!(p.name(), "baseline");
+    }
+}

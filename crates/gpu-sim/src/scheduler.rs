@@ -1,0 +1,130 @@
+//! Greedy-Then-Oldest (GTO) warp scheduling.
+//!
+//! Each SM has four schedulers (Table 1); warps are statically partitioned
+//! across them by `warp_id % 4`. A scheduler keeps issuing from its current
+//! warp until that warp stalls, then falls back to the *oldest* ready warp
+//! (smallest launch age), which is the behaviour that gives GTO its strong
+//! intra-warp locality.
+
+use crate::types::WarpId;
+
+/// One GTO warp scheduler.
+#[derive(Debug, Clone)]
+pub struct GtoScheduler {
+    /// The greedily-held warp, if any.
+    current: Option<WarpId>,
+    issues: u64,
+    switches: u64,
+}
+
+impl Default for GtoScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GtoScheduler {
+    /// Creates an idle scheduler.
+    pub fn new() -> Self {
+        GtoScheduler { current: None, issues: 0, switches: 0 }
+    }
+
+    /// Picks the warp to issue this cycle.
+    ///
+    /// `ready` yields `(warp, age)` pairs for all warps of this scheduler
+    /// that can issue. Greedy: if the held warp is ready, keep it; otherwise
+    /// select the ready warp with the smallest age.
+    pub fn pick(&mut self, ready: impl Iterator<Item = (WarpId, u64)> + Clone) -> Option<WarpId> {
+        if let Some(cur) = self.current {
+            if ready.clone().any(|(w, _)| w == cur) {
+                self.issues += 1;
+                return Some(cur);
+            }
+        }
+        let oldest = ready.min_by_key(|&(w, age)| (age, w.0)).map(|(w, _)| w);
+        if let Some(w) = oldest {
+            if self.current != Some(w) {
+                self.switches += 1;
+            }
+            self.current = Some(w);
+            self.issues += 1;
+        }
+        oldest
+    }
+
+    /// Notes that the held warp stalled or retired, releasing greediness.
+    pub fn release(&mut self, warp: WarpId) {
+        if self.current == Some(warp) {
+            self.current = None;
+        }
+    }
+
+    /// (instructions issued, greedy-warp switches).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.issues, self.switches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(v: &[(u32, u64)]) -> impl Iterator<Item = (WarpId, u64)> + Clone + '_ {
+        v.iter().map(|&(w, a)| (WarpId(w), a))
+    }
+
+    #[test]
+    fn picks_oldest_first() {
+        let mut s = GtoScheduler::new();
+        let ready = [(3u32, 30u64), (1, 10), (2, 20)];
+        assert_eq!(s.pick(pairs(&ready)), Some(WarpId(1)));
+    }
+
+    #[test]
+    fn greedy_sticks_with_current() {
+        let mut s = GtoScheduler::new();
+        let ready = [(1u32, 10u64), (2, 5)];
+        // First pick: oldest is warp 2.
+        assert_eq!(s.pick(pairs(&ready)), Some(WarpId(2)));
+        // Even though warp 1 is also ready, greedy keeps warp 2.
+        assert_eq!(s.pick(pairs(&ready)), Some(WarpId(2)));
+    }
+
+    #[test]
+    fn falls_back_to_oldest_when_current_stalls() {
+        let mut s = GtoScheduler::new();
+        let all = [(1u32, 10u64), (2, 5)];
+        assert_eq!(s.pick(pairs(&all)), Some(WarpId(2)));
+        // Warp 2 stalled: not in the ready set anymore.
+        let only1 = [(1u32, 10u64)];
+        assert_eq!(s.pick(pairs(&only1)), Some(WarpId(1)));
+        // Warp 2 returns; greedy now holds warp 1.
+        assert_eq!(s.pick(pairs(&all)), Some(WarpId(1)));
+    }
+
+    #[test]
+    fn empty_ready_set_issues_nothing() {
+        let mut s = GtoScheduler::new();
+        assert_eq!(s.pick(pairs(&[])), None);
+        assert_eq!(s.stats().0, 0);
+    }
+
+    #[test]
+    fn release_clears_greedy_hold() {
+        let mut s = GtoScheduler::new();
+        let all = [(1u32, 10u64), (2, 5)];
+        assert_eq!(s.pick(pairs(&all)), Some(WarpId(2)));
+        s.release(WarpId(2));
+        // After release, picks oldest again (still warp 2 by age) — but if
+        // warp 2 retired and only warp 1 remains, it must switch cleanly.
+        let only1 = [(1u32, 10u64)];
+        assert_eq!(s.pick(pairs(&only1)), Some(WarpId(1)));
+    }
+
+    #[test]
+    fn age_tie_broken_by_warp_id() {
+        let mut s = GtoScheduler::new();
+        let ready = [(7u32, 5u64), (3, 5)];
+        assert_eq!(s.pick(pairs(&ready)), Some(WarpId(3)));
+    }
+}

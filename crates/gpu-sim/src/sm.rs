@@ -1,0 +1,982 @@
+//! One streaming multiprocessor: issue pipeline, load/store unit, L1, and
+//! CTA lifecycle (including throttling-driven register backup/restore).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::cache::{L1Cache, L1Lookup, MshrOutcome};
+use crate::config::GpuConfig;
+use crate::cta::{CtaState, CtaStatus};
+use crate::kernel::{InstKind, KernelSpec};
+use crate::mem::{MemReq, MemReqKind};
+use crate::pattern::AccessCtx;
+use crate::policy::{MissService, PolicyCtx, PreAccess, SmPolicy, WindowInfo};
+use crate::regfile::RegFile;
+use crate::scheduler::GtoScheduler;
+use crate::stats::{RfSpaceSample, SimStats};
+use crate::types::{hashed_pc5, CtaId, Cycle, LineAddr, LoadId, Pc, RegNum, SmId, WarpId};
+use crate::warp::WarpState;
+
+/// A line request waiting for an L1 port.
+#[derive(Debug, Clone, Copy)]
+struct LsuReq {
+    warp: u32,
+    load: LoadId,
+    pc: Pc,
+    line: LineAddr,
+}
+
+/// Maximum LSU queue depth before load issue back-pressures.
+const LSU_QUEUE_CAP: usize = 64;
+
+/// Store-buffer entries per SM: outstanding store lines beyond this stall
+/// further store instructions (write-through stores must not outrun DRAM
+/// bandwidth unboundedly).
+const STORE_BUFFER_CAP: u32 = 64;
+
+/// One streaming multiprocessor.
+pub struct Sm {
+    /// This SM's id.
+    pub id: SmId,
+    /// The L1 data cache.
+    pub l1: L1Cache,
+    /// The register file.
+    pub regfile: RegFile,
+    /// Per-SM statistics (merged by the GPU at run end).
+    pub stats: SimStats,
+    /// The architecture policy driving this SM.
+    pub policy: Box<dyn SmPolicy>,
+    warps: Vec<Option<WarpState>>,
+    ctas: Vec<Option<CtaState>>,
+    schedulers: Vec<GtoScheduler>,
+    lsu_queue: VecDeque<LsuReq>,
+    /// Locally-completing accesses: (finish cycle, warp, load).
+    completions: BinaryHeap<Reverse<(Cycle, u32, u32)>>,
+    /// Outgoing requests for the shared memory system (drained by the GPU).
+    pub outbox: Vec<MemReq>,
+    /// Current active-CTA limit imposed by the policy.
+    cta_limit: Option<u32>,
+    /// Monotone CTA launch counter (GTO age base; also makes global warp
+    /// numbers unique).
+    launch_seq: u64,
+    warp_seq: u64,
+    /// Backed-up register contents per CTA slot (verifies restore fidelity).
+    backup_store: HashMap<u32, Vec<u64>>,
+    /// Next backup line offset in this SM's dedicated backup address region.
+    backup_cursor: u64,
+    window_start_insts: u64,
+    window_index: u32,
+    /// Scratch buffer for pattern generation.
+    line_buf: Vec<LineAddr>,
+    /// Outstanding store lines in flight toward DRAM.
+    stores_in_flight: u32,
+    seed: u64,
+}
+
+impl Sm {
+    /// Creates an SM with the given policy.
+    pub fn new(id: SmId, cfg: &GpuConfig, policy: Box<dyn SmPolicy>, seed: u64) -> Self {
+        Sm {
+            id,
+            l1: L1Cache::new(&cfg.l1),
+            regfile: RegFile::new(cfg.warp_regs_per_sm(), cfg.regfile_banks, cfg.max_ctas_per_sm),
+            stats: SimStats::default(),
+            policy,
+            warps: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
+            ctas: (0..cfg.max_ctas_per_sm).map(|_| None).collect(),
+            schedulers: (0..cfg.schedulers_per_sm).map(|_| GtoScheduler::new()).collect(),
+            lsu_queue: VecDeque::new(),
+            completions: BinaryHeap::new(),
+            outbox: Vec::new(),
+            cta_limit: None,
+            launch_seq: 0,
+            warp_seq: 0,
+            backup_store: HashMap::new(),
+            backup_cursor: 0,
+            window_start_insts: 0,
+            window_index: 0,
+            line_buf: Vec::with_capacity(32),
+            stores_in_flight: 0,
+            seed,
+        }
+    }
+
+    /// Number of resident CTAs (any status).
+    pub fn resident_ctas(&self) -> u32 {
+        self.ctas.iter().flatten().count() as u32
+    }
+
+    /// Number of active (schedulable) CTAs.
+    pub fn active_ctas(&self) -> u32 {
+        self.ctas.iter().flatten().filter(|c| c.schedulable()).count() as u32
+    }
+
+    /// Number of resident but deactivated CTAs (any non-active status).
+    pub fn inactive_ctas(&self) -> u32 {
+        self.resident_ctas() - self.active_ctas()
+    }
+
+    /// All warps retired and no CTAs resident.
+    pub fn drained(&self) -> bool {
+        self.resident_ctas() == 0 && self.lsu_queue.is_empty() && self.completions.is_empty()
+    }
+
+    /// Tries to launch one CTA of `kernel`; returns false when occupancy
+    /// limits (slots, warps, threads, registers, shared memory) forbid it.
+    pub fn try_launch_cta(&mut self, kernel: &KernelSpec, cfg: &GpuConfig) -> bool {
+        let warps_per_cta = kernel.warps_per_cta;
+        let resident: u32 = self.resident_ctas();
+        if resident >= cfg.max_ctas_per_sm {
+            return false;
+        }
+        let resident_warps: u32 =
+            self.ctas.iter().flatten().map(|c| c.warps.len() as u32).sum();
+        if resident_warps + warps_per_cta > cfg.max_warps_per_sm {
+            return false;
+        }
+        if (resident_warps + warps_per_cta) * cfg.simd_width > cfg.max_threads_per_sm {
+            return false;
+        }
+        let smem_used: u64 = resident as u64 * kernel.shared_mem_per_cta;
+        if smem_used + kernel.shared_mem_per_cta > cfg.shared_mem_bytes_per_sm {
+            return false;
+        }
+        // Find a free CTA slot and a contiguous block of warp slots.
+        let slot = match self.ctas.iter().position(|c| c.is_none()) {
+            Some(s) => s as u32,
+            None => return false,
+        };
+        let warp_base = match self.find_warp_slots(warps_per_cta) {
+            Some(b) => b,
+            None => return false,
+        };
+        let first_reg = match self.regfile.allocate_cta(CtaId(slot), kernel.regs_per_cta()) {
+            Some(r) => r,
+            None => return false,
+        };
+        let seq = self.launch_seq;
+        self.launch_seq += 1;
+        let mut warp_ids = Vec::with_capacity(warps_per_cta as usize);
+        for i in 0..warps_per_cta {
+            let wid = warp_base + i;
+            let gw = self.warp_seq;
+            self.warp_seq += 1;
+            self.warps[wid as usize] = Some(WarpState::new(
+                WarpId(wid),
+                CtaId(slot),
+                gw,
+                kernel.loads.len(),
+                seq * 1000 + i as u64,
+            ));
+            warp_ids.push(wid);
+        }
+        self.ctas[slot as usize] = Some(CtaState {
+            id: CtaId(slot),
+            status: CtaStatus::Active,
+            first_reg,
+            reg_count: kernel.regs_per_cta(),
+            warps: warp_ids,
+            warps_done: 0,
+            launch_seq: seq,
+        });
+        let mut ctx = PolicyCtx {
+            cycle: 0,
+            sm: self.id,
+            regfile: &mut self.regfile,
+            stats: &mut self.stats,
+        };
+        self.policy.on_cta_launch(CtaId(slot), first_reg, &mut ctx);
+        true
+    }
+
+    fn find_warp_slots(&self, count: u32) -> Option<u32> {
+        let n = self.warps.len() as u32;
+        let mut run = 0u32;
+        for i in 0..n {
+            if self.warps[i as usize].is_none() {
+                run += 1;
+                if run == count {
+                    return Some(i + 1 - count);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
+    }
+
+    /// Advances this SM one cycle. Emits memory requests into `outbox`.
+    pub fn tick(&mut self, cycle: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) {
+        self.drain_completions(cycle);
+        self.process_lsu(cycle, cfg);
+        self.issue(cycle, kernel, cfg);
+    }
+
+    fn drain_completions(&mut self, cycle: Cycle) {
+        while let Some(Reverse((t, warp, load))) = self.completions.peek().copied() {
+            if t > cycle {
+                break;
+            }
+            self.completions.pop();
+            if let Some(w) = self.warps[warp as usize].as_mut() {
+                w.complete_one(LoadId(load));
+            }
+        }
+    }
+
+    fn process_lsu(&mut self, cycle: Cycle, cfg: &GpuConfig) {
+        for _ in 0..cfg.l1_ports {
+            let Some(req) = self.lsu_queue.pop_front() else { break };
+            let hpc = hashed_pc5(req.pc);
+            let mut ctx = PolicyCtx {
+                cycle,
+                sm: self.id,
+                regfile: &mut self.regfile,
+                stats: &mut self.stats,
+            };
+            if self.policy.pre_access(req.warp, req.pc, req.load, req.line, &mut ctx)
+                == PreAccess::Bypass
+            {
+                self.stats.record_access(req.load, crate::types::AccessOutcome::Bypass, None);
+                self.outbox.push(MemReq {
+                    sm: self.id,
+                    warp: req.warp,
+                    load: req.load,
+                    line: req.line,
+                    kind: MemReqKind::BypassRead,
+                });
+                continue;
+            }
+            match self.l1.access(req.line, hpc) {
+                L1Lookup::Hit => {
+                    let mut ctx = PolicyCtx {
+                        cycle,
+                        sm: self.id,
+                        regfile: &mut self.regfile,
+                        stats: &mut self.stats,
+                    };
+                    self.policy.on_hit(req.pc, req.load, req.line, &mut ctx);
+                    self.stats.record_access(req.load, crate::types::AccessOutcome::L1Hit, None);
+                    self.completions.push(Reverse((
+                        cycle + cfg.l1_hit_latency as u64,
+                        req.warp,
+                        req.load.0,
+                    )));
+                }
+                L1Lookup::Miss(class) => {
+                    let mut ctx = PolicyCtx {
+                        cycle,
+                        sm: self.id,
+                        regfile: &mut self.regfile,
+                        stats: &mut self.stats,
+                    };
+                    match self.policy.on_miss(req.pc, req.load, req.line, &mut ctx) {
+                        MissService::VictimHit { extra_latency } => {
+                            self.stats.record_access(
+                                req.load,
+                                crate::types::AccessOutcome::RegHit,
+                                None,
+                            );
+                            self.completions.push(Reverse((
+                                cycle + (cfg.l1_hit_latency + extra_latency) as u64,
+                                req.warp,
+                                req.load.0,
+                            )));
+                        }
+                        MissService::ToL2 => {
+                            let token = (req.warp as u64) << 32 | req.load.0 as u64;
+                            match self.l1.mshrs().allocate(req.line, token) {
+                                MshrOutcome::Merged => {
+                                    self.stats.record_access(
+                                        req.load,
+                                        crate::types::AccessOutcome::Miss,
+                                        Some(class),
+                                    );
+                                }
+                                MshrOutcome::NewEntry => {
+                                    self.stats.record_access(
+                                        req.load,
+                                        crate::types::AccessOutcome::Miss,
+                                        Some(class),
+                                    );
+                                    self.outbox.push(MemReq {
+                                        sm: self.id,
+                                        warp: req.warp,
+                                        load: req.load,
+                                        line: req.line,
+                                        kind: MemReqKind::Read,
+                                    });
+                                }
+                                MshrOutcome::Full => {
+                                    // Structural stall: retry next cycle.
+                                    self.stats.mshr_stalls += 1;
+                                    self.lsu_queue.push_front(req);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn issue(&mut self, cycle: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) {
+        let n_scheds = self.schedulers.len() as u32;
+        let lsu_full = self.lsu_queue.len() >= LSU_QUEUE_CAP;
+        for s in 0..n_scheds {
+            // Gather ready warps owned by scheduler s.
+            let mut ready: Vec<(WarpId, u64)> = Vec::new();
+            for w in self.warps.iter().flatten() {
+                if w.id.0 % n_scheds != s || w.done {
+                    continue;
+                }
+                let cta_ok = self.ctas[w.cta.0 as usize]
+                    .as_ref()
+                    .map(|c| c.schedulable())
+                    .unwrap_or(false);
+                if !cta_ok {
+                    continue;
+                }
+                if !w.can_issue(kernel, cycle, cfg.max_outstanding_per_warp) {
+                    continue;
+                }
+                // Back-pressure: loads/stores need LSU space; stores also
+                // need store-buffer credits.
+                let inst = &kernel.body[w.body_pos as usize];
+                if lsu_full && matches!(inst.kind, InstKind::Load { .. } | InstKind::Store { .. }) {
+                    continue;
+                }
+                if self.stores_in_flight >= STORE_BUFFER_CAP
+                    && matches!(inst.kind, InstKind::Store { .. })
+                {
+                    continue;
+                }
+                ready.push((w.id, w.age));
+            }
+            let picked = self.schedulers[s as usize].pick(ready.iter().copied());
+            let Some(wid) = picked else { continue };
+            self.execute_inst(wid, cycle, kernel, cfg);
+        }
+    }
+
+    fn execute_inst(&mut self, wid: WarpId, cycle: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) {
+        let w = self.warps[wid.0 as usize].as_mut().expect("picked warp exists");
+        let cta = self.ctas[w.cta.0 as usize].as_ref().expect("warp's CTA exists");
+        let inst = &kernel.body[w.body_pos as usize];
+        self.stats.instructions += 1;
+
+        // Operand traffic: two reads and one write on the warp's registers.
+        let warp_local = wid.0 % kernel.warps_per_cta.max(1);
+        let base = cta.first_reg.0 + warp_local * kernel.regs_per_warp();
+        let span = kernel.regs_per_warp().max(1);
+        let rot = w.body_pos;
+        let mut extra_delay = 0u32;
+        for (k, write) in [(0u32, false), (1, false), (2, true)] {
+            let reg = RegNum(base + (rot.wrapping_mul(3).wrapping_add(k)) % span);
+            extra_delay += self.regfile.access(reg, cycle, write);
+        }
+
+        match inst.kind {
+            InstKind::Alu { latency } => {
+                w.next_ready = cycle + latency.max(1) as u64 + extra_delay as u64;
+            }
+            InstKind::Load { load } => {
+                let idx = w.next_access_index(load);
+                let spec = kernel.load(load);
+                self.line_buf.clear();
+                spec.pattern.gen_lines(
+                    AccessCtx {
+                        seed: self.seed,
+                        sm: self.id,
+                        global_warp: w.global_warp,
+                        load,
+                        access_index: idx,
+                    },
+                    &mut self.line_buf,
+                );
+                let n = self.line_buf.len() as u32;
+                w.add_outstanding(load, n);
+                w.next_ready = cycle + 1 + extra_delay as u64;
+                let warp_idx = wid.0;
+                for &line in &self.line_buf {
+                    if cfg.detailed_load_stats {
+                        self.stats.record_line_touch(load, line.0);
+                    }
+                    self.lsu_queue.push_back(LsuReq { warp: warp_idx, load, pc: spec.pc, line });
+                }
+            }
+            InstKind::Store { load } => {
+                let idx = w.next_access_index(load);
+                let spec = kernel.load(load);
+                self.line_buf.clear();
+                spec.pattern.gen_lines(
+                    AccessCtx {
+                        seed: self.seed,
+                        sm: self.id,
+                        global_warp: w.global_warp,
+                        load,
+                        access_index: idx,
+                    },
+                    &mut self.line_buf,
+                );
+                w.next_ready = cycle + 1 + extra_delay as u64;
+                let warp_idx = wid.0;
+                // Write-evict (hit) / write-no-allocate (miss): invalidate L1
+                // copy, notify the policy so victim copies are invalidated
+                // too, and send the store through to memory.
+                for i in 0..self.line_buf.len() {
+                    let line = self.line_buf[i];
+                    self.stats.stores += 1;
+                    self.stores_in_flight += 1;
+                    self.l1.invalidate(line);
+                    let mut ctx = PolicyCtx {
+                        cycle,
+                        sm: self.id,
+                        regfile: &mut self.regfile,
+                        stats: &mut self.stats,
+                    };
+                    self.policy.on_store(line, &mut ctx);
+                    self.outbox.push(MemReq {
+                        sm: self.id,
+                        warp: warp_idx,
+                        load,
+                        line,
+                        kind: MemReqKind::Store,
+                    });
+                }
+            }
+        }
+
+        // Advance the warp past this instruction and retire if finished.
+        let w = self.warps[wid.0 as usize].as_mut().expect("warp exists");
+        w.advance(kernel);
+        if w.done {
+            let cta_id = w.cta;
+            self.schedulers[(wid.0 % cfg.schedulers_per_sm) as usize].release(wid);
+            let cta = self.ctas[cta_id.0 as usize].as_mut().expect("CTA exists");
+            cta.warps_done += 1;
+        }
+    }
+
+    /// Handles a response from the shared memory system.
+    ///
+    /// `load_pc` maps a static load id to its PC (precomputed from the
+    /// kernel), used to tag the L1 fill with the fetching load's hashed PC.
+    pub fn handle_response(&mut self, req: MemReq, cycle: Cycle, load_pc: &[Pc]) {
+        match req.kind {
+            MemReqKind::Read => {
+                // Fill L1; evicted victim goes to the policy.
+                let waiters = self.l1.mshrs().complete(req.line);
+                let fill_hpc = waiters
+                    .first()
+                    .map(|&t| {
+                        let load = (t & 0xffff_ffff) as u32;
+                        hashed_pc5(load_pc[load as usize])
+                    })
+                    .unwrap_or(0);
+                let evicted = self.l1.fill(req.line, fill_hpc);
+                if let Some(ev) = evicted {
+                    let mut ctx = PolicyCtx {
+                        cycle,
+                        sm: self.id,
+                        regfile: &mut self.regfile,
+                        stats: &mut self.stats,
+                    };
+                    self.policy.on_evict(ev.line, ev.payload.hpc, &mut ctx);
+                }
+                for t in waiters {
+                    let warp = (t >> 32) as u32;
+                    let load = (t & 0xffff_ffff) as u32;
+                    if let Some(w) = self.warps[warp as usize].as_mut() {
+                        w.complete_one(LoadId(load));
+                    }
+                }
+            }
+            MemReqKind::BypassRead => {
+                if let Some(w) = self.warps[req.warp as usize].as_mut() {
+                    w.complete_one(req.load);
+                }
+            }
+            MemReqKind::Store => {
+                self.stores_in_flight = self.stores_in_flight.saturating_sub(1);
+            }
+            MemReqKind::RegBackup { cta } => self.backup_line_done(cta, cycle),
+            MemReqKind::RegRestore { cta } => self.restore_line_done(cta, cycle),
+        }
+    }
+
+    /// Ends the current monitoring window: computes IPC, consults the
+    /// policy, enforces any CTA limit, and samples RF occupancy.
+    pub fn end_window(&mut self, cycle: Cycle, cfg: &GpuConfig) {
+        let insts = self.stats.instructions - self.window_start_insts;
+        self.window_start_insts = self.stats.instructions;
+        let info = WindowInfo {
+            index: self.window_index,
+            cycles: cfg.window_cycles,
+            instructions: insts,
+            ipc: insts as f64 / cfg.window_cycles as f64,
+            active_ctas: self.active_ctas(),
+            inactive_ctas: self.inactive_ctas(),
+        };
+        self.window_index += 1;
+        let mut ctx = PolicyCtx {
+            cycle,
+            sm: self.id,
+            regfile: &mut self.regfile,
+            stats: &mut self.stats,
+        };
+        let limit = self.policy.on_window(&info, &mut ctx);
+        self.cta_limit = limit;
+        self.enforce_cta_limit(cycle);
+        // Sample RF occupancy for Figures 4 and 9.
+        let space = self.regfile.space();
+        let victim = self.policy.victim_space_regs();
+        self.stats.rf_samples.push(RfSpaceSample {
+            static_unused: space.static_unused,
+            dynamic_unused: space.dynamic_unused,
+            victim_in_use: victim,
+        });
+        // Timeline point (window-level hit fraction is cumulative-delta
+        // based; fall back to the cumulative fraction for simplicity —
+        // accurate enough per window given the monotone counters).
+        let total = self.stats.mem_accesses().max(1);
+        self.stats.timeline.push(crate::stats::WindowSample {
+            sm: self.id.0,
+            window: info.index,
+            ipc: info.ipc,
+            hit_fraction: (self.stats.l1_hits + self.stats.reg_hits) as f64 / total as f64,
+            active_ctas: self.active_ctas(),
+            victim_regs: victim,
+        });
+        if cfg.detailed_load_stats {
+            self.stats.close_detail_window();
+        }
+    }
+
+    /// Applies the current CTA limit: deactivates the highest-id active CTAs
+    /// or re-activates inactive ones.
+    pub fn enforce_cta_limit(&mut self, cycle: Cycle) {
+        let Some(limit) = self.cta_limit else {
+            // No limit: re-activate everything that is inactive.
+            self.activate_up_to(u32::MAX, cycle);
+            return;
+        };
+        let limit = limit.max(1);
+        while self.active_ctas() > limit {
+            // Deactivate the active CTA with the largest hardware id (§4.1).
+            let victim = self
+                .ctas
+                .iter()
+                .flatten()
+                .filter(|c| c.schedulable())
+                .map(|c| c.id)
+                .max_by_key(|c| c.0);
+            let Some(victim) = victim else { break };
+            self.deactivate_cta(victim, cycle);
+        }
+        if self.active_ctas() < limit {
+            self.activate_up_to(limit, cycle);
+        }
+    }
+
+    fn activate_up_to(&mut self, limit: u32, cycle: Cycle) {
+        loop {
+            if self.active_ctas() >= limit {
+                break;
+            }
+            let candidate = self
+                .ctas
+                .iter()
+                .flatten()
+                .filter(|c| matches!(c.status, CtaStatus::Inactive))
+                .map(|c| c.id)
+                .min_by_key(|c| c.0);
+            let Some(c) = candidate else { break };
+            self.activate_cta(c, cycle);
+        }
+    }
+
+    fn deactivate_cta(&mut self, cta: CtaId, cycle: Cycle) {
+        let slot = cta.0 as usize;
+        let (first, count) = match self.regfile.cta_range(cta) {
+            Some(r) => r,
+            None => return,
+        };
+        {
+            let mut ctx = PolicyCtx {
+                cycle,
+                sm: self.id,
+                regfile: &mut self.regfile,
+                stats: &mut self.stats,
+            };
+            self.policy.on_cta_deactivate(cta, &mut ctx);
+        }
+        // Snapshot architectural state for fidelity checking.
+        let contents: Vec<u64> =
+            (first.0..first.0 + count).map(|r| self.regfile.read_contents(RegNum(r))).collect();
+        self.backup_store.insert(cta.0, contents);
+        // Emit backup traffic: one line per warp register.
+        for i in 0..count {
+            let line = self.backup_line_addr(i);
+            self.outbox.push(MemReq {
+                sm: self.id,
+                warp: 0,
+                load: LoadId(0),
+                line,
+                kind: MemReqKind::RegBackup { cta },
+            });
+        }
+        self.backup_cursor += count as u64;
+        if let Some(c) = self.ctas[slot].as_mut() {
+            c.status = CtaStatus::BackingUp { remaining: count };
+        }
+    }
+
+    fn activate_cta(&mut self, cta: CtaId, cycle: Cycle) {
+        let slot = cta.0 as usize;
+        let (_, count) = match self.regfile.cta_range(cta) {
+            Some(r) => r,
+            None => return,
+        };
+        {
+            let mut ctx = PolicyCtx {
+                cycle,
+                sm: self.id,
+                regfile: &mut self.regfile,
+                stats: &mut self.stats,
+            };
+            // Victim partitions over this CTA's registers must be released
+            // before the restore overwrites them.
+            self.policy.on_cta_activate(cta, &mut ctx);
+        }
+        for i in 0..count {
+            let line = self.backup_line_addr(i);
+            self.outbox.push(MemReq {
+                sm: self.id,
+                warp: 0,
+                load: LoadId(0),
+                line,
+                kind: MemReqKind::RegRestore { cta },
+            });
+        }
+        self.backup_cursor += count as u64;
+        if let Some(c) = self.ctas[slot].as_mut() {
+            c.status = CtaStatus::Restoring { remaining: count };
+        }
+    }
+
+    fn backup_line_addr(&self, i: u32) -> LineAddr {
+        // Dedicated backup region: "load 0" slice of this SM's address space
+        // is reserved (kernel loads are numbered from 1 in the pattern
+        // region map via `load + 1`).
+        LineAddr(((self.id.0 as u64) << 36) | (self.backup_cursor + i as u64))
+    }
+
+    fn backup_line_done(&mut self, cta: CtaId, cycle: Cycle) {
+        let slot = cta.0 as usize;
+        let Some(c) = self.ctas[slot].as_mut() else { return };
+        if let CtaStatus::BackingUp { remaining } = &mut c.status {
+            *remaining -= 1;
+            if *remaining == 0 {
+                c.status = CtaStatus::Inactive;
+                self.regfile.mark_backed_up(cta);
+                let mut ctx = PolicyCtx {
+                    cycle,
+                    sm: self.id,
+                    regfile: &mut self.regfile,
+                    stats: &mut self.stats,
+                };
+                self.policy.on_backup_complete(cta, &mut ctx);
+            }
+        }
+    }
+
+    fn restore_line_done(&mut self, cta: CtaId, cycle: Cycle) {
+        let slot = cta.0 as usize;
+        let Some(c) = self.ctas[slot].as_mut() else { return };
+        if let CtaStatus::Restoring { remaining } = &mut c.status {
+            *remaining -= 1;
+            if *remaining == 0 {
+                c.status = CtaStatus::Active;
+                let _ = cycle;
+                if let Some((first, count)) = self.regfile.mark_restored(cta) {
+                    if let Some(saved) = self.backup_store.remove(&cta.0) {
+                        debug_assert_eq!(saved.len(), count as usize);
+                        for (i, v) in saved.into_iter().enumerate() {
+                            self.regfile.write_contents(RegNum(first.0 + i as u32), v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reaps completed CTAs; returns how many were freed (the GPU refills).
+    pub fn reap_completed_ctas(&mut self, cycle: Cycle) -> u32 {
+        let mut freed = 0;
+        for slot in 0..self.ctas.len() {
+            let complete = self.ctas[slot]
+                .as_ref()
+                .map(|c| c.is_complete() && matches!(c.status, CtaStatus::Active))
+                .unwrap_or(false);
+            if !complete {
+                continue;
+            }
+            let cta = self.ctas[slot].take().expect("checked above");
+            for wid in &cta.warps {
+                self.warps[*wid as usize] = None;
+            }
+            self.regfile.free_cta(cta.id);
+            let mut ctx = PolicyCtx {
+                cycle,
+                sm: self.id,
+                regfile: &mut self.regfile,
+                stats: &mut self.stats,
+            };
+            self.policy.on_cta_complete(cta.id, &mut ctx);
+            freed += 1;
+        }
+        if freed > 0 {
+            // A finished CTA frees an active slot: prefer re-activating a
+            // throttled CTA over launching a new one (paper §3.2, P5).
+            self.enforce_cta_limit(cycle);
+        }
+        freed
+    }
+
+    /// True when the SM can accept another CTA under the current limit.
+    pub fn wants_new_cta(&self) -> bool {
+        match self.cta_limit {
+            Some(l) => self.active_ctas() + self.inactive_ctas() < l.max(1),
+            None => true,
+        }
+    }
+
+    /// Current active-CTA limit (None = unlimited).
+    pub fn cta_limit(&self) -> Option<u32> {
+        self.cta_limit
+    }
+
+    /// Sets the CTA limit directly (used by tests and static policies before
+    /// the first window fires).
+    pub fn set_cta_limit(&mut self, limit: Option<u32>, cycle: Cycle) {
+        self.cta_limit = limit;
+        self.enforce_cta_limit(cycle);
+    }
+
+    /// Snapshot of backed-up register contents for a CTA (tests).
+    pub fn backup_snapshot(&self, cta: CtaId) -> Option<&[u64]> {
+        self.backup_store.get(&cta.0).map(|v| v.as_slice())
+    }
+
+    /// Finalizes per-SM stats (MSHR stall counts etc.).
+    pub fn finalize_stats(&mut self) {
+        let (reads, writes, conflicts) = self.regfile.stats();
+        self.stats.rf_reads = reads;
+        self.stats.rf_writes = writes;
+        self.stats.rf_bank_conflicts = conflicts;
+        self.stats.monitor_periods = self.policy.monitor_periods();
+    }
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm")
+            .field("id", &self.id)
+            .field("resident_ctas", &self.resident_ctas())
+            .field("active_ctas", &self.active_ctas())
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::pattern::AccessPattern;
+    use crate::policy::NullPolicy;
+
+    fn small_cfg() -> GpuConfig {
+        GpuConfig::default().with_sms(1)
+    }
+
+    fn kernel() -> KernelSpec {
+        KernelBuilder::new("k")
+            .grid(8, 2)
+            .regs_per_thread(16)
+            .load_then_use(AccessPattern::reuse_working_set(16 * 1024, true), 2)
+            .alu(4)
+            .iterations(50)
+            .build()
+            .unwrap()
+    }
+
+    fn sm() -> Sm {
+        Sm::new(SmId(0), &small_cfg(), Box::new(NullPolicy), 42)
+    }
+
+    #[test]
+    fn launch_respects_register_limit() {
+        let cfg = small_cfg();
+        let k = KernelBuilder::new("fat")
+            .grid(8, 8)
+            .regs_per_thread(128) // 8 warps x 128 regs = 1024 regs per CTA
+            .alu(1)
+            .iterations(1)
+            .build()
+            .unwrap();
+        let mut sm = sm();
+        assert!(sm.try_launch_cta(&k, &cfg));
+        assert!(sm.try_launch_cta(&k, &cfg));
+        // Third CTA would need 3072 > 2048 registers.
+        assert!(!sm.try_launch_cta(&k, &cfg));
+        assert_eq!(sm.resident_ctas(), 2);
+    }
+
+    #[test]
+    fn launch_respects_warp_limit() {
+        let cfg = small_cfg();
+        let k = KernelBuilder::new("wide")
+            .grid(8, 32)
+            .regs_per_thread(8)
+            .alu(1)
+            .iterations(1)
+            .build()
+            .unwrap();
+        let mut sm = sm();
+        assert!(sm.try_launch_cta(&k, &cfg));
+        assert!(sm.try_launch_cta(&k, &cfg));
+        assert!(!sm.try_launch_cta(&k, &cfg), "64-warp limit reached");
+    }
+
+    #[test]
+    fn ticking_executes_instructions() {
+        let cfg = small_cfg();
+        let k = kernel();
+        let mut sm = sm();
+        let pcs: Vec<Pc> = k.loads.iter().map(|l| l.pc).collect();
+        assert!(sm.try_launch_cta(&k, &cfg));
+        for c in 0..2000 {
+            sm.tick(c, &k, &cfg);
+            // Service memory requests instantly for this unit test.
+            let reqs: Vec<_> = sm.outbox.drain(..).collect();
+            for r in reqs {
+                if matches!(r.kind, MemReqKind::Read | MemReqKind::BypassRead) {
+                    sm.handle_response(r, c, &pcs);
+                }
+            }
+        }
+        assert!(sm.stats.instructions > 100, "issued {}", sm.stats.instructions);
+        assert!(sm.stats.mem_accesses() > 0);
+    }
+
+    #[test]
+    fn cta_completes_and_is_reaped() {
+        let cfg = small_cfg();
+        let k = KernelBuilder::new("tiny")
+            .grid(1, 1)
+            .regs_per_thread(8)
+            .alu(1)
+            .iterations(3)
+            .build()
+            .unwrap();
+        let mut sm = sm();
+        assert!(sm.try_launch_cta(&k, &cfg));
+        for c in 0..100 {
+            sm.tick(c, &k, &cfg);
+            sm.reap_completed_ctas(c);
+        }
+        assert_eq!(sm.resident_ctas(), 0);
+        assert!(sm.drained());
+    }
+
+    #[test]
+    fn throttle_deactivates_highest_id_cta() {
+        let cfg = small_cfg();
+        let k = kernel();
+        let mut sm = sm();
+        let pcs: Vec<Pc> = k.loads.iter().map(|l| l.pc).collect();
+        for _ in 0..4 {
+            assert!(sm.try_launch_cta(&k, &cfg));
+        }
+        sm.set_cta_limit(Some(2), 0);
+        // Backup traffic must be in the outbox.
+        let backups = sm
+            .outbox
+            .iter()
+            .filter(|r| matches!(r.kind, MemReqKind::RegBackup { .. }))
+            .count() as u32;
+        assert_eq!(backups, 2 * k.regs_per_cta());
+        assert_eq!(sm.active_ctas(), 2);
+        // CTAs 2 and 3 (highest ids) are the deactivated ones.
+        let reqs: Vec<_> = sm.outbox.drain(..).collect();
+        for r in &reqs {
+            if let MemReqKind::RegBackup { cta } = r.kind {
+                assert!(cta.0 >= 2);
+            }
+        }
+        // Complete the backups.
+        for r in reqs {
+            sm.handle_response(r, 10, &pcs);
+        }
+        assert_eq!(sm.inactive_ctas(), 2);
+        assert!(sm.regfile.is_backed_up(CtaId(2)));
+        assert!(sm.regfile.is_backed_up(CtaId(3)));
+    }
+
+    #[test]
+    fn restore_roundtrips_register_contents() {
+        let cfg = small_cfg();
+        let k = kernel();
+        let mut sm = sm();
+        let pcs: Vec<Pc> = k.loads.iter().map(|l| l.pc).collect();
+        for _ in 0..4 {
+            sm.try_launch_cta(&k, &cfg);
+        }
+        let (first, count) = sm.regfile.cta_range(CtaId(3)).unwrap();
+        let before: Vec<u64> =
+            (first.0..first.0 + count).map(|r| sm.regfile.read_contents(RegNum(r))).collect();
+
+        sm.set_cta_limit(Some(3), 0);
+        let reqs: Vec<_> = sm.outbox.drain(..).collect();
+        for r in reqs {
+            sm.handle_response(r, 5, &pcs);
+        }
+        assert!(sm.regfile.is_backed_up(CtaId(3)));
+        // Clobber the register contents (as victim caching would).
+        for r in first.0..first.0 + count {
+            sm.regfile.write_contents(RegNum(r), 0xbad);
+        }
+        // Lift the limit: CTA 3 restores.
+        sm.set_cta_limit(None, 100);
+        let reqs: Vec<_> = sm.outbox.drain(..).collect();
+        assert!(reqs.iter().all(|r| matches!(r.kind, MemReqKind::RegRestore { .. })));
+        for r in reqs {
+            sm.handle_response(r, 200, &pcs);
+        }
+        let after: Vec<u64> =
+            (first.0..first.0 + count).map(|r| sm.regfile.read_contents(RegNum(r))).collect();
+        assert_eq!(before, after, "restore must reproduce the backed-up state");
+        assert_eq!(sm.active_ctas(), 4);
+    }
+
+    #[test]
+    fn window_end_samples_rf_space() {
+        let cfg = small_cfg();
+        let k = kernel();
+        let mut sm = sm();
+        sm.try_launch_cta(&k, &cfg);
+        sm.end_window(50_000, &cfg);
+        assert_eq!(sm.stats.rf_samples.len(), 1);
+        let s = sm.stats.rf_samples[0];
+        assert_eq!(s.static_unused, 2048 - k.regs_per_cta());
+    }
+
+    #[test]
+    fn drained_only_when_everything_empty() {
+        let sm = sm();
+        assert!(sm.drained());
+    }
+}

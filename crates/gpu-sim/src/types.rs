@@ -1,0 +1,204 @@
+//! Core newtypes shared across the simulator.
+//!
+//! Every identifier in the simulator is a dedicated newtype so that a warp
+//! index can never be confused with a CTA index or a register number
+//! (C-NEWTYPE). All of them are cheap `Copy` wrappers around integers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A byte address in the simulated global memory space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Address(pub u64);
+
+/// A cache-line address: a byte [`Address`] with the line offset stripped.
+///
+/// Lines are 128 bytes throughout (the paper matches the L1 line size to the
+/// 32-lane x 4-byte warp register width), so `LineAddr = Address >> 7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct LineAddr(pub u64);
+
+/// Line size in bytes. Identical to the warp-register width (32 lanes x 4 B).
+pub const LINE_BYTES: u64 = 128;
+/// log2 of [`LINE_BYTES`].
+pub const LINE_SHIFT: u32 = 7;
+
+impl Address {
+    /// Returns the cache line containing this address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Byte offset of this address within its cache line.
+    #[inline]
+    pub fn line_offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+}
+
+impl LineAddr {
+    /// First byte address covered by this line.
+    #[inline]
+    pub fn base(self) -> Address {
+        Address(self.0 << LINE_SHIFT)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+/// Program counter of a static instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Pc(pub u32);
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc:{:#x}", self.0)
+    }
+}
+
+/// Index of a streaming multiprocessor within the GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SmId(pub u32);
+
+/// Index of a warp *within one SM* (0..max_warps_per_sm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct WarpId(pub u32);
+
+/// Hardware CTA slot index *within one SM* (0..max_ctas_per_sm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct CtaId(pub u32);
+
+/// Identifier of a static load instruction within a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct LoadId(pub u32);
+
+/// A physical warp-register index in the register file.
+///
+/// One warp register is 128 B wide (32 lanes x 4 B) — exactly one cache line.
+/// A 256 KB register file therefore holds 2048 warp registers (RN 0..2047).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct RegNum(pub u32);
+
+impl fmt::Display for RegNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A point in simulated time, in core clock cycles.
+pub type Cycle = u64;
+
+/// XOR-folds a 32-bit PC into 5 bits — the paper's Hashed PC (HPC).
+///
+/// Linebacker tags every L1 line and Load-Monitor entry with this value;
+/// aliasing between static loads is part of the modeled hardware (GPU kernels
+/// rarely have more than 32 global loads, §4.1).
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::types::{hashed_pc5, Pc};
+/// assert!(hashed_pc5(Pc(0x1234)) < 32);
+/// assert_eq!(hashed_pc5(Pc(0)), 0);
+/// ```
+#[inline]
+pub fn hashed_pc5(pc: Pc) -> u8 {
+    let x = pc.0;
+    let folded = x ^ (x >> 5) ^ (x >> 10) ^ (x >> 15) ^ (x >> 20) ^ (x >> 25) ^ (x >> 30);
+    (folded & 0x1f) as u8
+}
+
+/// The kind of service a memory request ultimately received.
+///
+/// These categories are exactly the stacks of the paper's Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessOutcome {
+    /// Hit in the L1 data cache.
+    L1Hit,
+    /// Missed L1 (and any victim storage) and was serviced by L2/DRAM.
+    Miss,
+    /// Bypassed L1 entirely (PCAL-style) and went straight to L2/DRAM.
+    Bypass,
+    /// Hit in register-file-resident victim storage (Linebacker) or the
+    /// cache-emulated register file (CERF). The paper calls this "Reg hit".
+    RegHit,
+}
+
+impl fmt::Display for AccessOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessOutcome::L1Hit => "hit",
+            AccessOutcome::Miss => "miss",
+            AccessOutcome::Bypass => "bypass",
+            AccessOutcome::RegHit => "reg-hit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classification of an L1 miss (paper §2.2): a miss to a line that was
+/// previously resident is a capacity/conflict ("2C") miss; a miss to a line
+/// never seen before is a cold miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MissClass {
+    /// First-ever access to the line.
+    Cold,
+    /// The line was previously cached and has been evicted: capacity or
+    /// conflict miss.
+    CapacityConflict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_line_roundtrip() {
+        let a = Address(0x1234_5678);
+        let l = a.line();
+        assert_eq!(l.0, 0x1234_5678 >> 7);
+        assert!(l.base().0 <= a.0);
+        assert!(a.0 - l.base().0 < LINE_BYTES);
+    }
+
+    #[test]
+    fn line_offset_within_line() {
+        for off in [0u64, 1, 64, 127] {
+            let a = Address((42 << LINE_SHIFT) + off);
+            assert_eq!(a.line_offset(), off);
+            assert_eq!(a.line().0, 42);
+        }
+    }
+
+    #[test]
+    fn line_bytes_matches_shift() {
+        assert_eq!(1u64 << LINE_SHIFT, LINE_BYTES);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert!(!format!("{}", Address(0)).is_empty());
+        assert!(!format!("{}", LineAddr(0)).is_empty());
+        assert!(!format!("{}", Pc(0)).is_empty());
+        assert!(!format!("{}", RegNum(0)).is_empty());
+        assert!(!format!("{}", AccessOutcome::RegHit).is_empty());
+    }
+
+    #[test]
+    fn ordering_of_ids() {
+        assert!(WarpId(1) < WarpId(2));
+        assert!(CtaId(0) < CtaId(31));
+        assert!(RegNum(511) < RegNum(512));
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-warp execution state and the in-order scoreboard.
+
+use crate::kernel::KernelSpec;
+use crate::types::{CtaId, Cycle, LoadId, WarpId};
+
+/// Execution state of one resident warp.
+#[derive(Debug, Clone)]
+pub struct WarpState {
+    /// SM-local warp id.
+    pub id: WarpId,
+    /// CTA slot this warp belongs to.
+    pub cta: CtaId,
+    /// Globally unique warp number (drives private address patterns).
+    pub global_warp: u64,
+    /// Index of the next instruction in the kernel body.
+    pub body_pos: u32,
+    /// Completed loop iterations.
+    pub iter: u32,
+    /// Finished all iterations.
+    pub done: bool,
+    /// The warp cannot issue before this cycle (ALU latency, replay).
+    pub next_ready: Cycle,
+    /// Outstanding line-requests per static load (scoreboard).
+    pub outstanding: Vec<u32>,
+    /// Total outstanding line-requests.
+    pub total_outstanding: u32,
+    /// Per-load dynamic access counter (pattern phase).
+    pub access_index: Vec<u64>,
+    /// Launch order for GTO "oldest" tie-breaking.
+    pub age: u64,
+}
+
+impl WarpState {
+    /// Creates a warp at the start of the kernel.
+    pub fn new(id: WarpId, cta: CtaId, global_warp: u64, n_loads: usize, age: u64) -> Self {
+        WarpState {
+            id,
+            cta,
+            global_warp,
+            body_pos: 0,
+            iter: 0,
+            done: false,
+            next_ready: 0,
+            outstanding: vec![0; n_loads],
+            total_outstanding: 0,
+            access_index: vec![0; n_loads],
+            age,
+        }
+    }
+
+    /// Can this warp issue its next instruction at `cycle`?
+    /// (Scheduling eligibility; CTA active state is checked by the caller.)
+    pub fn can_issue(&self, kernel: &KernelSpec, cycle: Cycle, max_outstanding: u32) -> bool {
+        if self.done || self.next_ready > cycle {
+            return false;
+        }
+        let inst = &kernel.body[self.body_pos as usize];
+        if let Some(dep) = inst.wait_for {
+            if self.outstanding[dep.0 as usize] > 0 {
+                return false;
+            }
+        }
+        if matches!(inst.kind, crate::kernel::InstKind::Load { .. })
+            && self.total_outstanding >= max_outstanding
+        {
+            return false;
+        }
+        true
+    }
+
+    /// Advances past the current instruction, wrapping the loop body and
+    /// retiring the warp after the final iteration.
+    pub fn advance(&mut self, kernel: &KernelSpec) {
+        self.body_pos += 1;
+        if self.body_pos as usize == kernel.body.len() {
+            self.body_pos = 0;
+            self.iter += 1;
+            if self.iter >= kernel.iterations {
+                self.done = true;
+            }
+        }
+    }
+
+    /// Registers `n` new outstanding line-requests for `load`.
+    pub fn add_outstanding(&mut self, load: LoadId, n: u32) {
+        self.outstanding[load.0 as usize] += n;
+        self.total_outstanding += n;
+    }
+
+    /// Completes one outstanding line-request of `load`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if no request of that load is outstanding.
+    pub fn complete_one(&mut self, load: LoadId) {
+        debug_assert!(self.outstanding[load.0 as usize] > 0);
+        self.outstanding[load.0 as usize] -= 1;
+        self.total_outstanding -= 1;
+    }
+
+    /// Takes the next access index for `load` (post-incrementing).
+    pub fn next_access_index(&mut self, load: LoadId) -> u64 {
+        let i = self.access_index[load.0 as usize];
+        self.access_index[load.0 as usize] += 1;
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::pattern::AccessPattern;
+
+    fn kernel() -> KernelSpec {
+        KernelBuilder::new("k")
+            .grid(1, 1)
+            .load_then_use(AccessPattern::streaming(128), 0)
+            .alu(2)
+            .iterations(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn advance_wraps_and_retires() {
+        let k = kernel();
+        let mut w = WarpState::new(WarpId(0), CtaId(0), 0, k.loads.len(), 0);
+        let body = k.body.len() as u32;
+        for _ in 0..body {
+            w.advance(&k);
+        }
+        assert_eq!(w.iter, 1);
+        assert!(!w.done);
+        for _ in 0..body {
+            w.advance(&k);
+        }
+        assert!(w.done);
+    }
+
+    #[test]
+    fn scoreboard_blocks_consumer() {
+        let k = kernel();
+        let mut w = WarpState::new(WarpId(0), CtaId(0), 0, k.loads.len(), 0);
+        // Execute the load (inst 0) and leave it outstanding.
+        w.add_outstanding(LoadId(0), 1);
+        w.advance(&k);
+        // Inst 1 is the consumer with wait_for = load 0.
+        assert!(!w.can_issue(&k, 100, 8));
+        w.complete_one(LoadId(0));
+        assert!(w.can_issue(&k, 100, 8));
+    }
+
+    #[test]
+    fn outstanding_cap_blocks_loads() {
+        let k = kernel();
+        let mut w = WarpState::new(WarpId(0), CtaId(0), 0, k.loads.len(), 0);
+        w.add_outstanding(LoadId(0), 6);
+        // body_pos 0 is a load; cap of 6 reached.
+        assert!(!w.can_issue(&k, 0, 6));
+        assert!(w.can_issue(&k, 0, 7));
+    }
+
+    #[test]
+    fn next_ready_gates_issue() {
+        let k = kernel();
+        let mut w = WarpState::new(WarpId(0), CtaId(0), 0, k.loads.len(), 0);
+        w.next_ready = 10;
+        assert!(!w.can_issue(&k, 9, 8));
+        assert!(w.can_issue(&k, 10, 8));
+    }
+
+    #[test]
+    fn access_index_increments() {
+        let mut w = WarpState::new(WarpId(0), CtaId(0), 0, 2, 0);
+        assert_eq!(w.next_access_index(LoadId(0)), 0);
+        assert_eq!(w.next_access_index(LoadId(0)), 1);
+        assert_eq!(w.next_access_index(LoadId(1)), 0);
+    }
+
+    #[test]
+    fn done_warp_cannot_issue() {
+        let k = kernel();
+        let mut w = WarpState::new(WarpId(0), CtaId(0), 0, k.loads.len(), 0);
+        w.done = true;
+        assert!(!w.can_issue(&k, 0, 8));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the simulator substrate.
+
+use proptest::prelude::*;
+
+use gpu_sim::config::{DramConfig, GpuConfig};
+use gpu_sim::dram::{Dram, TrafficClass};
+use gpu_sim::kernel::KernelBuilder;
+use gpu_sim::pattern::{AccessCtx, AccessPattern};
+use gpu_sim::scheduler::GtoScheduler;
+use gpu_sim::types::{LineAddr, LoadId, SmId, WarpId, LINE_BYTES};
+
+fn any_pattern() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        (1u64..64, any::<bool>()).prop_map(|(l, s)| AccessPattern::ReuseWorkingSet {
+            ws_bytes: l * LINE_BYTES,
+            shared: s
+        }),
+        (1u64..8).prop_map(|l| AccessPattern::Streaming { bytes_per_access: l * LINE_BYTES }),
+        (1u64..32, 1u32..8, any::<bool>()).prop_map(|(l, r, s)| AccessPattern::Tiled {
+            tile_bytes: l * LINE_BYTES,
+            reuse: r,
+            shared: s
+        }),
+        (1u64..64, any::<bool>()).prop_map(|(l, s)| AccessPattern::RandomInSet {
+            ws_bytes: l * LINE_BYTES,
+            shared: s
+        }),
+        (8u64..256, 1u32..32).prop_map(|(l, n)| AccessPattern::Divergent {
+            ws_bytes: l * LINE_BYTES,
+            lines_per_access: n
+        }),
+    ]
+}
+
+proptest! {
+    /// Every pattern is deterministic and produces 1..=32 lines per access.
+    #[test]
+    fn patterns_deterministic_and_bounded(
+        pattern in any_pattern(),
+        warp in 0u64..256,
+        idx in 0u64..10_000,
+    ) {
+        let ctx = AccessCtx {
+            seed: 42,
+            sm: SmId(1),
+            global_warp: warp,
+            load: LoadId(3),
+            access_index: idx,
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        pattern.gen_lines(ctx, &mut a);
+        pattern.gen_lines(ctx, &mut b);
+        prop_assert_eq!(&a, &b, "patterns must be stateless/deterministic");
+        prop_assert!(!a.is_empty() && a.len() <= 32, "access produced {} lines", a.len());
+        // No duplicate lines within one access (post-coalescing invariant).
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        prop_assert_eq!(set.len(), a.len());
+    }
+
+    /// Reuse patterns cycle with period = working-set lines; footprints stay
+    /// within the declared working set.
+    #[test]
+    fn reuse_pattern_period(lines in 1u64..64, warp in 0u64..64) {
+        let p = AccessPattern::ReuseWorkingSet { ws_bytes: lines * LINE_BYTES, shared: false };
+        let gen = |idx: u64| {
+            let mut v = Vec::new();
+            p.gen_lines(
+                AccessCtx { seed: 7, sm: SmId(0), global_warp: warp, load: LoadId(0), access_index: idx },
+                &mut v,
+            );
+            v[0]
+        };
+        prop_assert_eq!(gen(0), gen(lines));
+        let footprint: std::collections::HashSet<LineAddr> =
+            (0..lines * 2).map(gen).collect();
+        prop_assert_eq!(footprint.len() as u64, lines);
+    }
+
+    /// DRAM conserves requests: everything pushed eventually completes, and
+    /// bytes equal requests x line size.
+    #[test]
+    fn dram_conserves_requests(lines in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut d = Dram::new(DramConfig::default(), 2.0);
+        for (i, &l) in lines.iter().enumerate() {
+            d.push(LineAddr(l), TrafficClass::DemandRead, i as u64, 0);
+        }
+        let mut done = Vec::new();
+        let mut out = 0usize;
+        for c in 0..200_000u64 {
+            done.clear();
+            d.tick(c, &mut done);
+            out += done.len();
+            if d.pending() == 0 {
+                break;
+            }
+        }
+        prop_assert_eq!(out, lines.len(), "all requests must complete");
+        prop_assert_eq!(d.total_bytes(), lines.len() as u64 * LINE_BYTES);
+    }
+
+    /// GTO always returns a member of the ready set.
+    #[test]
+    fn gto_picks_from_ready_set(ready in proptest::collection::vec((0u32..64, 0u64..1000), 0..20)) {
+        let mut s = GtoScheduler::new();
+        let pairs: Vec<(WarpId, u64)> = ready.iter().map(|&(w, a)| (WarpId(w), a)).collect();
+        match s.pick(pairs.iter().copied()) {
+            Some(w) => prop_assert!(pairs.iter().any(|&(x, _)| x == w)),
+            None => prop_assert!(pairs.is_empty()),
+        }
+    }
+
+    /// Kernel builder output always validates, and per-CTA register math is
+    /// consistent.
+    #[test]
+    fn built_kernels_validate(
+        ctas in 1u32..64,
+        warps in 1u32..16,
+        regs in 1u32..64,
+        iters in 1u32..1000,
+    ) {
+        let k = KernelBuilder::new("prop")
+            .grid(ctas, warps)
+            .regs_per_thread(regs)
+            .load_then_use(AccessPattern::streaming(128), 1)
+            .alu(2)
+            .iterations(iters)
+            .build()
+            .unwrap();
+        prop_assert!(k.validate().is_ok());
+        prop_assert_eq!(k.regs_per_cta(), warps * regs);
+        prop_assert_eq!(k.dyn_insts_per_warp(), k.body.len() as u64 * iters as u64);
+    }
+
+    /// Config geometry stays valid for all L1 sweep sizes used anywhere.
+    #[test]
+    fn l1_sweep_geometry(kb in prop::sample::select(vec![16u64, 32, 48, 64, 96, 128, 192])) {
+        let cfg = GpuConfig::default().with_l1_size(kb * 1024);
+        let sets = cfg.l1.n_sets();
+        prop_assert_eq!(sets as u64 * 8 * 128, kb * 1024);
+    }
+}

@@ -1,0 +1,154 @@
+//! The 6-entry register backup/restore buffer (paper §4, "Delay
+//! Considerations").
+//!
+//! Register state moving between the register file and off-chip memory is
+//! staged through a small buffer so the CTA switch is not serialized on
+//! memory latency: registers drain into the buffer at one per cycle and the
+//! buffer empties asynchronously toward memory (the DRAM queue models the
+//! actual transfer). The same buffer absorbs bank-conflict delays on restore.
+
+use std::collections::VecDeque;
+
+use gpu_sim::types::{Cycle, RegNum};
+
+/// Direction of a staged transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Register file -> off-chip memory (CTA deactivation).
+    Backup,
+    /// Off-chip memory -> register file (CTA re-activation).
+    Restore,
+}
+
+/// One staged line: a register number and its target/source byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferEntry {
+    /// The warp register moved.
+    pub reg: RegNum,
+    /// Off-chip byte address.
+    pub addr: u64,
+    /// Direction.
+    pub dir: TransferDir,
+}
+
+/// The 6-entry staging buffer.
+#[derive(Debug, Clone)]
+pub struct BackupBuffer {
+    capacity: usize,
+    entries: VecDeque<BufferEntry>,
+    accepted: u64,
+    drained: u64,
+    stalls: u64,
+}
+
+impl Default for BackupBuffer {
+    fn default() -> Self {
+        Self::new(6)
+    }
+}
+
+impl BackupBuffer {
+    /// Creates a buffer with `capacity` entries (6 in the paper).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        BackupBuffer {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            accepted: 0,
+            drained: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Tries to stage a transfer; returns false (a stall) when full.
+    pub fn push(&mut self, entry: BufferEntry) -> bool {
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            return false;
+        }
+        self.entries.push_back(entry);
+        self.accepted += 1;
+        true
+    }
+
+    /// Drains up to `per_cycle` entries toward memory, invoking `sink` for
+    /// each. Returns the number drained.
+    pub fn drain(&mut self, per_cycle: usize, _cycle: Cycle, mut sink: impl FnMut(BufferEntry)) -> usize {
+        let n = per_cycle.min(self.entries.len());
+        for _ in 0..n {
+            let e = self.entries.pop_front().expect("len checked");
+            self.drained += 1;
+            sink(e);
+        }
+        n
+    }
+
+    /// Entries currently staged.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (accepted, drained, stalls).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.accepted, self.drained, self.stalls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(reg: u32) -> BufferEntry {
+        BufferEntry { reg: RegNum(reg), addr: reg as u64 * 128, dir: TransferDir::Backup }
+    }
+
+    #[test]
+    fn capacity_is_six_by_default() {
+        let mut b = BackupBuffer::default();
+        for i in 0..6 {
+            assert!(b.push(e(i)));
+        }
+        assert!(!b.push(e(6)), "seventh entry must stall");
+        assert_eq!(b.stats().2, 1);
+    }
+
+    #[test]
+    fn drain_preserves_fifo_order() {
+        let mut b = BackupBuffer::default();
+        for i in 0..4 {
+            b.push(e(i));
+        }
+        let mut seen = Vec::new();
+        b.drain(2, 0, |x| seen.push(x.reg.0));
+        assert_eq!(seen, vec![0, 1]);
+        b.drain(10, 1, |x| seen.push(x.reg.0));
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn drain_frees_capacity() {
+        let mut b = BackupBuffer::default();
+        for i in 0..6 {
+            b.push(e(i));
+        }
+        b.drain(3, 0, |_| {});
+        assert_eq!(b.occupancy(), 3);
+        assert!(b.push(e(10)));
+    }
+
+    #[test]
+    fn stats_track_flow() {
+        let mut b = BackupBuffer::default();
+        b.push(e(0));
+        b.push(e(1));
+        b.drain(1, 0, |_| {});
+        let (acc, dr, st) = b.stats();
+        assert_eq!((acc, dr, st), (2, 1, 0));
+    }
+}

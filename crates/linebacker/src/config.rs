@@ -1,0 +1,190 @@
+//! Linebacker microarchitectural parameters (the paper's Table 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Which of Linebacker's techniques are enabled — used for the paper's
+/// ablation (Figure 11) and combination (Figure 15) studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LbMode {
+    /// Filter victims through per-load locality monitoring (Selective
+    /// Victim Caching). When false, *every* evicted line is preserved.
+    pub selective: bool,
+    /// Enable IPC-driven CTA throttling with register backup/restore (which
+    /// creates dynamically-unused register space for victim caching).
+    pub throttling: bool,
+}
+
+impl LbMode {
+    /// The full Linebacker design: selection + throttling.
+    pub fn full() -> Self {
+        LbMode { selective: true, throttling: true }
+    }
+
+    /// "Victim Caching" of Figure 11: preserve all victims, no monitoring,
+    /// no throttling (statically-unused registers only).
+    pub fn victim_caching_only() -> Self {
+        LbMode { selective: false, throttling: false }
+    }
+
+    /// "Selective Victim Caching" of Figure 11: monitoring-based selection,
+    /// no throttling (statically-unused registers only).
+    pub fn selective_victim_caching() -> Self {
+        LbMode { selective: true, throttling: false }
+    }
+}
+
+/// Full Linebacker configuration. Defaults reproduce Table 3:
+///
+/// | parameter | value |
+/// |---|---|
+/// | IPC & per-load locality monitoring period | 50 000 cycles |
+/// | cache-hit threshold for high-locality loads | 20 % |
+/// | IPC variation bounds | upper +10 %, lower −10 % |
+/// | VTT | 4-way set-associative partitions, up to 8 |
+/// | VP access latency | 3 cycles |
+/// | access energies | CTA manager 1.94 pJ, HPC 0.09 pJ, LM 0.32 pJ, VTT 2.05 pJ |
+///
+/// # Examples
+///
+/// ```
+/// use linebacker::config::LbConfig;
+/// let cfg = LbConfig::default();
+/// assert_eq!(cfg.vp_assoc, 4);
+/// assert_eq!(cfg.max_vps(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LbConfig {
+    /// Enabled techniques.
+    pub mode: LbMode,
+    /// Hit-ratio threshold above which a load is classified high-locality.
+    pub hit_threshold: f64,
+    /// IPC improvement above which another CTA is throttled.
+    pub ipc_upper: f64,
+    /// IPC change below which a throttled CTA is re-activated.
+    pub ipc_lower: f64,
+    /// Sets per VTT partition (mirrors the 48-set L1).
+    pub vtt_sets: u32,
+    /// Ways per VTT partition (the Figure 10 sweep parameter; 4 default).
+    pub vp_assoc: u32,
+    /// Total victim tag entries across all partitions (48 sets x 32 ways).
+    pub total_vtt_ways: u32,
+    /// Latency to search one VTT partition, in cycles.
+    pub vp_access_latency: u32,
+    /// First register number usable as victim storage (the paper's Offset;
+    /// RN 512..=2047 may hold victim lines).
+    pub rn_offset: u32,
+    /// Load Monitor table entries (2^5 hashed-PC space).
+    pub lm_entries: u32,
+    /// Energy per CTA-manager access, pJ.
+    pub cta_mgr_pj: f64,
+    /// Energy per per-line HPC field access, pJ.
+    pub hpc_pj: f64,
+    /// Energy per Load-Monitor access, pJ.
+    pub lm_pj: f64,
+    /// Energy per VTT access, pJ.
+    pub vtt_pj: f64,
+}
+
+impl Default for LbConfig {
+    fn default() -> Self {
+        LbConfig {
+            mode: LbMode::full(),
+            hit_threshold: 0.20,
+            ipc_upper: 0.10,
+            ipc_lower: -0.10,
+            vtt_sets: 48,
+            vp_assoc: 4,
+            total_vtt_ways: 32,
+            vp_access_latency: 3,
+            rn_offset: 511,
+            lm_entries: 32,
+            cta_mgr_pj: 1.94,
+            hpc_pj: 0.09,
+            lm_pj: 0.32,
+            vtt_pj: 2.05,
+        }
+    }
+}
+
+impl LbConfig {
+    /// Default configuration with a different mode.
+    pub fn with_mode(mode: LbMode) -> Self {
+        LbConfig { mode, ..Default::default() }
+    }
+
+    /// Default configuration with a different VP associativity (Figure 10).
+    pub fn with_vp_assoc(assoc: u32) -> Self {
+        assert!(assoc >= 1 && assoc <= 32, "VP associativity must be 1..=32");
+        LbConfig { vp_assoc: assoc, ..Default::default() }
+    }
+
+    /// Maximum number of partitions: 32 total ways / ways per partition.
+    pub fn max_vps(&self) -> u32 {
+        self.total_vtt_ways / self.vp_assoc
+    }
+
+    /// Victim-line entries per partition (48 sets x ways).
+    pub fn entries_per_vp(&self) -> u32 {
+        self.vtt_sets * self.vp_assoc
+    }
+
+    /// Registers (= victim lines) needed to activate one partition.
+    /// With 4-way VPs this is 192 registers = 24 KB, the paper's allocation
+    /// granularity.
+    pub fn regs_per_vp(&self) -> u32 {
+        self.entries_per_vp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_defaults() {
+        let c = LbConfig::default();
+        assert_eq!(c.hit_threshold, 0.20);
+        assert_eq!(c.ipc_upper, 0.10);
+        assert_eq!(c.ipc_lower, -0.10);
+        assert_eq!(c.vp_assoc, 4);
+        assert_eq!(c.max_vps(), 8);
+        assert_eq!(c.vp_access_latency, 3);
+        assert_eq!(c.cta_mgr_pj, 1.94);
+        assert_eq!(c.hpc_pj, 0.09);
+        assert_eq!(c.lm_pj, 0.32);
+        assert_eq!(c.vtt_pj, 2.05);
+        assert_eq!(c.rn_offset, 511);
+        assert_eq!(c.lm_entries, 32);
+    }
+
+    #[test]
+    fn vp_geometry() {
+        let c = LbConfig::default();
+        // 192 victim lines of 128 B per partition = 24 KB granularity.
+        assert_eq!(c.entries_per_vp(), 192);
+        assert_eq!(c.regs_per_vp() as u64 * 128, 24 * 1024);
+    }
+
+    #[test]
+    fn assoc_sweep_changes_partition_count() {
+        assert_eq!(LbConfig::with_vp_assoc(1).max_vps(), 32);
+        assert_eq!(LbConfig::with_vp_assoc(4).max_vps(), 8);
+        assert_eq!(LbConfig::with_vp_assoc(16).max_vps(), 2);
+        assert_eq!(LbConfig::with_vp_assoc(32).max_vps(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32")]
+    fn invalid_assoc_panics() {
+        let _ = LbConfig::with_vp_assoc(0);
+    }
+
+    #[test]
+    fn modes() {
+        assert!(LbMode::full().selective && LbMode::full().throttling);
+        let vc = LbMode::victim_caching_only();
+        assert!(!vc.selective && !vc.throttling);
+        let svc = LbMode::selective_victim_caching();
+        assert!(svc.selective && !svc.throttling);
+    }
+}

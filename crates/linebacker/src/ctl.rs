@@ -1,0 +1,314 @@
+//! CTA Throttling Logic (CTL): the IPC monitor and the CTA manager
+//! bookkeeping structures of Figure 8.
+
+use gpu_sim::types::{CtaId, RegNum};
+use serde::{Deserialize, Serialize};
+
+/// Decision produced at each window boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThrottleDecision {
+    /// Throttle one more CTA (IPC improved by more than the upper bound).
+    ThrottleOne,
+    /// Re-activate one throttled CTA (IPC dropped below the lower bound).
+    ActivateOne,
+    /// Keep the current active count.
+    Hold,
+}
+
+/// The IPC monitor: tracks the previous/current window IPC and applies the
+/// +/-10 % variation bounds of Table 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IpcMonitor {
+    upper: f64,
+    lower: f64,
+    prev_ipc: Option<f64>,
+    cur_ipc: f64,
+    last_var: f64,
+}
+
+impl IpcMonitor {
+    /// Creates a monitor with the given variation bounds.
+    pub fn new(upper: f64, lower: f64) -> Self {
+        assert!(upper > lower, "upper bound must exceed lower bound");
+        IpcMonitor { upper, lower, prev_ipc: None, cur_ipc: 0.0, last_var: 0.0 }
+    }
+
+    /// Equation 1: fractional IPC variation between two windows.
+    pub fn ipc_var(prev: f64, cur: f64) -> f64 {
+        if prev <= 0.0 {
+            0.0
+        } else {
+            (cur - prev) / prev
+        }
+    }
+
+    /// Feeds the IPC of a completed window and returns the throttling
+    /// decision. The first window establishes the baseline and holds.
+    pub fn end_window(&mut self, ipc: f64) -> ThrottleDecision {
+        let prev = self.prev_ipc;
+        self.prev_ipc = Some(ipc);
+        self.cur_ipc = ipc;
+        let Some(prev) = prev else {
+            self.last_var = 0.0;
+            return ThrottleDecision::Hold;
+        };
+        let var = Self::ipc_var(prev, ipc);
+        self.last_var = var;
+        if var > self.upper {
+            ThrottleDecision::ThrottleOne
+        } else if var < self.lower {
+            ThrottleDecision::ActivateOne
+        } else {
+            ThrottleDecision::Hold
+        }
+    }
+
+    /// IPC of the most recent window.
+    pub fn current_ipc(&self) -> f64 {
+        self.cur_ipc
+    }
+
+    /// Fractional IPC variation computed by the last [`IpcMonitor::end_window`].
+    pub fn last_var(&self) -> f64 {
+        self.last_var
+    }
+}
+
+/// Common Info of the CTA manager: registers per CTA (#reg), the Largest
+/// active Register Number (LRN), and the Backup Pointer (BP).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommonInfo {
+    /// Warp registers used by one CTA.
+    pub regs_per_cta: u32,
+    /// Largest register number of any active CTA.
+    pub lrn: u32,
+    /// Next off-chip byte address for register backup.
+    pub bp: u64,
+}
+
+/// Per-CTA Info entry: active bit, first register number, backup address,
+/// and backup-complete bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerCtaInfo {
+    /// ACT: is the CTA active?
+    pub active: bool,
+    /// FRN: first register number (None once backed up/flushed).
+    pub frn: Option<RegNum>,
+    /// BA: backup byte address in off-chip memory.
+    pub backup_addr: Option<u64>,
+    /// C: backup completed.
+    pub backup_complete: bool,
+}
+
+impl Default for PerCtaInfo {
+    fn default() -> Self {
+        PerCtaInfo { active: false, frn: None, backup_addr: None, backup_complete: false }
+    }
+}
+
+/// The CTA manager: mirrors the paper's bookkeeping for backup/restore.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CtaManager {
+    /// Common info block.
+    pub common: CommonInfo,
+    entries: Vec<PerCtaInfo>,
+    backups: u64,
+    restores: u64,
+}
+
+impl CtaManager {
+    /// Creates a manager for `slots` hardware CTA ids, with `regs_per_cta`
+    /// registers per CTA and the initial backup pointer `bp0`.
+    pub fn new(slots: u32, regs_per_cta: u32, bp0: u64) -> Self {
+        CtaManager {
+            common: CommonInfo { regs_per_cta, lrn: 0, bp: bp0 },
+            entries: vec![PerCtaInfo::default(); slots as usize],
+            backups: 0,
+            restores: 0,
+        }
+    }
+
+    /// Entry for a CTA.
+    pub fn entry(&self, cta: CtaId) -> &PerCtaInfo {
+        &self.entries[cta.0 as usize]
+    }
+
+    /// Marks a CTA as launched with its first register number.
+    pub fn on_launch(&mut self, cta: CtaId, frn: RegNum) {
+        let e = &mut self.entries[cta.0 as usize];
+        e.active = true;
+        e.frn = Some(frn);
+        e.backup_addr = None;
+        e.backup_complete = false;
+        self.common.lrn = self
+            .common
+            .lrn
+            .max(frn.0 + self.common.regs_per_cta.saturating_sub(1));
+    }
+
+    /// Begins backing up a throttled CTA. Updates BP by `#reg x 128` and
+    /// records BA. Returns the byte address the registers are saved at.
+    pub fn begin_backup(&mut self, cta: CtaId) -> u64 {
+        let addr = self.common.bp;
+        let e = &mut self.entries[cta.0 as usize];
+        e.active = false;
+        e.backup_addr = Some(addr);
+        e.backup_complete = false;
+        self.common.bp += self.common.regs_per_cta as u64 * 128;
+        self.backups += 1;
+        addr
+    }
+
+    /// Completes a backup: flushes FRN and sets the C bit.
+    pub fn complete_backup(&mut self, cta: CtaId) {
+        let e = &mut self.entries[cta.0 as usize];
+        e.frn = None;
+        e.backup_complete = true;
+        self.recompute_lrn();
+    }
+
+    /// Begins restoring a CTA from `BP - #reg x 128`; returns the address
+    /// read from and rewinds BP.
+    pub fn begin_restore(&mut self, cta: CtaId) -> u64 {
+        let bytes = self.common.regs_per_cta as u64 * 128;
+        self.common.bp = self.common.bp.saturating_sub(bytes);
+        let e = &mut self.entries[cta.0 as usize];
+        e.backup_complete = false;
+        self.restores += 1;
+        e.backup_addr.unwrap_or(self.common.bp)
+    }
+
+    /// Completes a restore: the CTA becomes active again at `frn`.
+    pub fn complete_restore(&mut self, cta: CtaId, frn: RegNum) {
+        let e = &mut self.entries[cta.0 as usize];
+        e.active = true;
+        e.frn = Some(frn);
+        e.backup_addr = None;
+        self.common.lrn = self
+            .common
+            .lrn
+            .max(frn.0 + self.common.regs_per_cta.saturating_sub(1));
+    }
+
+    /// A CTA finished; clears its entry.
+    pub fn on_complete(&mut self, cta: CtaId) {
+        self.entries[cta.0 as usize] = PerCtaInfo::default();
+        self.recompute_lrn();
+    }
+
+    fn recompute_lrn(&mut self) {
+        self.common.lrn = self
+            .entries
+            .iter()
+            .filter(|e| e.active)
+            .filter_map(|e| e.frn)
+            .map(|f| f.0 + self.common.regs_per_cta.saturating_sub(1))
+            .max()
+            .unwrap_or(0);
+    }
+
+    /// (backups begun, restores begun).
+    pub fn transfer_counts(&self) -> (u64, u64) {
+        (self.backups, self.restores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_var_equation() {
+        assert!((IpcMonitor::ipc_var(2.0, 2.5) - 0.25).abs() < 1e-12);
+        assert!((IpcMonitor::ipc_var(2.0, 1.5) + 0.25).abs() < 1e-12);
+        assert_eq!(IpcMonitor::ipc_var(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn first_window_holds() {
+        let mut m = IpcMonitor::new(0.10, -0.10);
+        assert_eq!(m.end_window(1.0), ThrottleDecision::Hold);
+    }
+
+    #[test]
+    fn improvement_above_upper_throttles() {
+        let mut m = IpcMonitor::new(0.10, -0.10);
+        m.end_window(1.0);
+        assert_eq!(m.end_window(1.2), ThrottleDecision::ThrottleOne);
+    }
+
+    #[test]
+    fn drop_below_lower_activates() {
+        let mut m = IpcMonitor::new(0.10, -0.10);
+        m.end_window(1.0);
+        assert_eq!(m.end_window(0.8), ThrottleDecision::ActivateOne);
+    }
+
+    #[test]
+    fn small_variation_holds() {
+        let mut m = IpcMonitor::new(0.10, -0.10);
+        m.end_window(1.0);
+        assert_eq!(m.end_window(1.05), ThrottleDecision::Hold);
+        assert_eq!(m.end_window(1.0), ThrottleDecision::Hold);
+    }
+
+    #[test]
+    #[should_panic(expected = "upper bound")]
+    fn inverted_bounds_panic() {
+        let _ = IpcMonitor::new(-0.1, 0.1);
+    }
+
+    #[test]
+    fn backup_advances_bp_and_restore_rewinds() {
+        let mut m = CtaManager::new(4, 100, 0x1000);
+        m.on_launch(CtaId(0), RegNum(0));
+        m.on_launch(CtaId(1), RegNum(100));
+        assert_eq!(m.common.lrn, 199);
+
+        let a = m.begin_backup(CtaId(1));
+        assert_eq!(a, 0x1000);
+        assert_eq!(m.common.bp, 0x1000 + 100 * 128);
+        m.complete_backup(CtaId(1));
+        assert!(m.entry(CtaId(1)).backup_complete);
+        assert_eq!(m.entry(CtaId(1)).frn, None);
+        assert_eq!(m.common.lrn, 99, "LRN shrinks after backup");
+
+        let r = m.begin_restore(CtaId(1));
+        assert_eq!(r, 0x1000, "restore reads where the backup was written");
+        assert_eq!(m.common.bp, 0x1000, "BP rewound by #reg x 128");
+        m.complete_restore(CtaId(1), RegNum(100));
+        assert!(m.entry(CtaId(1)).active);
+        assert_eq!(m.common.lrn, 199);
+    }
+
+    #[test]
+    fn stacked_backups_stack_bp() {
+        let mut m = CtaManager::new(4, 50, 0);
+        for i in 0..3 {
+            m.on_launch(CtaId(i), RegNum(i * 50));
+        }
+        m.begin_backup(CtaId(2));
+        m.begin_backup(CtaId(1));
+        assert_eq!(m.common.bp, 2 * 50 * 128);
+        assert_eq!(m.entry(CtaId(2)).backup_addr, Some(0));
+        assert_eq!(m.entry(CtaId(1)).backup_addr, Some(50 * 128));
+    }
+
+    #[test]
+    fn complete_clears_entry() {
+        let mut m = CtaManager::new(2, 10, 0);
+        m.on_launch(CtaId(0), RegNum(0));
+        m.on_complete(CtaId(0));
+        assert_eq!(*m.entry(CtaId(0)), PerCtaInfo::default());
+        assert_eq!(m.common.lrn, 0);
+    }
+
+    #[test]
+    fn transfer_counts_tracked() {
+        let mut m = CtaManager::new(2, 10, 0);
+        m.on_launch(CtaId(0), RegNum(0));
+        m.begin_backup(CtaId(0));
+        m.begin_restore(CtaId(0));
+        assert_eq!(m.transfer_counts(), (1, 1));
+    }
+}

@@ -1,0 +1,43 @@
+//! Hashed PC (HPC): the 5-bit XOR-fold of a load's PC.
+//!
+//! The fold itself lives in `gpu_sim::types::hashed_pc5` because the L1
+//! tags each line with the HPC of its last accessor; this module re-exports
+//! it and documents the aliasing behaviour the paper relies on.
+
+pub use gpu_sim::types::hashed_pc5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::types::Pc;
+
+    #[test]
+    fn always_five_bits() {
+        for pc in (0..100_000u32).step_by(97) {
+            assert!(hashed_pc5(Pc(pc)) < 32);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hashed_pc5(Pc(0xdead_beef)), hashed_pc5(Pc(0xdead_beef)));
+    }
+
+    #[test]
+    fn distinguishes_typical_kernel_pcs() {
+        // The builder assigns PCs with stride 8; a kernel's first 32 loads
+        // must map to distinct LM entries (the paper's premise that 5 bits
+        // suffice for the <32 global loads of real kernels).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..32u32 {
+            seen.insert(hashed_pc5(Pc(i * 8)));
+        }
+        assert_eq!(seen.len(), 32, "stride-8 PCs must not alias within 32 loads");
+    }
+
+    #[test]
+    fn folds_high_bits() {
+        // PCs differing only in bits above 5 still influence the hash.
+        assert_ne!(hashed_pc5(Pc(0)), hashed_pc5(Pc(1 << 20)));
+    }
+}

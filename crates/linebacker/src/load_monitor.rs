@@ -1,0 +1,326 @@
+//! The Load Monitor (LM): per-load locality classification (paper §4, §4.1).
+//!
+//! A 32-entry table indexed by the 5-bit hashed PC counts, per static load,
+//! the hits (in L1 *or* the victim tag table) and misses within a monitoring
+//! window. A load whose hit ratio exceeds the threshold in two *consecutive*
+//! windows is classified high-locality; the set of such loads becomes the
+//! victim-caching filter.
+//!
+//! The four design rules from §3.2 are implemented exactly:
+//!
+//! 1. no cap on how many loads may be tagged;
+//! 2. the *same set* must qualify in both windows — if only a subset
+//!    re-qualifies, nothing is tagged and monitoring continues;
+//! 3. if no load qualifies in the first two windows, Linebacker disables
+//!    itself (the kernel is deemed cache-insensitive);
+//! 4. while at least one load qualifies per window, monitoring continues
+//!    until two consecutive windows agree.
+
+use gpu_sim::types::{hashed_pc5, Pc};
+
+/// One LM entry: PC, hit/miss counters, and the 2-bit valid history.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LmEntry {
+    /// Full PC of the first load that touched this entry.
+    pub pc: Option<Pc>,
+    /// Hits (L1 or VTT) this window.
+    pub hits: u32,
+    /// Misses this window.
+    pub misses: u32,
+    /// Valid bit of the current window (bit 1 of the 2-bit field).
+    pub valid_cur: bool,
+    /// Valid bit shifted from the previous window (bit 2).
+    pub valid_prev: bool,
+}
+
+impl LmEntry {
+    /// Hit ratio of the current window.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Classification progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LmPhase {
+    /// Still monitoring; selection not yet converged.
+    Monitoring,
+    /// Converged: the given hashed PCs are the high-locality loads.
+    Selected(Vec<u8>),
+    /// No high-locality load found in the first two windows; Linebacker is
+    /// disabled for this kernel.
+    Disabled,
+}
+
+/// The Load Monitor.
+#[derive(Debug, Clone)]
+pub struct LoadMonitor {
+    entries: Vec<LmEntry>,
+    threshold: f64,
+    phase: LmPhase,
+    windows_run: u32,
+    accesses: u64,
+}
+
+impl LoadMonitor {
+    /// Creates a monitor with `entries` slots (32: the 5-bit HPC space) and
+    /// the given hit-ratio threshold (0.20 in Table 3).
+    pub fn new(entries: u32, threshold: f64) -> Self {
+        LoadMonitor {
+            entries: vec![LmEntry::default(); entries as usize],
+            threshold,
+            phase: LmPhase::Monitoring,
+            windows_run: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> &LmPhase {
+        &self.phase
+    }
+
+    /// True while hit/miss events should still be recorded.
+    pub fn monitoring(&self) -> bool {
+        self.phase == LmPhase::Monitoring
+    }
+
+    /// Monitoring windows completed before convergence (Figure 9).
+    pub fn windows_run(&self) -> u32 {
+        self.windows_run
+    }
+
+    /// Total recorded accesses (consistency checks).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Is `hpc` in the selected high-locality set?
+    pub fn is_selected(&self, hpc: u8) -> bool {
+        match &self.phase {
+            LmPhase::Selected(set) => set.contains(&hpc),
+            _ => false,
+        }
+    }
+
+    /// Records one load access outcome during monitoring. `hit` counts both
+    /// L1 hits and victim-tag-table hits.
+    pub fn record(&mut self, pc: Pc, hit: bool) {
+        if !self.monitoring() {
+            return;
+        }
+        let idx = hashed_pc5(pc) as usize % self.entries.len();
+        let e = &mut self.entries[idx];
+        if e.pc.is_none() {
+            e.pc = Some(pc);
+        }
+        if hit {
+            e.hits += 1;
+        } else {
+            e.misses += 1;
+        }
+        self.accesses += 1;
+    }
+
+    /// Ends a monitoring window: classifies, shifts valid bits, and decides
+    /// whether selection has converged. Returns the (possibly unchanged)
+    /// phase.
+    pub fn end_window(&mut self) -> &LmPhase {
+        if !self.monitoring() {
+            return &self.phase;
+        }
+        self.windows_run += 1;
+
+        // Classify this window and shift the 2-bit valid fields.
+        let mut cur_set: Vec<u8> = Vec::new();
+        let mut prev_set: Vec<u8> = Vec::new();
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            let active = e.hits + e.misses > 0;
+            let high = active && e.hit_ratio() >= self.threshold;
+            e.valid_prev = e.valid_cur;
+            e.valid_cur = high;
+            if high {
+                cur_set.push(i as u8);
+            }
+            if e.valid_prev {
+                prev_set.push(i as u8);
+            }
+            // Counters reset each window; PC and valid bits persist.
+            e.hits = 0;
+            e.misses = 0;
+        }
+
+        if self.windows_run >= 2 {
+            if prev_set.is_empty() && cur_set.is_empty() && self.windows_run == 2 {
+                // Rule 3: nothing in the first two windows => disabled.
+                self.phase = LmPhase::Disabled;
+            } else if !cur_set.is_empty() && cur_set == prev_set {
+                // Rules 1-2: exact same nonempty set across two consecutive
+                // windows => converged.
+                self.phase = LmPhase::Selected(cur_set);
+            }
+            // Rule 4: otherwise keep monitoring.
+        }
+        &self.phase
+    }
+
+    /// Full PCs of the selected loads (for reporting).
+    pub fn selected_pcs(&self) -> Vec<Pc> {
+        match &self.phase {
+            LmPhase::Selected(set) => set
+                .iter()
+                .filter_map(|&h| self.entries[h as usize].pc)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lm() -> LoadMonitor {
+        LoadMonitor::new(32, 0.20)
+    }
+
+    /// Feed `hits` hits and `misses` misses for `pc` in the current window.
+    fn feed(m: &mut LoadMonitor, pc: Pc, hits: u32, misses: u32) {
+        for _ in 0..hits {
+            m.record(pc, true);
+        }
+        for _ in 0..misses {
+            m.record(pc, false);
+        }
+    }
+
+    #[test]
+    fn converges_after_two_consistent_windows() {
+        let mut m = lm();
+        let pc = Pc(0x40);
+        feed(&mut m, pc, 30, 70); // 30% >= 20%
+        assert_eq!(m.end_window(), &LmPhase::Monitoring);
+        feed(&mut m, pc, 25, 75);
+        let phase = m.end_window().clone();
+        assert_eq!(phase, LmPhase::Selected(vec![hashed_pc5(pc)]));
+        assert!(m.is_selected(hashed_pc5(pc)));
+        assert_eq!(m.windows_run(), 2);
+    }
+
+    #[test]
+    fn disabled_when_first_two_windows_empty() {
+        let mut m = lm();
+        let pc = Pc(0x40);
+        feed(&mut m, pc, 1, 99); // 1% < 20%
+        m.end_window();
+        feed(&mut m, pc, 5, 95);
+        assert_eq!(m.end_window(), &LmPhase::Disabled);
+    }
+
+    #[test]
+    fn subset_match_does_not_tag() {
+        // Rule 2: {A, B} in window 1, only {A} in window 2 => keep monitoring.
+        let mut m = lm();
+        let a = Pc(0x40);
+        let b = Pc(0x48);
+        assert_ne!(hashed_pc5(a), hashed_pc5(b));
+        feed(&mut m, a, 50, 50);
+        feed(&mut m, b, 50, 50);
+        m.end_window();
+        feed(&mut m, a, 50, 50);
+        feed(&mut m, b, 1, 99);
+        assert_eq!(m.end_window(), &LmPhase::Monitoring);
+        // Window 3 agrees with window 2's {A}: now converged.
+        feed(&mut m, a, 50, 50);
+        feed(&mut m, b, 1, 99);
+        assert_eq!(m.end_window(), &LmPhase::Selected(vec![hashed_pc5(a)]));
+        assert_eq!(m.windows_run(), 3);
+    }
+
+    #[test]
+    fn monitoring_continues_until_match() {
+        // Alternating sets never converge (and never disable, since each
+        // window has at least one qualifying load).
+        let mut m = lm();
+        let a = Pc(0x40);
+        let b = Pc(0x48);
+        for i in 0..6 {
+            let pc = if i % 2 == 0 { a } else { b };
+            feed(&mut m, pc, 50, 50);
+            assert_eq!(m.end_window(), &LmPhase::Monitoring, "window {i}");
+        }
+    }
+
+    #[test]
+    fn multiple_loads_all_tagged() {
+        // Rule 1: no cap on the number of selected loads.
+        let mut m = lm();
+        let pcs: Vec<Pc> = (0..5).map(|i| Pc(0x100 + i * 8)).collect();
+        for _ in 0..2 {
+            for &pc in &pcs {
+                feed(&mut m, pc, 40, 60);
+            }
+            m.end_window();
+        }
+        match m.phase() {
+            LmPhase::Selected(set) => assert_eq!(set.len(), 5),
+            other => panic!("expected Selected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threshold_is_inclusive_boundary() {
+        let mut m = lm();
+        let pc = Pc(0x8);
+        // Exactly 20%.
+        for _ in 0..2 {
+            feed(&mut m, pc, 20, 80);
+            m.end_window();
+        }
+        assert!(m.is_selected(hashed_pc5(pc)));
+    }
+
+    #[test]
+    fn records_ignored_after_convergence() {
+        let mut m = lm();
+        let pc = Pc(0x40);
+        for _ in 0..2 {
+            feed(&mut m, pc, 50, 50);
+            m.end_window();
+        }
+        let before = m.accesses();
+        m.record(pc, true);
+        assert_eq!(m.accesses(), before, "post-selection records must be ignored");
+    }
+
+    #[test]
+    fn selected_pcs_reports_full_pcs() {
+        let mut m = lm();
+        let pc = Pc(0x1234);
+        for _ in 0..2 {
+            feed(&mut m, pc, 50, 50);
+            m.end_window();
+        }
+        assert_eq!(m.selected_pcs(), vec![pc]);
+    }
+
+    #[test]
+    fn inactive_entries_never_qualify() {
+        let mut m = lm();
+        // Only one load is active; entry 0 (untouched) must not qualify.
+        let pc = Pc(0x40);
+        for _ in 0..2 {
+            feed(&mut m, pc, 50, 50);
+            m.end_window();
+        }
+        match m.phase() {
+            LmPhase::Selected(set) => assert_eq!(set.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

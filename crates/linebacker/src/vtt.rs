@@ -1,0 +1,469 @@
+//! The Victim Tag Table (VTT): set-associative tag partitions mapping victim
+//! lines to idle warp registers (paper §4, §4.1).
+//!
+//! The VTT mirrors the L1's 48 sets. It is built from partitions (VPs) of
+//! `vp_assoc` ways each; a partition can hold data only when 192 consecutive
+//! idle registers (24 KB) back it. During the monitoring period the VTT runs
+//! in *tag-only* mode: it remembers recently evicted tags so the Load Monitor
+//! can count would-be hits, but no data is preserved.
+//!
+//! The register number backing a hit in partition `N`, set `X`, way `Y` is
+//! Equation 2 of the paper:
+//!
+//! ```text
+//! RN = Offset + N * entries_per_vp + X * ways + Y        (Offset = 511)
+//! ```
+
+use gpu_sim::types::{Cycle, LineAddr, RegNum};
+
+use crate::config::LbConfig;
+
+/// One way of a VTT set.
+#[derive(Debug, Clone, Copy, Default)]
+struct VttWay {
+    valid: bool,
+    /// Tag present but its data was invalidated by a store; the slot is
+    /// reused in priority (paper §4 "Delay Considerations" store policy).
+    invalidated: bool,
+    line: LineAddr,
+    last_use: Cycle,
+}
+
+/// Result of a VTT lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VttHit {
+    /// Which partition matched (0-based); search latency is
+    /// `(vp + 1) * vp_access_latency`.
+    pub vp: u32,
+    /// The backing register computed by Equation 2.
+    pub rn: RegNum,
+}
+
+/// The Victim Tag Table of one SM.
+#[derive(Debug)]
+pub struct Vtt {
+    cfg: LbConfig,
+    /// `partitions[vp][set][way]`.
+    partitions: Vec<Vec<Vec<VttWay>>>,
+    /// Partitions currently backed by idle register space (count, starting
+    /// at `first_active`).
+    active_vps: u32,
+    /// Index of the first partition whose register range is free.
+    first_active: u32,
+    /// Tag-only mode (monitoring period): all partitions store tags, none
+    /// store data.
+    tag_only: bool,
+    tick: Cycle,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    store_invalidations: u64,
+}
+
+impl Vtt {
+    /// Creates the VTT with every partition present but none active.
+    pub fn new(cfg: &LbConfig) -> Self {
+        let vps = cfg.max_vps() as usize;
+        let sets = cfg.vtt_sets as usize;
+        let ways = cfg.vp_assoc as usize;
+        Vtt {
+            cfg: cfg.clone(),
+            partitions: (0..vps)
+                .map(|_| (0..sets).map(|_| vec![VttWay::default(); ways]).collect())
+                .collect(),
+            active_vps: 0,
+            first_active: cfg.max_vps(),
+            tag_only: true,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            store_invalidations: 0,
+        }
+    }
+
+    /// Equation 2: the register number backing `(vp, set, way)`.
+    pub fn reg_of(&self, vp: u32, set: u32, way: u32) -> RegNum {
+        RegNum(
+            self.cfg.rn_offset
+                + vp * self.cfg.entries_per_vp()
+                + set * self.cfg.vp_assoc
+                + way,
+        )
+    }
+
+    /// First register number a partition needs.
+    pub fn vp_first_rn(&self, vp: u32) -> RegNum {
+        self.reg_of(vp, 0, 0)
+    }
+
+    /// Last register number a partition needs.
+    pub fn vp_last_rn(&self, vp: u32) -> RegNum {
+        self.reg_of(vp, self.cfg.vtt_sets - 1, self.cfg.vp_assoc - 1)
+    }
+
+    /// Switches to tag-only (monitoring) mode.
+    pub fn set_tag_only(&mut self, tag_only: bool) {
+        if self.tag_only != tag_only {
+            self.tag_only = tag_only;
+            // Mode change discards all contents: monitoring tags carry no
+            // data, and stale tags must not produce false data hits.
+            self.flush_all();
+        }
+    }
+
+    /// Is the VTT in tag-only mode?
+    pub fn tag_only(&self) -> bool {
+        self.tag_only
+    }
+
+    /// Number of partitions currently usable for data.
+    pub fn active_vps(&self) -> u32 {
+        self.active_vps
+    }
+
+    /// Registers currently dedicated to victim storage.
+    pub fn victim_regs(&self) -> u32 {
+        if self.tag_only {
+            0
+        } else {
+            self.active_vps * self.cfg.regs_per_vp()
+        }
+    }
+
+    /// Recomputes the active-partition prefix from the first free register
+    /// number (`min_free_rn`): partition `n` is active iff its whole RN range
+    /// lies at or above `min_free_rn`. Deactivated partitions are flushed.
+    pub fn refresh_partitions(&mut self, min_free_rn: u32) {
+        for vp in 0..self.cfg.max_vps() {
+            if self.vp_first_rn(vp).0 >= min_free_rn {
+                // Partitions activate only as a contiguous prefix-from-here
+                // region; since RN ranges ascend with vp, once one is free
+                // the rest are too.
+                let active = self.cfg.max_vps() - vp;
+                // Flush everything below (now owned by live registers).
+                for dead in 0..vp {
+                    self.flush_vp(dead);
+                }
+                // Re-index: partitions below `vp` are inactive. We keep the
+                // simple model "active partitions are vp..max". To preserve
+                // the sequential-search order semantics we instead treat the
+                // *count* of active partitions; lookups scan only active
+                // ones starting at `first_active`.
+                self.first_active = vp;
+                self.active_vps = active;
+                return;
+            }
+        }
+        for vp in 0..self.cfg.max_vps() {
+            self.flush_vp(vp);
+        }
+        self.first_active = self.cfg.max_vps();
+        self.active_vps = 0;
+    }
+
+    fn flush_vp(&mut self, vp: u32) {
+        for set in &mut self.partitions[vp as usize] {
+            for way in set.iter_mut() {
+                *way = VttWay::default();
+            }
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for vp in 0..self.cfg.max_vps() {
+            self.flush_vp(vp);
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.0 % self.cfg.vtt_sets as u64) as usize
+    }
+
+    fn search_range(&self) -> std::ops::Range<u32> {
+        if self.tag_only {
+            0..self.cfg.max_vps()
+        } else {
+            self.first_active..self.first_active + self.active_vps
+        }
+    }
+
+    /// Looks up `line`. On a hit returns the matching partition (for search
+    /// latency) and the backing register; updates LRU.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<VttHit> {
+        self.tick += 1;
+        let set = self.set_index(line);
+        let range = self.search_range();
+        let first = range.start;
+        for vp in range {
+            let ways = &mut self.partitions[vp as usize][set];
+            for (w, way) in ways.iter_mut().enumerate() {
+                if way.valid && !way.invalidated && way.line == line {
+                    way.last_use = self.tick;
+                    self.hits += 1;
+                    return Some(VttHit {
+                        vp: vp - first,
+                        rn: self.cfg_reg(vp, set as u32, w as u32),
+                    });
+                }
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    fn cfg_reg(&self, vp: u32, set: u32, way: u32) -> RegNum {
+        self.reg_of(vp, set, way)
+    }
+
+    /// Inserts the tag (and, in data mode, implicitly the line data) of an
+    /// evicted victim. Returns the backing register chosen, or `None` when
+    /// no partition is available. Invalidated slots are reused in priority;
+    /// otherwise the LRU way across active partitions of the set is
+    /// replaced.
+    pub fn insert(&mut self, line: LineAddr) -> Option<RegNum> {
+        let range = self.search_range();
+        if range.is_empty() {
+            return None;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(line);
+
+        // Already present? Refresh it.
+        for vp in range.clone() {
+            for way in self.partitions[vp as usize][set].iter_mut() {
+                if way.valid && way.line == line {
+                    way.last_use = tick;
+                    way.invalidated = false;
+                    return None;
+                }
+            }
+        }
+
+        // Priority 1: an invalidated or empty slot.
+        for vp in range.clone() {
+            for (w, way) in self.partitions[vp as usize][set].iter_mut().enumerate() {
+                if !way.valid || way.invalidated {
+                    *way = VttWay { valid: true, invalidated: false, line, last_use: tick };
+                    self.insertions += 1;
+                    return Some(self.cfg_reg(vp, set as u32, w as u32));
+                }
+            }
+        }
+
+        // Priority 2: global LRU across the set's active ways.
+        let mut victim: Option<(u32, u32, Cycle)> = None;
+        for vp in range {
+            for (w, way) in self.partitions[vp as usize][set].iter().enumerate() {
+                let lu = way.last_use;
+                if victim.map(|(_, _, best)| lu < best).unwrap_or(true) {
+                    victim = Some((vp, w as u32, lu));
+                }
+            }
+        }
+        let (vp, w, _) = victim.expect("nonempty range has ways");
+        self.partitions[vp as usize][set][w as usize] =
+            VttWay { valid: true, invalidated: false, line, last_use: tick };
+        self.insertions += 1;
+        Some(self.cfg_reg(vp, set as u32, w))
+    }
+
+    /// A store wrote `line`: invalidate any preserved copy (victim data is
+    /// never dirty). Returns true if a copy existed.
+    pub fn invalidate_store(&mut self, line: LineAddr) -> bool {
+        let set = self.set_index(line);
+        let range = self.search_range();
+        for vp in range {
+            for way in self.partitions[vp as usize][set].iter_mut() {
+                if way.valid && !way.invalidated && way.line == line {
+                    way.invalidated = true;
+                    self.store_invalidations += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// (hits, misses, insertions, store invalidations).
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.insertions, self.store_invalidations)
+    }
+
+    /// Valid, non-invalidated entries currently held.
+    pub fn occupancy(&self) -> usize {
+        self.partitions
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|w| w.valid && !w.invalidated)
+            .count()
+    }
+
+    /// Index of the first active partition.
+    pub fn first_active(&self) -> u32 {
+        self.first_active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_vtt(active_from_rn: u32) -> Vtt {
+        let mut v = Vtt::new(&LbConfig::default());
+        v.set_tag_only(false);
+        v.refresh_partitions(active_from_rn);
+        v
+    }
+
+    #[test]
+    fn equation2_rn_mapping() {
+        let v = Vtt::new(&LbConfig::default());
+        // RN = 511 + N*192 + X*4 + Y
+        assert_eq!(v.reg_of(0, 0, 0), RegNum(511));
+        assert_eq!(v.reg_of(0, 0, 3), RegNum(514));
+        assert_eq!(v.reg_of(0, 1, 0), RegNum(515));
+        assert_eq!(v.reg_of(1, 0, 0), RegNum(703));
+        assert_eq!(v.reg_of(7, 47, 3), RegNum(511 + 7 * 192 + 47 * 4 + 3));
+        // Highest mapped RN stays within the 2048-register file.
+        assert!(v.reg_of(7, 47, 3).0 < 2048);
+    }
+
+    #[test]
+    fn rn_mapping_is_injective() {
+        let v = Vtt::new(&LbConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for vp in 0..8 {
+            for set in 0..48 {
+                for way in 0..4 {
+                    assert!(seen.insert(v.reg_of(vp, set, way)), "duplicate RN");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 1536);
+    }
+
+    #[test]
+    fn tag_only_mode_has_no_victim_regs() {
+        let mut v = Vtt::new(&LbConfig::default());
+        assert!(v.tag_only());
+        assert_eq!(v.victim_regs(), 0);
+        v.insert(LineAddr(5));
+        assert!(v.lookup(LineAddr(5)).is_some(), "tags are searchable while monitoring");
+    }
+
+    #[test]
+    fn mode_switch_flushes() {
+        let mut v = Vtt::new(&LbConfig::default());
+        v.insert(LineAddr(5));
+        v.set_tag_only(false);
+        v.refresh_partitions(0);
+        assert!(v.lookup(LineAddr(5)).is_none(), "monitoring tags must not leak data hits");
+    }
+
+    #[test]
+    fn partitions_activate_by_free_space() {
+        let mut v = data_vtt(2048);
+        assert_eq!(v.active_vps(), 0);
+        // Free space from RN 511 onward: all 8 partitions fit.
+        v.refresh_partitions(511);
+        assert_eq!(v.active_vps(), 8);
+        assert_eq!(v.victim_regs(), 1536);
+        // Free space only from RN 1000: partitions 0 and 1 (first RNs 511,
+        // 703) are unavailable; 895 < 1000 too, so first active is vp 3
+        // (first RN 1087).
+        v.refresh_partitions(1000);
+        assert_eq!(v.first_active(), 3);
+        assert_eq!(v.active_vps(), 5);
+    }
+
+    #[test]
+    fn insert_then_hit_returns_mapped_register() {
+        let mut v = data_vtt(511);
+        let rn = v.insert(LineAddr(10)).expect("space available");
+        let hit = v.lookup(LineAddr(10)).expect("must hit");
+        assert_eq!(hit.rn, rn);
+        assert_eq!(hit.vp, 0, "first partition searched first");
+    }
+
+    #[test]
+    fn no_insert_when_no_active_partition() {
+        let mut v = data_vtt(2048);
+        assert_eq!(v.insert(LineAddr(10)), None);
+    }
+
+    #[test]
+    fn store_invalidation_blocks_hit_and_slot_reused_first() {
+        let mut v = data_vtt(511);
+        // Fill set 0 of partition 0 completely (4 ways): lines congruent
+        // mod 48.
+        for i in 0..4u64 {
+            v.insert(LineAddr(i * 48));
+        }
+        assert!(v.invalidate_store(LineAddr(96)));
+        assert!(v.lookup(LineAddr(96)).is_none(), "invalidated entry must not hit");
+        // Next insertion to the same set must take the invalidated slot
+        // (way 2 of vp 0) rather than evicting an LRU entry.
+        let rn = v.insert(LineAddr(9 * 48)).unwrap();
+        let expect = v.reg_of(0, 0, 2);
+        assert_eq!(rn, expect);
+        // The other three original lines still hit.
+        for i in [0u64, 1, 3] {
+            assert!(v.lookup(LineAddr(i * 48)).is_some());
+        }
+    }
+
+    #[test]
+    fn lru_eviction_across_partitions() {
+        let cfg = LbConfig::with_vp_assoc(1); // 1-way: 32 partitions
+        let mut v = Vtt::new(&cfg);
+        v.set_tag_only(false);
+        v.refresh_partitions(511);
+        assert_eq!(v.active_vps(), 32);
+        // Fill all 32 ways of set 0.
+        for i in 0..32u64 {
+            v.insert(LineAddr(i * 48));
+        }
+        // Touch all but line 0 so line 0 is LRU.
+        for i in 1..32u64 {
+            v.lookup(LineAddr(i * 48));
+        }
+        v.insert(LineAddr(99 * 48));
+        assert!(v.lookup(LineAddr(0)).is_none(), "LRU line must be evicted");
+        assert!(v.lookup(LineAddr(99 * 48)).is_some());
+    }
+
+    #[test]
+    fn sequential_search_reports_partition_index() {
+        let cfg = LbConfig::with_vp_assoc(1);
+        let mut v = Vtt::new(&cfg);
+        v.set_tag_only(false);
+        v.refresh_partitions(511);
+        // Fill ways in partitions 0 and 1 for set 0.
+        v.insert(LineAddr(0));
+        v.insert(LineAddr(48));
+        let h0 = v.lookup(LineAddr(0)).unwrap();
+        let h1 = v.lookup(LineAddr(48)).unwrap();
+        assert_eq!(h0.vp, 0);
+        assert_eq!(h1.vp, 1, "second line landed in the next partition");
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut v = data_vtt(511);
+        v.insert(LineAddr(7));
+        assert_eq!(v.insert(LineAddr(7)), None, "duplicate insert is a refresh");
+        assert_eq!(v.occupancy(), 1);
+    }
+
+    #[test]
+    fn deactivated_partitions_are_flushed() {
+        let mut v = data_vtt(511);
+        v.insert(LineAddr(3));
+        // Registers reclaimed: only partitions from RN 1500 remain.
+        v.refresh_partitions(1500);
+        assert!(v.lookup(LineAddr(3)).is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! Application specifications: the bridge from a named benchmark to a
+//! concrete [`KernelSpec`].
+
+use gpu_sim::kernel::{KernelBuilder, KernelSpec};
+use gpu_sim::pattern::AccessPattern;
+use serde::{Deserialize, Serialize};
+
+/// Expected cache-sensitivity class (the paper's Table 2 grouping: an app is
+/// cache-sensitive if a 192 KB L1 speeds it up by more than 30 % over the
+/// 48 KB baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sensitivity {
+    /// Benefits strongly from more cache.
+    CacheSensitive,
+    /// Insensitive to cache size (small working set or pure streaming).
+    CacheInsensitive,
+}
+
+/// One static load of an application model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppLoad {
+    /// Address behaviour.
+    pub pattern: AccessPattern,
+    /// Independent ALU instructions between the load and its first consumer
+    /// (latency-hiding distance).
+    pub use_gap: u32,
+}
+
+/// A synthetic model of one benchmark application.
+///
+/// Each spec is calibrated to the observable characteristics the paper
+/// reports for the real application: per-load reused working-set size
+/// (Figure 2), streaming footprint (Figure 3), register pressure / occupancy
+/// (Figure 4), and the Table 2 sensitivity class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Two-letter abbreviation used in the paper's figures (e.g. "S2").
+    pub abbrev: &'static str,
+    /// What the real application is.
+    pub description: &'static str,
+    /// Expected sensitivity class (Table 2).
+    pub sensitivity: Sensitivity,
+    /// Warps per CTA.
+    pub warps_per_cta: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// The static loads.
+    pub loads: Vec<AppLoad>,
+    /// ALU instructions appended after the loads each iteration
+    /// (compute intensity).
+    pub alu_per_iter: u32,
+    /// Append a streaming store each iteration.
+    pub has_store: bool,
+}
+
+impl AppSpec {
+    /// Builds the kernel for a GPU with `n_sms` SMs. The grid is sized so
+    /// SMs stay saturated for the whole measurement window and `iterations`
+    /// effectively outlives the cycle cap (runs are rate-based).
+    pub fn kernel(&self, n_sms: u32) -> KernelSpec {
+        self.kernel_with(n_sms, 100_000)
+    }
+
+    /// Builds the kernel with an explicit iteration count (tests use small
+    /// values to let kernels drain).
+    pub fn kernel_with(&self, n_sms: u32, iterations: u32) -> KernelSpec {
+        let mut b = KernelBuilder::new(self.abbrev)
+            .grid(64 * n_sms, self.warps_per_cta)
+            .regs_per_thread(self.regs_per_thread)
+            .iterations(iterations);
+        for l in &self.loads {
+            b = b.load_then_use(l.pattern.clone(), l.use_gap);
+        }
+        for _ in 0..self.alu_per_iter {
+            b = b.alu(2);
+        }
+        if self.has_store {
+            // Result stores: one fresh line every 4th iteration (stores are
+            // far sparser than input loads in the modeled kernels, and the
+            // write-through traffic must not dominate DRAM bandwidth).
+            b = b.store(AccessPattern::SparseStream { period: 4 });
+        }
+        b.build().expect("app specs are valid by construction")
+    }
+
+    /// Resident CTAs per SM under the default occupancy limits.
+    pub fn resident_ctas(&self, cfg: &gpu_sim::config::GpuConfig) -> u32 {
+        let by_warps = cfg.max_warps_per_sm / self.warps_per_cta;
+        let by_threads = cfg.max_threads_per_sm / (self.warps_per_cta * cfg.simd_width);
+        let regs_per_cta = self.warps_per_cta * self.regs_per_thread;
+        let by_regs = cfg.warp_regs_per_sm() / regs_per_cta;
+        by_warps.min(by_threads).min(by_regs).min(cfg.max_ctas_per_sm)
+    }
+
+    /// Statically unused register bytes on the default GPU.
+    pub fn static_unused_bytes(&self, cfg: &gpu_sim::config::GpuConfig) -> u64 {
+        let used =
+            self.resident_ctas(cfg) as u64 * (self.warps_per_cta * self.regs_per_thread) as u64;
+        (cfg.warp_regs_per_sm() as u64 - used) * 128
+    }
+
+    /// Aggregate nominal reused working set of the non-streaming loads, in
+    /// bytes per SM (the Figure 2 quantity, by construction).
+    pub fn nominal_ws_bytes(&self, warps_per_sm: u64) -> u64 {
+        self.loads
+            .iter()
+            .filter(|l| !l.pattern.is_streaming())
+            .map(|l| l.pattern.nominal_ws_bytes(warps_per_sm))
+            .sum()
+    }
+
+    /// Does the app have a streaming load?
+    pub fn has_streaming_load(&self) -> bool {
+        self.loads.iter().any(|l| l.pattern.is_streaming())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::config::GpuConfig;
+
+    fn demo() -> AppSpec {
+        AppSpec {
+            abbrev: "XX",
+            description: "demo",
+            sensitivity: Sensitivity::CacheSensitive,
+            warps_per_cta: 4,
+            regs_per_thread: 24,
+            loads: vec![
+                AppLoad { pattern: AccessPattern::reuse_working_set(64 * 1024, true), use_gap: 2 },
+                AppLoad { pattern: AccessPattern::streaming(128), use_gap: 1 },
+            ],
+            alu_per_iter: 2,
+            has_store: true,
+        }
+    }
+
+    #[test]
+    fn kernel_builds_and_validates() {
+        let k = demo().kernel(2);
+        assert!(k.validate().is_ok());
+        assert_eq!(k.grid_ctas, 128);
+        // 2 loads + 1 store spec.
+        assert_eq!(k.loads.len(), 3);
+    }
+
+    #[test]
+    fn occupancy_math() {
+        let app = demo();
+        let cfg = GpuConfig::default();
+        // 4 warps x 24 regs = 96 regs/CTA; limits: warps 16, threads 16,
+        // regs 2048/96 = 21, slots 32 -> 16 resident.
+        assert_eq!(app.resident_ctas(&cfg), 16);
+        // 2048 - 16*96 = 512 regs = 64 KB SUR.
+        assert_eq!(app.static_unused_bytes(&cfg), 64 * 1024);
+    }
+
+    #[test]
+    fn nominal_ws_excludes_streaming() {
+        let app = demo();
+        assert_eq!(app.nominal_ws_bytes(48), 64 * 1024);
+        assert!(app.has_streaming_load());
+    }
+
+    #[test]
+    fn kernel_with_small_iterations_drains() {
+        let k = demo().kernel_with(1, 3);
+        assert_eq!(k.iterations, 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Suite utilities: classification runs and cross-app sweeps.
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::run_kernel;
+use gpu_sim::policy::baseline_factory;
+use gpu_sim::stats::SimStats;
+
+use crate::spec::{AppSpec, Sensitivity};
+
+/// Result of the Table 2 classification experiment for one app.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// The application.
+    pub abbrev: &'static str,
+    /// IPC with the baseline 48 KB L1.
+    pub ipc_small: f64,
+    /// IPC with the enlarged 192 KB L1.
+    pub ipc_large: f64,
+    /// Measured class (>30 % speedup => sensitive).
+    pub measured: Sensitivity,
+    /// Expected class from Table 2.
+    pub expected: Sensitivity,
+}
+
+impl Classification {
+    /// Speedup of the large-cache configuration.
+    pub fn speedup(&self) -> f64 {
+        if self.ipc_small <= 0.0 {
+            1.0
+        } else {
+            self.ipc_large / self.ipc_small
+        }
+    }
+}
+
+/// Runs the paper's sensitivity test for one app: baseline L1 vs 192 KB,
+/// classifying at the 30 % speedup threshold.
+pub fn classify(cfg: &GpuConfig, app: &AppSpec) -> Classification {
+    let kernel = app.kernel(cfg.n_sms);
+    let small = run_kernel(cfg.clone(), kernel.clone(), &baseline_factory());
+    let large_cfg = cfg.clone().with_l1_size(192 * 1024);
+    let large = run_kernel(large_cfg, kernel, &baseline_factory());
+    let speedup = if small.ipc() > 0.0 { large.ipc() / small.ipc() } else { 1.0 };
+    Classification {
+        abbrev: app.abbrev,
+        ipc_small: small.ipc(),
+        ipc_large: large.ipc(),
+        measured: if speedup > 1.30 {
+            Sensitivity::CacheSensitive
+        } else {
+            Sensitivity::CacheInsensitive
+        },
+        expected: app.sensitivity,
+    }
+}
+
+/// Runs an app on a configuration with the baseline policy.
+pub fn run_baseline(cfg: &GpuConfig, app: &AppSpec) -> SimStats {
+    run_kernel(cfg.clone(), app.kernel(cfg.n_sms), &baseline_factory())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::app;
+
+    fn fast_cfg() -> GpuConfig {
+        GpuConfig::default().with_sms(1).with_windows(2_000, 24_000)
+    }
+
+    #[test]
+    fn representative_sensitive_app_classifies_correctly() {
+        // GE: 96 KB shared working set thrashes a 48 KB L1, fits in 192 KB.
+        let c = classify(&fast_cfg(), &app("GE").unwrap());
+        assert_eq!(
+            c.measured,
+            Sensitivity::CacheSensitive,
+            "GE speedup {:.2} should exceed 1.30",
+            c.speedup()
+        );
+    }
+
+    #[test]
+    fn representative_insensitive_app_classifies_correctly() {
+        // GA: 16 KB working set fits the baseline cache already.
+        let c = classify(&fast_cfg(), &app("GA").unwrap());
+        assert_eq!(
+            c.measured,
+            Sensitivity::CacheInsensitive,
+            "GA speedup {:.2} should stay under 1.30",
+            c.speedup()
+        );
+    }
+
+    #[test]
+    fn streaming_app_is_insensitive() {
+        let c = classify(&fast_cfg(), &app("FD").unwrap());
+        assert_eq!(c.measured, Sensitivity::CacheInsensitive);
+    }
+}

@@ -1,0 +1,55 @@
+//! Architecture shootout: run one application under every architecture the
+//! paper evaluates (baseline, Best-SWL oracle, PCAL, CERF, Linebacker and
+//! the §5.5 combinations) and print a Figure 12/15-style comparison.
+//!
+//! ```text
+//! cargo run --release --example architecture_shootout [APP]
+//! ```
+//!
+//! `APP` is a Table 2 abbreviation (default: GE).
+
+use lb_bench::{Arch, Runner, Scale};
+use workloads::app;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "GE".to_string());
+    let Some(a) = app(&which) else {
+        eprintln!("unknown app '{which}' — use a Table 2 abbreviation (S2, GE, BI, ...)");
+        std::process::exit(2);
+    };
+    println!("app: {} — {}", a.abbrev, a.description);
+
+    let runner = Runner::new(Scale::Default);
+    let (limit, bswl) = runner.best_swl(&a);
+    let bswl_ipc = bswl.ipc();
+    println!(
+        "Best-SWL oracle limit: {} (ipc {:.3})",
+        limit.map(|l| l.to_string()).unwrap_or_else(|| "unlimited".into()),
+        bswl_ipc
+    );
+    println!();
+    println!("{:<16} {:>8} {:>10}", "architecture", "ipc", "vs bswl");
+
+    let archs = [
+        Arch::Baseline,
+        Arch::Pcal,
+        Arch::Cerf,
+        Arch::VictimCaching,
+        Arch::Svc,
+        Arch::PcalCerf,
+        Arch::PcalSvc,
+        Arch::Linebacker,
+        Arch::LbCacheExt,
+    ];
+    for arch in archs {
+        let s = runner.run(&a, arch);
+        println!(
+            "{:<16} {:>8.3} {:>9.3}x",
+            arch.label(),
+            s.ipc(),
+            s.ipc() / bswl_ipc.max(1e-9)
+        );
+    }
+    println!();
+    println!("({} simulations run, memoized per architecture)", runner.sims_run());
+}

@@ -1,0 +1,67 @@
+//! Quickstart: run one kernel on the simulated GPU under the baseline and
+//! under Linebacker, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::run_kernel;
+use gpu_sim::kernel::KernelBuilder;
+use gpu_sim::pattern::AccessPattern;
+use gpu_sim::policy::baseline_factory;
+use gpu_sim::types::AccessOutcome;
+use linebacker::{linebacker_factory, LbConfig};
+
+fn main() -> Result<(), String> {
+    // A small GPU: 2 SMs, 8k-cycle monitoring windows, 200k-cycle budget.
+    let cfg = GpuConfig::default().with_sms(2).with_windows(8_000, 200_000);
+
+    // A cache-hungry kernel: each warp re-reads a private 2 KB block
+    // (64 warps x 2 KB = 128 KB across the SM, far beyond the 48 KB L1),
+    // plus a small shared lookup table.
+    let kernel = KernelBuilder::new("quickstart")
+        .grid(64 * cfg.n_sms, 8)
+        .regs_per_thread(20)
+        .load_then_use(AccessPattern::reuse_working_set(2048, false), 2)
+        .load_then_use(AccessPattern::reuse_working_set(16 * 1024, true), 1)
+        .alu(3)
+        .iterations(100_000)
+        .build()?;
+
+    println!(
+        "kernel: {} ({} warps/CTA, {} regs/thread)",
+        kernel.name, kernel.warps_per_cta, kernel.regs_per_thread
+    );
+    println!("simulating baseline GTO GPU ...");
+    let base = run_kernel(cfg.clone(), kernel.clone(), &baseline_factory());
+
+    println!("simulating the same GPU with Linebacker ...");
+    let lb = run_kernel(cfg, kernel, &linebacker_factory(LbConfig::default()));
+
+    println!();
+    println!("{:<28} {:>12} {:>12}", "", "baseline", "linebacker");
+    println!("{:<28} {:>12.3} {:>12.3}", "IPC", base.ipc(), lb.ipc());
+    println!(
+        "{:<28} {:>11.1}% {:>11.1}%",
+        "L1 hit ratio",
+        100.0 * base.outcome_fraction(AccessOutcome::L1Hit),
+        100.0 * lb.outcome_fraction(AccessOutcome::L1Hit)
+    );
+    println!(
+        "{:<28} {:>11.1}% {:>11.1}%",
+        "victim (register) hits",
+        100.0 * base.outcome_fraction(AccessOutcome::RegHit),
+        100.0 * lb.outcome_fraction(AccessOutcome::RegHit)
+    );
+    println!(
+        "{:<28} {:>10.1}MB {:>10.1}MB",
+        "off-chip traffic",
+        base.dram_bytes.iter().sum::<u64>() as f64 / 1e6,
+        lb.dram_bytes.iter().sum::<u64>() as f64 / 1e6
+    );
+    println!("{:<28} {:>12} {:>12}", "monitoring periods", "-", lb.monitor_periods);
+    println!();
+    println!("Linebacker speedup: {:.2}x", lb.ipc() / base.ipc().max(1e-9));
+    Ok(())
+}

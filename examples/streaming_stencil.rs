@@ -1,0 +1,43 @@
+//! A streaming stencil workload (modeled on the paper's FD / FDTD-2D
+//! scenario): every load touches fresh data, so no cache helps. Shows
+//! Linebacker's safety property — its Load Monitor finds no high-locality
+//! loads, disables itself, and performance matches the baseline instead of
+//! being hurt by pointless throttling.
+//!
+//! ```text
+//! cargo run --release --example streaming_stencil
+//! ```
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::policy::baseline_factory;
+use linebacker::{linebacker_factory, LbConfig};
+use workloads::app;
+
+fn main() {
+    let cfg = GpuConfig::default().with_sms(2).with_windows(8_000, 160_000);
+    let fd = app("FD").expect("FD is in the suite");
+    println!("workload: FD — {}", fd.description);
+    println!();
+
+    let kernel = fd.kernel(cfg.n_sms);
+
+    let mut base_gpu = Gpu::new(cfg.clone(), kernel.clone(), &baseline_factory());
+    let base = base_gpu.run();
+
+    let mut lb_gpu = Gpu::new(cfg, kernel, &linebacker_factory(LbConfig::default()));
+    let lb = lb_gpu.run();
+
+    println!("baseline   : ipc {:.3}, miss ratio {:.1}%", base.ipc(), 100.0 * base.miss_ratio());
+    println!("linebacker : ipc {:.3}, miss ratio {:.1}%", lb.ipc(), 100.0 * lb.miss_ratio());
+    println!();
+    println!("linebacker internal state on SM0 after the run:");
+    println!("  {}", lb_gpu.sm(0).policy.debug_state());
+    println!();
+    let delta = (lb.ipc() / base.ipc().max(1e-9) - 1.0) * 100.0;
+    println!(
+        "performance delta: {delta:+.1}% — the monitor found no high-locality load \
+         within two windows and disabled victim caching/throttling, so the \
+         streaming kernel runs at baseline speed."
+    );
+}

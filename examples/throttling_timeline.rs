@@ -1,0 +1,60 @@
+//! Timeline view: watch Linebacker's state machine unfold window by window —
+//! monitoring, selection, the CTA-throttling probe, lock, and the victim
+//! cache filling up. Prints an ASCII chart of IPC, hit fraction, active CTAs
+//! and victim-cache size per monitoring window.
+//!
+//! ```text
+//! cargo run --release --example throttling_timeline [APP]
+//! ```
+
+use gpu_sim::gpu::Gpu;
+use gpu_sim::config::GpuConfig;
+use linebacker::{linebacker_factory, LbConfig};
+use workloads::app;
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(n), ".".repeat(width - n))
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "S2".to_string());
+    let Some(a) = app(&which) else {
+        eprintln!("unknown app '{which}'");
+        std::process::exit(2);
+    };
+    let cfg = GpuConfig::default().with_sms(2).with_windows(8_000, 240_000);
+    println!("app: {} — {}", a.abbrev, a.description);
+    println!("windows of {} cycles; Linebacker default config\n", cfg.window_cycles);
+
+    let mut gpu = Gpu::new(cfg.clone(), a.kernel(cfg.n_sms), &linebacker_factory(LbConfig::default()));
+    let stats = gpu.run();
+    let series = stats.timeline_aggregate();
+
+    let max_ipc = series.iter().map(|s| s.ipc).fold(0.1, f64::max);
+    println!(
+        "{:>3}  {:<22} {:>6}  {:<12} {:>5}  {:>5}  {:>9}",
+        "win", "ipc", "", "hit%", "", "ctas", "victim KB"
+    );
+    for s in &series {
+        println!(
+            "{:>3}  {} {:>6.2}  {} {:>4.0}%  {:>5}  {:>9.1}",
+            s.window,
+            bar(s.ipc / max_ipc, 20),
+            s.ipc,
+            bar(s.hit_fraction, 10),
+            100.0 * s.hit_fraction,
+            s.active_ctas,
+            s.victim_regs as f64 * 128.0 / 1024.0,
+        );
+    }
+
+    println!();
+    println!("final policy state (SM0): {}", gpu.sm(0).policy.debug_state());
+    println!(
+        "run summary: ipc {:.3}, reg hits {:.1}%, monitoring periods {}",
+        stats.ipc(),
+        100.0 * stats.outcome_fraction(gpu_sim::types::AccessOutcome::RegHit),
+        stats.monitor_periods
+    );
+}

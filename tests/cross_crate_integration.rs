@@ -1,0 +1,126 @@
+//! Cross-crate integration tests: every architecture runs on every class of
+//! workload, and invariants hold across the substrate/policy boundary.
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::run_kernel;
+use gpu_sim::policy::baseline_factory;
+use lb_bench::{Arch, Runner, Scale};
+use workloads::{all_apps, app, Sensitivity};
+
+fn cfg() -> GpuConfig {
+    GpuConfig::default().with_sms(1).with_windows(4_000, 40_000)
+}
+
+#[test]
+fn every_architecture_runs_every_app_class() {
+    // Smoke: one sensitive and one insensitive app under every architecture.
+    let archs = [
+        Arch::Baseline,
+        Arch::StaticLimit(2),
+        Arch::Pcal,
+        Arch::Cerf,
+        Arch::Linebacker,
+        Arch::LinebackerAssoc(1),
+        Arch::LinebackerAssoc(16),
+        Arch::VictimCaching,
+        Arch::Svc,
+        Arch::PcalCerf,
+        Arch::PcalSvc,
+        Arch::BaselineSvc,
+        Arch::CacheExt,
+        Arch::LbCacheExt,
+    ];
+    for name in ["GE", "FD"] {
+        let a = app(name).unwrap();
+        for arch in archs {
+            let c = arch.transform_config(&cfg(), &a);
+            let k = a.kernel(c.n_sms);
+            let s = run_kernel(c, k, &arch.factory());
+            assert!(
+                s.instructions > 0,
+                "{name} under {} executed nothing",
+                arch.label()
+            );
+            assert!(s.ipc() > 0.0, "{name} under {} has zero IPC", arch.label());
+        }
+    }
+}
+
+#[test]
+fn access_outcomes_partition_all_accesses() {
+    // hit + miss + bypass + reg-hit must equal total accesses for every
+    // architecture (conservation across the policy boundary).
+    for arch in [Arch::Baseline, Arch::Pcal, Arch::Cerf, Arch::Linebacker] {
+        let a = app("KM").unwrap();
+        let c = cfg();
+        let k = a.kernel(c.n_sms);
+        let s = run_kernel(c, k, &arch.factory());
+        let sum = s.l1_hits + s.misses() + s.bypasses + s.reg_hits;
+        assert_eq!(sum, s.mem_accesses(), "outcome counts must partition accesses");
+        let per_load: u64 = s.per_load.values().map(|l| l.accesses).sum();
+        assert_eq!(per_load, s.mem_accesses(), "per-load counts must sum to the total");
+    }
+}
+
+#[test]
+fn baseline_never_produces_reg_hits_or_bypasses() {
+    for a in all_apps().into_iter().take(4) {
+        let c = cfg();
+        let k = a.kernel(c.n_sms);
+        let s = run_kernel(c, k, &baseline_factory());
+        assert_eq!(s.reg_hits, 0, "{}: baseline has no victim storage", a.abbrev);
+        assert_eq!(s.bypasses, 0, "{}: baseline never bypasses", a.abbrev);
+        assert_eq!(s.dram_bytes[2] + s.dram_bytes[3], 0, "{}: baseline never backs up registers", a.abbrev);
+    }
+}
+
+#[test]
+fn determinism_across_identical_runs() {
+    let a = app("S2").unwrap();
+    let c = cfg();
+    let r1 = run_kernel(c.clone(), a.kernel(c.n_sms), &Arch::Linebacker.factory());
+    let r2 = run_kernel(c.clone(), a.kernel(c.n_sms), &Arch::Linebacker.factory());
+    assert_eq!(r1.instructions, r2.instructions);
+    assert_eq!(r1.l1_hits, r2.l1_hits);
+    assert_eq!(r1.reg_hits, r2.reg_hits);
+    assert_eq!(r1.dram_bytes, r2.dram_bytes);
+}
+
+#[test]
+fn suite_covers_both_sensitivity_classes() {
+    let apps = all_apps();
+    assert_eq!(apps.len(), 20);
+    assert_eq!(
+        apps.iter().filter(|a| a.sensitivity == Sensitivity::CacheSensitive).count(),
+        10
+    );
+}
+
+#[test]
+fn runner_best_swl_consistent_with_direct_runs() {
+    let r = Runner::new(Scale::Quick);
+    let a = app("PF").unwrap();
+    let (limit, stats) = r.best_swl(&a);
+    if let Some(l) = limit {
+        let direct = r.run(&a, Arch::StaticLimit(l));
+        assert_eq!(stats.ipc(), direct.ipc(), "memoized best run must match the direct run");
+    } else {
+        let direct = r.run(&a, Arch::Baseline);
+        assert_eq!(stats.ipc(), direct.ipc());
+    }
+}
+
+#[test]
+fn cache_insensitive_app_unharmed_by_linebacker() {
+    // The Load Monitor's self-disable keeps LB from hurting streaming apps.
+    let a = app("FD").unwrap();
+    let c = GpuConfig::default().with_sms(1).with_windows(6_000, 120_000);
+    let base = run_kernel(c.clone(), a.kernel(c.n_sms), &baseline_factory());
+    let lb = run_kernel(c.clone(), a.kernel(c.n_sms), &Arch::Linebacker.factory());
+    assert!(
+        lb.ipc() >= base.ipc() * 0.95,
+        "LB ({:.3}) must not hurt the streaming app FD ({:.3})",
+        lb.ipc(),
+        base.ipc()
+    );
+}
