@@ -9,9 +9,8 @@
 use gpu_sim::config::GpuConfig;
 use gpu_sim::gpu::run_kernel;
 use gpu_sim::kernel::KernelSpec;
-use gpu_sim::policy::{PolicyCtx, SmPolicy, WindowInfo};
+use gpu_sim::policy::{PolicyCtx, PolicyFactory, SmPolicy, WindowInfo};
 use gpu_sim::stats::SimStats;
-use gpu_sim::types::SmId;
 
 /// A static CTA-limit policy (Static Warp Limiting at CTA granularity).
 #[derive(Debug, Clone)]
@@ -42,9 +41,7 @@ impl SmPolicy for StaticLimitPolicy {
 }
 
 /// Factory for a fixed CTA limit.
-pub fn static_limit_factory(
-    limit: Option<u32>,
-) -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+pub fn static_limit_factory(limit: Option<u32>) -> Box<PolicyFactory<'static>> {
     Box::new(move |_, _, _| Box::new(StaticLimitPolicy::new(limit)))
 }
 

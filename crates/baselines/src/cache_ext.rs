@@ -23,11 +23,8 @@ pub fn statically_unused_bytes(cfg: &GpuConfig, kernel: &KernelSpec) -> u64 {
     let by_warps = (cfg.max_warps_per_sm / kernel.warps_per_cta.max(1)) as u64;
     let by_threads =
         (cfg.max_threads_per_sm / (kernel.warps_per_cta.max(1) * cfg.simd_width)) as u64;
-    let by_smem = if kernel.shared_mem_per_cta > 0 {
-        cfg.shared_mem_bytes_per_sm / kernel.shared_mem_per_cta
-    } else {
-        u64::MAX
-    };
+    let by_smem =
+        cfg.shared_mem_bytes_per_sm.checked_div(kernel.shared_mem_per_cta).unwrap_or(u64::MAX);
     let resident = by_regs.min(by_slots).min(by_warps).min(by_threads).min(by_smem);
     let used = resident * regs_per_cta;
     (total_regs - used.min(total_regs)) * LINE_BYTES
@@ -59,7 +56,7 @@ pub fn best_swl_cache_ext_config(
     let static_bytes = statically_unused_bytes(cfg, kernel);
     let regs_per_cta = kernel.regs_per_cta() as u64;
     let total_regs = cfg.warp_regs_per_sm() as u64;
-    let resident = if regs_per_cta == 0 { 0 } else { total_regs / regs_per_cta };
+    let resident = total_regs.checked_div(regs_per_cta).unwrap_or(0);
     let resident = resident
         .min(cfg.max_ctas_per_sm as u64)
         .min((cfg.max_warps_per_sm / kernel.warps_per_cta.max(1)) as u64);
@@ -117,10 +114,7 @@ mod tests {
         let only_static = cache_ext_config(&cfg, &k);
         let with_dynamic = best_swl_cache_ext_config(&cfg, &k, 2);
         // Throttling 2 of 4 CTAs frees 2 x 512 regs = 128 KB.
-        assert_eq!(
-            with_dynamic.l1.size_bytes - only_static.l1.size_bytes,
-            128 * 1024
-        );
+        assert_eq!(with_dynamic.l1.size_bytes - only_static.l1.size_bytes, 128 * 1024);
     }
 
     #[test]

@@ -14,9 +14,8 @@
 //!   baseline against Linebacker's +29.1 %).
 
 use gpu_sim::config::GpuConfig;
-use gpu_sim::kernel::KernelSpec;
-use gpu_sim::policy::{MissService, PolicyCtx, SmPolicy, WindowInfo};
-use gpu_sim::types::{Cycle, LineAddr, LoadId, Pc, RegNum, SmId};
+use gpu_sim::policy::{MissService, PolicyCtx, PolicyFactory, SmPolicy, WindowInfo};
+use gpu_sim::types::{Cycle, LineAddr, LoadId, Pc, RegNum};
 
 /// One way of the register-resident cache.
 #[derive(Debug, Clone, Copy, Default)]
@@ -112,10 +111,7 @@ impl CerfPolicy {
                 return true;
             }
         }
-        let victim = self.sets[set]
-            .iter_mut()
-            .filter(|w| w.valid)
-            .min_by_key(|w| w.last_use);
+        let victim = self.sets[set].iter_mut().filter(|w| w.valid).min_by_key(|w| w.last_use);
         match victim {
             Some(w) => {
                 *w = CerfWay { valid: true, line, last_use: tick };
@@ -194,7 +190,7 @@ impl SmPolicy for CerfPolicy {
 }
 
 /// Factory for CERF.
-pub fn cerf_factory() -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+pub fn cerf_factory() -> Box<PolicyFactory<'static>> {
     Box::new(|_, gpu, _| Box::new(CerfPolicy::new(gpu)))
 }
 
@@ -203,6 +199,7 @@ mod tests {
     use super::*;
     use gpu_sim::regfile::RegFile;
     use gpu_sim::stats::SimStats;
+    use gpu_sim::types::SmId;
 
     fn prepared() -> (CerfPolicy, RegFile, SimStats) {
         let mut p = CerfPolicy::new(&GpuConfig::default());
@@ -240,10 +237,7 @@ mod tests {
         let mut st = SimStats::default();
         let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
         p.on_evict(LineAddr(5), 0, &mut ctx);
-        assert_eq!(
-            p.on_miss(Pc(0), LoadId(0), LineAddr(5), &mut ctx),
-            MissService::ToL2
-        );
+        assert_eq!(p.on_miss(Pc(0), LoadId(0), LineAddr(5), &mut ctx), MissService::ToL2);
     }
 
     #[test]
@@ -273,10 +267,7 @@ mod tests {
         let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
         p.on_evict(LineAddr(9), 0, &mut ctx);
         p.on_store(LineAddr(9), &mut ctx);
-        assert_eq!(
-            p.on_miss(Pc(0), LoadId(0), LineAddr(9), &mut ctx),
-            MissService::ToL2
-        );
+        assert_eq!(p.on_miss(Pc(0), LoadId(0), LineAddr(9), &mut ctx), MissService::ToL2);
     }
 
     #[test]

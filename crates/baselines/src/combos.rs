@@ -6,10 +6,8 @@
 //! Bypass decisions come from the first; cache-event handling from the
 //! second; window hooks reach both.
 
-use gpu_sim::config::GpuConfig;
-use gpu_sim::kernel::KernelSpec;
-use gpu_sim::policy::{MissService, PolicyCtx, PreAccess, SmPolicy, WindowInfo};
-use gpu_sim::types::{CtaId, LineAddr, LoadId, Pc, RegNum, SmId};
+use gpu_sim::policy::{MissService, PolicyCtx, PolicyFactory, PreAccess, SmPolicy, WindowInfo};
+use gpu_sim::types::{CtaId, LineAddr, LoadId, Pc, RegNum};
 use linebacker::{LbConfig, LbMode, LinebackerPolicy};
 
 use crate::cerf::CerfPolicy;
@@ -121,7 +119,7 @@ impl SmPolicy for ComposedPolicy {
 }
 
 /// PCAL+CERF: PCAL's token bypass over CERF's unified register-file cache.
-pub fn pcal_cerf_factory() -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+pub fn pcal_cerf_factory() -> Box<PolicyFactory<'static>> {
     Box::new(|_, gpu, _| {
         Box::new(ComposedPolicy::new(
             "pcal+cerf",
@@ -133,7 +131,7 @@ pub fn pcal_cerf_factory() -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<d
 
 /// PCAL+SVC: PCAL's token bypass over Linebacker's Selective Victim Caching
 /// (statically-unused registers only; no CTA throttling).
-pub fn pcal_svc_factory() -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+pub fn pcal_svc_factory() -> Box<PolicyFactory<'static>> {
     Box::new(|sm, gpu, kernel| {
         Box::new(ComposedPolicy::new(
             "pcal+svc",
@@ -151,7 +149,7 @@ pub fn pcal_svc_factory() -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dy
 /// Baseline+SVC: the unmodified GTO scheduler with Selective Victim Caching.
 /// (Identical to the `Victim Caching`/`SVC` variants exposed directly by the
 /// `linebacker` crate; provided here for the §5.5 naming.)
-pub fn baseline_svc_factory() -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+pub fn baseline_svc_factory() -> Box<PolicyFactory<'static>> {
     Box::new(|sm, gpu, kernel| {
         Box::new(LinebackerPolicy::new(
             LbConfig::with_mode(LbMode::selective_victim_caching()),
@@ -165,9 +163,11 @@ pub fn baseline_svc_factory() -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Bo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::config::GpuConfig;
     use gpu_sim::gpu::run_kernel;
-    use gpu_sim::kernel::KernelBuilder;
+    use gpu_sim::kernel::{KernelBuilder, KernelSpec};
     use gpu_sim::pattern::AccessPattern;
+    use gpu_sim::types::SmId;
 
     fn fast_cfg() -> GpuConfig {
         GpuConfig::default().with_sms(1).with_windows(2_000, 30_000)

@@ -8,9 +8,8 @@
 //! mirroring the performance-monitoring description in the paper.
 
 use gpu_sim::config::GpuConfig;
-use gpu_sim::kernel::KernelSpec;
-use gpu_sim::policy::{PolicyCtx, PreAccess, SmPolicy, WindowInfo};
-use gpu_sim::types::{LineAddr, LoadId, Pc, SmId};
+use gpu_sim::policy::{PolicyCtx, PolicyFactory, PreAccess, SmPolicy, WindowInfo};
+use gpu_sim::types::{LineAddr, LoadId, Pc};
 
 /// Direction of the current hill-climbing probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,7 +136,7 @@ impl SmPolicy for PcalPolicy {
 }
 
 /// Factory for PCAL.
-pub fn pcal_factory() -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+pub fn pcal_factory() -> Box<PolicyFactory<'static>> {
     Box::new(|_, gpu, _| Box::new(PcalPolicy::new(gpu)))
 }
 
@@ -146,6 +145,7 @@ mod tests {
     use super::*;
     use gpu_sim::regfile::RegFile;
     use gpu_sim::stats::SimStats;
+    use gpu_sim::types::SmId;
 
     fn ctx_parts() -> (RegFile, SimStats) {
         (RegFile::new(2048, 32, 32), SimStats::default())
@@ -169,14 +169,8 @@ mod tests {
         p.tokens = 4;
         let (mut rf, mut st) = ctx_parts();
         let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut st };
-        assert_eq!(
-            p.pre_access(3, Pc(0), LoadId(0), LineAddr(0), &mut ctx),
-            PreAccess::Normal
-        );
-        assert_eq!(
-            p.pre_access(4, Pc(0), LoadId(0), LineAddr(0), &mut ctx),
-            PreAccess::Bypass
-        );
+        assert_eq!(p.pre_access(3, Pc(0), LoadId(0), LineAddr(0), &mut ctx), PreAccess::Normal);
+        assert_eq!(p.pre_access(4, Pc(0), LoadId(0), LineAddr(0), &mut ctx), PreAccess::Bypass);
         assert_eq!(p.bypasses(), 1);
     }
 

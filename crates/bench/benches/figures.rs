@@ -3,13 +3,17 @@
 //! reduced scale. `cargo bench` therefore covers every artifact of the
 //! paper's evaluation; the full 20-app tables come from the `lb-experiments`
 //! binary.
+//!
+//! Timed with the in-tree `testkit::bench` harness (the container has no
+//! crates.io access, so criterion is not available).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 use gpu_sim::config::GpuConfig;
 use gpu_sim::gpu::run_kernel;
 use gpu_sim::policy::baseline_factory;
-use lb_bench::Arch;
+use lb_bench::{Arch, RunKey, Runner, Scale};
+use testkit::bench;
 use workloads::app;
 
 /// A tiny configuration so each simulated iteration is milliseconds.
@@ -17,11 +21,11 @@ fn tiny_cfg() -> GpuConfig {
     GpuConfig::default().with_sms(1).with_windows(2_000, 16_000)
 }
 
-fn bench_architectures(c: &mut Criterion) {
+const SIM_ITERS: u32 = 10;
+
+fn bench_architectures() {
     // One representative cache-sensitive app under every headline
     // architecture (the Figure 12 columns).
-    let mut g = c.benchmark_group("fig12_architectures");
-    g.sample_size(10);
     for (name, arch) in [
         ("baseline", Arch::Baseline),
         ("best_swl2", Arch::StaticLimit(2)),
@@ -29,23 +33,18 @@ fn bench_architectures(c: &mut Criterion) {
         ("cerf", Arch::Cerf),
         ("linebacker", Arch::Linebacker),
     ] {
-        g.bench_function(format!("GE_{name}"), |b| {
-            let a = app("GE").unwrap();
-            let cfg = tiny_cfg();
-            b.iter(|| {
-                let k = a.kernel(cfg.n_sms);
-                black_box(run_kernel(cfg.clone(), k, &arch.factory()).ipc())
-            });
+        let a = app("GE").unwrap();
+        let cfg = tiny_cfg();
+        bench(&format!("fig12_architectures/GE_{name}"), SIM_ITERS, || {
+            let k = a.kernel(cfg.n_sms);
+            black_box(run_kernel(cfg.clone(), k, &arch.factory()).ipc());
         });
     }
-    g.finish();
 }
 
-fn bench_ablations_and_combos(c: &mut Criterion) {
+fn bench_ablations_and_combos() {
     // Figures 11 and 15 variants on a stream-heavy app (BI), where the
     // selective-vs-plain distinction matters.
-    let mut g = c.benchmark_group("fig11_fig15_variants");
-    g.sample_size(10);
     for (name, arch) in [
         ("victim_caching", Arch::VictimCaching),
         ("svc", Arch::Svc),
@@ -53,104 +52,104 @@ fn bench_ablations_and_combos(c: &mut Criterion) {
         ("pcal_svc", Arch::PcalSvc),
         ("lb_cache_ext", Arch::LbCacheExt),
     ] {
-        g.bench_function(format!("BI_{name}"), |b| {
-            let a = app("BI").unwrap();
-            let cfg = tiny_cfg();
-            b.iter(|| {
-                let k = a.kernel(cfg.n_sms);
-                black_box(run_kernel(cfg.clone(), k, &arch.factory()).ipc())
-            });
+        let a = app("BI").unwrap();
+        let cfg = tiny_cfg();
+        bench(&format!("fig11_fig15_variants/BI_{name}"), SIM_ITERS, || {
+            let k = a.kernel(cfg.n_sms);
+            black_box(run_kernel(cfg.clone(), k, &arch.factory()).ipc());
         });
     }
-    g.finish();
 }
 
-fn bench_sweeps(c: &mut Criterion) {
+fn bench_sweeps() {
     // Figure 10 (VTT associativity) and Figure 14 (L1 size) sweep points.
-    let mut g = c.benchmark_group("fig10_fig14_sweep_points");
-    g.sample_size(10);
     for assoc in [1u32, 16] {
-        g.bench_function(format!("S2_lb_{assoc}way"), |b| {
-            let a = app("S2").unwrap();
-            let cfg = tiny_cfg();
-            let arch = Arch::LinebackerAssoc(assoc);
-            b.iter(|| {
-                let k = a.kernel(cfg.n_sms);
-                black_box(run_kernel(cfg.clone(), k, &arch.factory()).ipc())
-            });
+        let a = app("S2").unwrap();
+        let cfg = tiny_cfg();
+        let arch = Arch::LinebackerAssoc(assoc);
+        bench(&format!("fig10_fig14_sweep_points/S2_lb_{assoc}way"), SIM_ITERS, || {
+            let k = a.kernel(cfg.n_sms);
+            black_box(run_kernel(cfg.clone(), k, &arch.factory()).ipc());
         });
     }
     for l1_kb in [16u64, 128] {
-        g.bench_function(format!("S2_lb_l1_{l1_kb}kb"), |b| {
-            let a = app("S2").unwrap();
-            let cfg = tiny_cfg().with_l1_size(l1_kb * 1024);
-            let arch = Arch::Linebacker;
-            b.iter(|| {
-                let k = a.kernel(cfg.n_sms);
-                black_box(run_kernel(cfg.clone(), k, &arch.factory()).ipc())
-            });
+        let a = app("S2").unwrap();
+        let cfg = tiny_cfg().with_l1_size(l1_kb * 1024);
+        let arch = Arch::Linebacker;
+        bench(&format!("fig10_fig14_sweep_points/S2_lb_l1_{l1_kb}kb"), SIM_ITERS, || {
+            let k = a.kernel(cfg.n_sms);
+            black_box(run_kernel(cfg.clone(), k, &arch.factory()).ipc());
         });
     }
-    g.finish();
 }
 
-fn bench_motivation(c: &mut Criterion) {
+fn bench_motivation() {
     // Figures 1-5 and Table 2 rely on baseline + enlarged-L1 + detailed
     // runs; measure each ingredient.
-    let mut g = c.benchmark_group("motivation_ingredients");
-    g.sample_size(10);
-    g.bench_function("fig01_baseline_miss_breakdown", |b| {
+    {
         let a = app("CF").unwrap();
         let cfg = tiny_cfg();
-        b.iter(|| {
+        bench("motivation_ingredients/fig01_baseline_miss_breakdown", SIM_ITERS, || {
             let k = a.kernel(cfg.n_sms);
             let s = run_kernel(cfg.clone(), k, &baseline_factory());
-            black_box((s.miss_cold, s.miss_2c))
+            black_box((s.miss_cold, s.miss_2c));
         });
-    });
-    g.bench_function("table2_192kb_run", |b| {
+    }
+    {
         let a = app("CF").unwrap();
         let cfg = tiny_cfg().with_l1_size(192 * 1024);
-        b.iter(|| {
+        bench("motivation_ingredients/table2_192kb_run", SIM_ITERS, || {
             let k = a.kernel(cfg.n_sms);
-            black_box(run_kernel(cfg.clone(), k, &baseline_factory()).ipc())
+            black_box(run_kernel(cfg.clone(), k, &baseline_factory()).ipc());
         });
-    });
-    g.bench_function("fig02_detailed_stats_run", |b| {
+    }
+    {
         let a = app("CF").unwrap();
         let mut cfg = tiny_cfg();
         cfg.detailed_load_stats = true;
-        b.iter(|| {
+        bench("motivation_ingredients/fig02_detailed_stats_run", SIM_ITERS, || {
             let k = a.kernel(cfg.n_sms);
             let s = run_kernel(cfg.clone(), k, &baseline_factory());
-            black_box(s.load_detail.len())
+            black_box(s.load_detail.len());
         });
-    });
-    g.bench_function("fig05_cache_ext_run", |b| {
+    }
+    {
         let a = app("GE").unwrap();
         let base = tiny_cfg();
         let cfg = Arch::CacheExt.transform_config(&base, &a);
-        b.iter(|| {
+        bench("motivation_ingredients/fig05_cache_ext_run", SIM_ITERS, || {
             let k = a.kernel(cfg.n_sms);
-            black_box(run_kernel(cfg.clone(), k, &baseline_factory()).ipc())
+            black_box(run_kernel(cfg.clone(), k, &baseline_factory()).ipc());
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_overhead_model(c: &mut Criterion) {
+fn bench_overhead_model() {
     // §4.2 storage-overhead computation (pure arithmetic).
-    c.bench_function("overhead_model", |b| {
-        b.iter(|| black_box(linebacker::StorageOverhead::compute(48 * 1024, 1536).total_kb()));
+    bench("overhead_model", 1000, || {
+        black_box(linebacker::StorageOverhead::compute(48 * 1024, 1536).total_kb());
     });
 }
 
-criterion_group!(
-    benches,
-    bench_architectures,
-    bench_ablations_and_combos,
-    bench_sweeps,
-    bench_motivation,
-    bench_overhead_model,
-);
-criterion_main!(benches);
+fn bench_parallel_prefetch() {
+    // The run-plan engine: a small batch executed through prefetch() (all
+    // distinct keys, executed exactly once each).
+    bench("engine/prefetch_quick_batch", 3, || {
+        let runner = Runner::new(Scale::Quick);
+        let keys: Vec<RunKey> = ["GA", "GE", "S2"]
+            .iter()
+            .flat_map(|ab| [RunKey::new(ab, Arch::Baseline), RunKey::new(ab, Arch::Linebacker)])
+            .collect();
+        runner.prefetch(&keys);
+        black_box(runner.sims_run());
+    });
+}
+
+fn main() {
+    bench_architectures();
+    bench_ablations_and_combos();
+    bench_sweeps();
+    bench_motivation();
+    bench_overhead_model();
+    bench_parallel_prefetch();
+}

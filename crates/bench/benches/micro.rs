@@ -1,7 +1,11 @@
 //! Micro-benchmarks of the simulator's hot paths: tag array, MSHRs,
 //! coalescer, register file, DRAM, VTT, Load Monitor, and a full-GPU cycle.
+//!
+//! Timed with the in-tree `testkit::bench` harness (the container has no
+//! crates.io access, so criterion is not available). Each iteration batches
+//! `OPS` operations so per-op overhead dominates the timer resolution.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 use gpu_sim::cache::{MshrFile, TagArray};
 use gpu_sim::coalesce::coalesce;
@@ -14,102 +18,111 @@ use gpu_sim::policy::baseline_factory;
 use gpu_sim::regfile::RegFile;
 use gpu_sim::types::{Address, CtaId, LineAddr, Pc, RegNum};
 use linebacker::{LbConfig, LinebackerPolicy, LoadMonitor, Vtt};
+use testkit::bench;
 
-fn bench_tag_array(c: &mut Criterion) {
-    c.bench_function("tag_array_probe_fill", |b| {
-        let mut t: TagArray<u8> = TagArray::new(48, 8);
-        let mut i = 0u64;
-        b.iter(|| {
+/// Operations per timed iteration.
+const OPS: u64 = 100_000;
+const ITERS: u32 = 10;
+
+fn bench_tag_array() {
+    let mut t: TagArray<u8> = TagArray::new(48, 8);
+    let mut i = 0u64;
+    bench("tag_array_probe_fill_100k", ITERS, || {
+        for _ in 0..OPS {
             i += 1;
             let line = LineAddr(i % 1000);
             if t.probe(black_box(line)).is_none() {
                 t.fill(line, 0);
             }
-        });
+        }
     });
 }
 
-fn bench_mshr(c: &mut Criterion) {
-    c.bench_function("mshr_allocate_complete", |b| {
-        let mut m = MshrFile::new(64);
-        let mut i = 0u64;
-        b.iter(|| {
+fn bench_mshr() {
+    let mut m = MshrFile::new(64);
+    let mut i = 0u64;
+    bench("mshr_allocate_complete_100k", ITERS, || {
+        for _ in 0..OPS {
             i += 1;
             let line = LineAddr(i % 48);
             m.allocate(black_box(line), i);
-            if i % 4 == 0 {
+            if i.is_multiple_of(4) {
                 m.complete(line);
             }
-        });
+        }
     });
 }
 
-fn bench_coalescer(c: &mut Criterion) {
+fn bench_coalescer() {
     let coalesced: Vec<Address> = (0..32).map(|l| Address(0x1000 + l * 4)).collect();
     let divergent: Vec<Address> = (0..32).map(|l| Address(l * 4096)).collect();
-    c.bench_function("coalesce_unit_stride", |b| {
-        b.iter(|| coalesce(black_box(&coalesced)));
+    bench("coalesce_unit_stride_100k", ITERS, || {
+        for _ in 0..OPS {
+            black_box(coalesce(black_box(&coalesced)));
+        }
     });
-    c.bench_function("coalesce_divergent", |b| {
-        b.iter(|| coalesce(black_box(&divergent)));
-    });
-}
-
-fn bench_regfile(c: &mut Criterion) {
-    c.bench_function("regfile_access", |b| {
-        let mut rf = RegFile::new(2048, 32, 32);
-        rf.allocate_cta(CtaId(0), 256);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            rf.access(RegNum((i % 256) as u32), i / 3, i % 3 == 0)
-        });
+    bench("coalesce_divergent_10k", ITERS, || {
+        for _ in 0..OPS / 10 {
+            black_box(coalesce(black_box(&divergent)));
+        }
     });
 }
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram_tick_loaded", |b| {
-        let mut d = Dram::new(DramConfig::default(), 2.45);
-        let mut done = Vec::new();
-        let mut i = 0u64;
-        b.iter(|| {
+fn bench_regfile() {
+    let mut rf = RegFile::new(2048, 32, 32);
+    rf.allocate_cta(CtaId(0), 256);
+    let mut i = 0u64;
+    bench("regfile_access_100k", ITERS, || {
+        for _ in 0..OPS {
             i += 1;
-            if i % 2 == 0 {
+            black_box(rf.access(RegNum((i % 256) as u32), i / 3, i.is_multiple_of(3)));
+        }
+    });
+}
+
+fn bench_dram() {
+    let mut d = Dram::new(DramConfig::default(), 2.45);
+    let mut done = Vec::new();
+    let mut i = 0u64;
+    bench("dram_tick_loaded_100k", ITERS, || {
+        for _ in 0..OPS {
+            i += 1;
+            if i.is_multiple_of(2) {
                 d.push(LineAddr(i * 7), TrafficClass::DemandRead, i, i);
             }
             done.clear();
             d.tick(i, &mut done);
-            black_box(done.len())
-        });
+            black_box(done.len());
+        }
     });
 }
 
-fn bench_vtt(c: &mut Criterion) {
-    c.bench_function("vtt_insert_lookup", |b| {
-        let mut v = Vtt::new(&LbConfig::default());
-        v.set_tag_only(false);
-        v.refresh_partitions(511);
-        let mut i = 0u64;
-        b.iter(|| {
+fn bench_vtt() {
+    let mut v = Vtt::new(&LbConfig::default());
+    v.set_tag_only(false);
+    v.refresh_partitions(511);
+    let mut i = 0u64;
+    bench("vtt_insert_lookup_100k", ITERS, || {
+        for _ in 0..OPS {
             i += 1;
             v.insert(LineAddr(i % 400));
-            black_box(v.lookup(LineAddr((i * 3) % 400)))
-        });
+            black_box(v.lookup(LineAddr((i * 3) % 400)));
+        }
     });
 }
 
-fn bench_load_monitor(c: &mut Criterion) {
-    c.bench_function("load_monitor_record", |b| {
-        let mut lm = LoadMonitor::new(32, 0.2);
-        let mut i = 0u32;
-        b.iter(|| {
+fn bench_load_monitor() {
+    let mut lm = LoadMonitor::new(32, 0.2);
+    let mut i = 0u32;
+    bench("load_monitor_record_100k", ITERS, || {
+        for _ in 0..OPS {
             i += 1;
-            lm.record(Pc(i % 256), i % 3 == 0);
-        });
+            lm.record(Pc(i % 256), i.is_multiple_of(3));
+        }
     });
 }
 
-fn bench_lb_policy_construction(c: &mut Criterion) {
+fn bench_lb_policy_construction() {
     let gpu = GpuConfig::default();
     let kernel = KernelBuilder::new("k")
         .grid(8, 8)
@@ -118,48 +131,48 @@ fn bench_lb_policy_construction(c: &mut Criterion) {
         .iterations(100)
         .build()
         .unwrap();
-    c.bench_function("linebacker_policy_new", |b| {
-        b.iter(|| {
+    bench("linebacker_policy_new_1k", ITERS, || {
+        for _ in 0..1000 {
             black_box(LinebackerPolicy::new(
                 LbConfig::default(),
                 gpu_sim::types::SmId(0),
                 &gpu,
                 &kernel,
-            ))
-        });
+            ));
+        }
     });
 }
 
-fn bench_gpu_cycle(c: &mut Criterion) {
-    c.bench_function("gpu_step_1sm", |b| {
-        let cfg = GpuConfig::default().with_sms(1).with_windows(4_000, u64::MAX / 2);
-        let kernel = KernelBuilder::new("k")
-            .grid(64, 8)
-            .regs_per_thread(24)
-            .load_then_use(AccessPattern::reuse_working_set(2048, false), 2)
-            .alu(2)
-            .iterations(1_000_000)
-            .build()
-            .unwrap();
-        let mut gpu = Gpu::new(cfg, kernel, &baseline_factory());
-        // Warm up dispatch.
-        for _ in 0..100 {
+fn bench_gpu_cycle() {
+    let cfg = GpuConfig::default().with_sms(1).with_windows(4_000, u64::MAX / 2);
+    let kernel = KernelBuilder::new("k")
+        .grid(64, 8)
+        .regs_per_thread(24)
+        .load_then_use(AccessPattern::reuse_working_set(2048, false), 2)
+        .alu(2)
+        .iterations(1_000_000)
+        .build()
+        .unwrap();
+    let mut gpu = Gpu::new(cfg, kernel, &baseline_factory());
+    // Warm up dispatch.
+    for _ in 0..100 {
+        gpu.step();
+    }
+    bench("gpu_step_1sm_10k", ITERS, || {
+        for _ in 0..10_000 {
             gpu.step();
         }
-        b.iter(|| gpu.step());
     });
 }
 
-criterion_group!(
-    benches,
-    bench_tag_array,
-    bench_mshr,
-    bench_coalescer,
-    bench_regfile,
-    bench_dram,
-    bench_vtt,
-    bench_load_monitor,
-    bench_lb_policy_construction,
-    bench_gpu_cycle,
-);
-criterion_main!(benches);
+fn main() {
+    bench_tag_array();
+    bench_mshr();
+    bench_coalescer();
+    bench_regfile();
+    bench_dram();
+    bench_vtt();
+    bench_load_monitor();
+    bench_lb_policy_construction();
+    bench_gpu_cycle();
+}

@@ -5,9 +5,7 @@ use baselines::{
     pcal_cerf_factory, pcal_factory, pcal_svc_factory, static_limit_factory,
 };
 use gpu_sim::config::GpuConfig;
-use gpu_sim::kernel::KernelSpec;
-use gpu_sim::policy::{baseline_factory, SmPolicy};
-use gpu_sim::types::SmId;
+use gpu_sim::policy::{baseline_factory, PolicyFactory};
 use linebacker::{
     linebacker_factory, selective_victim_caching_factory, victim_caching_factory, LbConfig,
 };
@@ -44,6 +42,12 @@ pub enum Arch {
     BestSwlCacheExt(u32),
     /// Linebacker running on the CacheExt configuration (§5.5).
     LbCacheExt,
+    /// Linebacker with a non-default Load-Monitor hit threshold, in
+    /// hundredths (ablation sweep; Table 3 default is 20).
+    LbThreshold(u32),
+    /// Linebacker with non-default IPC variation bounds of ±`b` hundredths
+    /// (ablation sweep; Table 3 default is ±10).
+    LbIpcBound(u32),
 }
 
 impl Arch {
@@ -64,11 +68,15 @@ impl Arch {
             Arch::CacheExt => "CacheExt".into(),
             Arch::BestSwlCacheExt(l) => format!("BSWL({l})+CacheExt"),
             Arch::LbCacheExt => "LB+CacheExt".into(),
+            Arch::LbThreshold(t) => format!("LB(th={t}%)"),
+            Arch::LbIpcBound(b) => format!("LB(ipc=±{b}%)"),
         }
     }
 
-    /// Builds the policy factory for this architecture.
-    pub fn factory(&self) -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+    /// Builds the policy factory for this architecture. The returned factory
+    /// is `Send + Sync` (it captures only plain configuration values), so
+    /// the engine may instantiate policies from worker threads.
+    pub fn factory(&self) -> Box<PolicyFactory<'static>> {
         match self {
             Arch::Baseline | Arch::CacheExt => baseline_factory(),
             Arch::StaticLimit(l) | Arch::BestSwlCacheExt(l) => static_limit_factory(Some(*l)),
@@ -81,6 +89,18 @@ impl Arch {
             Arch::PcalCerf => pcal_cerf_factory(),
             Arch::PcalSvc => pcal_svc_factory(),
             Arch::BaselineSvc => baseline_svc_factory(),
+            Arch::LbThreshold(t) => linebacker_factory(LbConfig {
+                hit_threshold: *t as f64 / 100.0,
+                ..LbConfig::default()
+            }),
+            Arch::LbIpcBound(b) => {
+                let bound = *b as f64 / 100.0;
+                linebacker_factory(LbConfig {
+                    ipc_upper: bound,
+                    ipc_lower: -bound,
+                    ..LbConfig::default()
+                })
+            }
         }
     }
 
@@ -99,6 +119,7 @@ impl Arch {
 mod tests {
     use super::*;
     use crate::scale::Scale;
+    use gpu_sim::types::SmId;
     use workloads::app;
 
     #[test]
@@ -115,8 +136,7 @@ mod tests {
             Arch::CacheExt,
             Arch::LbCacheExt,
         ];
-        let labels: std::collections::HashSet<String> =
-            archs.iter().map(|a| a.label()).collect();
+        let labels: std::collections::HashSet<String> = archs.iter().map(|a| a.label()).collect();
         assert_eq!(labels.len(), archs.len());
     }
 
@@ -137,6 +157,8 @@ mod tests {
             Arch::PcalCerf,
             Arch::PcalSvc,
             Arch::BaselineSvc,
+            Arch::LbThreshold(5),
+            Arch::LbIpcBound(20),
         ] {
             let f = arch.factory();
             let _p = f(SmId(0), &cfg, &k);

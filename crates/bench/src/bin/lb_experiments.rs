@@ -1,8 +1,16 @@
 //! Command-line experiment harness.
 //!
 //! ```text
-//! lb-experiments [--scale quick|default|full] [--verbose] [ids... | all]
+//! lb-experiments [--scale quick|default|full] [--jobs N] [--verbose] [ids... | all]
 //! ```
+//!
+//! Execution is plan-then-render: every requested experiment first reports
+//! its simulation plan as typed run keys, the deduplicated union executes
+//! across a worker pool (`--jobs`, or the `LB_JOBS` environment variable,
+//! default: all cores), then a second round covers plan nodes whose
+//! identity depends on first-round results (the Best-SWL+CacheExt points).
+//! Rendering reads from the warm memo, so tables are byte-identical at any
+//! worker count.
 
 use std::io::Write;
 
@@ -14,6 +22,7 @@ fn main() {
     let mut verbose = false;
     let mut out_path: Option<String> = None;
     let mut csv_dir: Option<String> = None;
+    let mut jobs: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -25,13 +34,25 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_default();
+                jobs = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("--jobs expects a positive integer, got '{v}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--verbose" => verbose = true,
             "--out" => out_path = args.next(),
             "--csv-dir" => csv_dir = args.next(),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: lb-experiments [--scale quick|default|full] [--verbose] \
-                     [--out FILE] [--csv-dir DIR] [ids... | all]\n  ids: {}",
+                    "usage: lb-experiments [--scale quick|default|full] [--jobs N] \
+                     [--verbose] [--out FILE] [--csv-dir DIR] [ids... | all]\n  \
+                     LB_JOBS=N overrides the default worker count (all cores); \
+                     --jobs beats LB_JOBS\n  ids: {}",
                     experiments::ALL.join(" ")
                 );
                 return;
@@ -45,8 +66,50 @@ fn main() {
 
     let mut runner = Runner::new(scale);
     runner.verbose = verbose;
-    let mut rendered = String::new();
+    // Precedence: --jobs flag, then LB_JOBS, then available parallelism.
+    let env_jobs = std::env::var("LB_JOBS").ok().and_then(|v| v.parse::<usize>().ok());
+    if let Some(n) = jobs.or(env_jobs) {
+        runner.set_jobs(n);
+    }
+
     let started = std::time::Instant::now();
+
+    // Round 1: the union of every experiment's plan, deduplicated and
+    // executed in parallel with single-flight semantics.
+    let mut batch = Vec::new();
+    for id in &ids {
+        match experiments::plan(id, &runner) {
+            Some(keys) => batch.extend(keys),
+            None => {
+                eprintln!("unknown experiment id '{id}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "[plan] {} experiments -> {} planned runs ({} workers)",
+        ids.len(),
+        batch.len(),
+        runner.jobs()
+    );
+    runner.prefetch(&batch);
+
+    // Round 2: keys that depend on round-1 results (Best-SWL winners).
+    let mut followups = Vec::new();
+    for id in &ids {
+        followups.extend(experiments::followup(id, &runner).unwrap_or_default());
+    }
+    if !followups.is_empty() {
+        eprintln!("[plan] round 2: {} follow-up runs", followups.len());
+        runner.prefetch(&followups);
+    }
+    eprintln!(
+        "[plan] {} simulations executed in {:.1}s; rendering",
+        runner.sims_run(),
+        started.elapsed().as_secs_f64()
+    );
+
+    let mut rendered = String::new();
     for id in &ids {
         let t0 = std::time::Instant::now();
         match experiments::run(id, &runner) {
@@ -73,9 +136,10 @@ fn main() {
         }
     }
     eprintln!(
-        "all done: {} experiments, {} simulations, {:.1}s, scale={}",
+        "all done: {} experiments, {} simulations, {} workers, {:.1}s, scale={}",
         ids.len(),
         runner.sims_run(),
+        runner.jobs(),
         started.elapsed().as_secs_f64(),
         scale
     );

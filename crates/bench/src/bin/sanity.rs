@@ -7,7 +7,10 @@ use workloads::all_apps;
 
 fn main() {
     let cfg = GpuConfig::default().with_sms(4).with_windows(10_000, 240_000);
-    println!("{:<4} {:>8} {:>8} {:>8} {:>8} {:>8}  reg_hit%  periods", "app", "base", "bswl", "pcal", "cerf", "lb");
+    println!(
+        "{:<4} {:>8} {:>8} {:>8} {:>8} {:>8}  reg_hit%  periods",
+        "app", "base", "bswl", "pcal", "cerf", "lb"
+    );
     for app in all_apps() {
         let k = app.kernel(cfg.n_sms);
         let base = run_kernel(cfg.clone(), k.clone(), &baseline_factory());

@@ -8,6 +8,8 @@ use gpu_sim::stats::geometric_mean;
 use linebacker::{linebacker_factory, LbConfig};
 use workloads::{all_apps, Sensitivity};
 
+use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{f3, Table};
 
@@ -19,10 +21,13 @@ pub const WINDOW_FACTORS: [f64; 3] = [0.5, 1.0, 2.0];
 pub const BOUNDS: [f64; 3] = [0.05, 0.10, 0.20];
 
 fn sensitive_apps() -> Vec<workloads::AppSpec> {
-    all_apps()
-        .into_iter()
-        .filter(|a| a.sensitivity == Sensitivity::CacheSensitive)
-        .collect()
+    all_apps().into_iter().filter(|a| a.sensitivity == Sensitivity::CacheSensitive).collect()
+}
+
+/// Sweep values are carried in [`Arch`] variants as integer hundredths
+/// (`f64` is not `Hash`/`Eq`, so it cannot live in a [`RunKey`]).
+fn hundredths(x: f64) -> u32 {
+    (x * 100.0).round() as u32
 }
 
 /// Runs the three ablation sweeps. Geometric means are over the ten
@@ -36,16 +41,11 @@ pub fn run(r: &Runner) -> Table {
     let apps = sensitive_apps();
     let bswl: Vec<f64> = apps.iter().map(|a| r.best_swl_ipc(a)).collect();
 
-    // 1) Hit threshold.
+    // 1) Hit threshold (memoized through the runner; prefetched by `runs`).
     for &th in &THRESHOLDS {
         let mut ratios = Vec::new();
         for (a, &b) in apps.iter().zip(&bswl) {
-            let cfg = LbConfig { hit_threshold: th, ..LbConfig::default() };
-            let s = run_kernel(
-                r.config().clone(),
-                a.kernel(r.config().n_sms),
-                &linebacker_factory(cfg),
-            );
+            let s = r.run(a, Arch::LbThreshold(hundredths(th)));
             ratios.push(s.ipc() / b.max(1e-9));
         }
         t.row(vec!["hit_threshold".into(), format!("{th:.2}"), f3(geometric_mean(&ratios))]);
@@ -72,16 +72,11 @@ pub fn run(r: &Runner) -> Table {
         ]);
     }
 
-    // 3) IPC variation bounds.
+    // 3) IPC variation bounds (memoized through the runner).
     for &bnd in &BOUNDS {
         let mut ratios = Vec::new();
         for (a, &b) in apps.iter().zip(&bswl) {
-            let cfg = LbConfig { ipc_upper: bnd, ipc_lower: -bnd, ..LbConfig::default() };
-            let s = run_kernel(
-                r.config().clone(),
-                a.kernel(r.config().n_sms),
-                &linebacker_factory(cfg),
-            );
+            let s = r.run(a, Arch::LbIpcBound(hundredths(bnd)));
             ratios.push(s.ipc() / b.max(1e-9));
         }
         t.row(vec!["ipc_bounds".into(), format!("±{bnd:.2}"), f3(geometric_mean(&ratios))]);
@@ -90,6 +85,23 @@ pub fn run(r: &Runner) -> Table {
     t.note("Table 3 defaults: threshold 0.20, window 50k cycles, bounds ±0.10");
     t.note("window sweep is normalized to the same-window baseline (not Best-SWL)");
     t
+}
+
+/// The plannable simulations [`run`] needs. The window-factor sweep
+/// modifies the global `GpuConfig` window length, which is outside the
+/// [`RunKey`] space; those runs execute serially during rendering.
+pub fn runs(r: &Runner) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for app in sensitive_apps() {
+        keys.extend(r.best_swl_plan(&app));
+        for &th in &THRESHOLDS {
+            keys.push(RunKey::for_app(&app, Arch::LbThreshold(hundredths(th))));
+        }
+        for &bnd in &BOUNDS {
+            keys.push(RunKey::for_app(&app, Arch::LbIpcBound(hundredths(bnd))));
+        }
+    }
+    keys
 }
 
 #[cfg(test)]
@@ -104,11 +116,7 @@ mod tests {
         // be within 10% of the best threshold tried.
         let vals: Vec<f64> = t.rows[..3].iter().map(|row| row[2].parse().unwrap()).collect();
         let best = vals.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(
-            vals[1] >= best * 0.90,
-            "default threshold ({}) far below best ({best})",
-            vals[1]
-        );
+        assert!(vals[1] >= best * 0.90, "default threshold ({}) far below best ({best})", vals[1]);
     }
 
     #[test]

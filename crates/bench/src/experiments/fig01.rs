@@ -5,6 +5,7 @@
 use workloads::all_apps;
 
 use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{pct, Table};
 
@@ -37,6 +38,11 @@ pub fn run(r: &Runner) -> Table {
     ]);
     t.note("paper: avg total miss 66.6%, avg 2C 44.6% (67.0% of all misses)");
     t
+}
+
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(_r: &Runner) -> Vec<RunKey> {
+    all_apps().iter().map(|a| RunKey::for_app(a, Arch::Baseline)).collect()
 }
 
 #[cfg(test)]

@@ -4,6 +4,8 @@
 
 use workloads::all_apps;
 
+use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{kb, Table};
 
@@ -22,8 +24,8 @@ pub fn run(r: &Runner) -> Table {
         // paper's methodology), then sum the top 4 reused working sets.
         let mut per_load: Vec<(u64, f64)> = s
             .load_detail
-            .iter()
-            .filter_map(|(_, d)| {
+            .values()
+            .filter_map(|d| {
                 if d.windows.is_empty() {
                     return None;
                 }
@@ -38,7 +40,7 @@ pub fn run(r: &Runner) -> Table {
                 Some((accesses, avg_ws))
             })
             .collect();
-        per_load.sort_by(|a, b| b.0.cmp(&a.0));
+        per_load.sort_by_key(|&(accesses, _)| std::cmp::Reverse(accesses));
         // Detail windows are aggregated over all SMs; divide by SM count.
         let total: f64 = per_load.iter().take(4).map(|(_, ws)| ws).sum::<f64>() / n_sms;
         if total > 48.0 * 1024.0 {
@@ -53,6 +55,11 @@ pub fn run(r: &Runner) -> Table {
     t.note(format!("{exceeds}/20 apps exceed the 48 KB L1 (paper: 13/20)"));
     t.note("window length scales with the run scale; sizes are per SM");
     t
+}
+
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(_r: &Runner) -> Vec<RunKey> {
+    all_apps().iter().map(|a| RunKey::for_app(a, Arch::Baseline).with_detailed()).collect()
 }
 
 #[cfg(test)]

@@ -5,6 +5,8 @@
 
 use workloads::all_apps;
 
+use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{kb, Table};
 
@@ -44,6 +46,11 @@ pub fn run(r: &Runner) -> Table {
     }
     t.note(format!("{over_16}/20 apps stream more than 16 KB per window (paper: 9/20)"));
     t
+}
+
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(_r: &Runner) -> Vec<RunKey> {
+    all_apps().iter().map(|a| RunKey::for_app(a, Arch::Baseline).with_detailed()).collect()
 }
 
 #[cfg(test)]

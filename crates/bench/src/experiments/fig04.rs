@@ -4,6 +4,7 @@
 
 use workloads::all_apps;
 
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{kb, Table};
 
@@ -24,9 +25,7 @@ pub fn run(r: &Runner) -> Table {
         let resident = app.resident_ctas(cfg);
         let regs_per_cta = (app.warps_per_cta * app.regs_per_thread) as u64;
         let dur = match limit {
-            Some(l) if l < resident => {
-                ((resident - l) as u64 * regs_per_cta * 128) as f64
-            }
+            Some(l) if l < resident => ((resident - l) as u64 * regs_per_cta * 128) as f64,
             _ => 0.0,
         };
         sur_sum += sur;
@@ -50,6 +49,11 @@ pub fn run(r: &Runner) -> Table {
     t
 }
 
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(r: &Runner) -> Vec<RunKey> {
+    all_apps().iter().flat_map(|a| r.best_swl_plan(a)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,11 +73,7 @@ mod tests {
     fn throttled_apps_show_dur() {
         let r = crate::shared_quick_runner();
         let t = run(r);
-        let with_dur = t
-            .rows
-            .iter()
-            .filter(|row| row[2].parse::<f64>().unwrap() > 0.0)
-            .count();
+        let with_dur = t.rows.iter().filter(|row| row[2].parse::<f64>().unwrap() > 0.0).count();
         assert!(with_dur >= 3, "only {with_dur} apps show DUR");
     }
 }

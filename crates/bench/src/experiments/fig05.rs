@@ -7,6 +7,7 @@
 use workloads::all_apps;
 
 use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{f3, Table};
 
@@ -27,16 +28,35 @@ pub fn run(r: &Runner) -> Table {
             Some(l) => r.run(&app, Arch::BestSwlCacheExt(l)).ipc(),
             None => r.run(&app, Arch::BestSwlCacheExt(resident)).ipc(),
         };
-        t.row(vec![
-            app.abbrev.into(),
-            f3(swl.ipc() / base),
-            f3(ext / base),
-            f3(both / base),
-        ]);
+        t.row(vec![app.abbrev.into(), f3(swl.ipc() / base), f3(ext / base), f3(both / base)]);
     }
     t.gm_row("GM", &[1, 2, 3]);
     t.note("paper GM: Best-SWL 1.115, CacheExt 1.543, Best-SWL+CacheExt 1.770");
     t
+}
+
+/// The first-round simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(r: &Runner) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for app in all_apps() {
+        keys.extend(r.best_swl_plan(&app));
+        keys.push(RunKey::for_app(&app, Arch::CacheExt));
+    }
+    keys
+}
+
+/// Second-round keys whose identity depends on first-round results: the
+/// Best-SWL+CacheExt point uses the winning limit of the sweep. Cheap once
+/// the [`runs`] batch is warm (the arg-max is a memo lookup).
+pub fn followup_runs(r: &Runner) -> Vec<RunKey> {
+    all_apps()
+        .iter()
+        .map(|app| {
+            let (limit, _) = r.best_swl(app);
+            let l = limit.unwrap_or_else(|| app.resident_ctas(r.config()));
+            RunKey::for_app(app, Arch::BestSwlCacheExt(l))
+        })
+        .collect()
 }
 
 #[cfg(test)]

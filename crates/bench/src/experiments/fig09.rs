@@ -5,6 +5,7 @@
 use workloads::all_apps;
 
 use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{kb, Table};
 
@@ -49,6 +50,11 @@ pub fn run(r: &Runner) -> Table {
     t
 }
 
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(_r: &Runner) -> Vec<RunKey> {
+    all_apps().iter().map(|a| RunKey::for_app(a, Arch::Linebacker)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,11 +65,7 @@ mod tests {
         let t = run(r);
         // Most apps should converge (or disable) within a handful of
         // periods, as in the paper.
-        let fast = t
-            .rows
-            .iter()
-            .filter(|row| row[4].parse::<u32>().unwrap() <= 5)
-            .count();
+        let fast = t.rows.iter().filter(|row| row[4].parse::<u32>().unwrap() <= 5).count();
         assert!(fast >= 15, "only {fast}/20 apps converged within 5 periods");
     }
 
@@ -71,11 +73,7 @@ mod tests {
     fn throttling_produces_dynamic_space_somewhere() {
         let r = crate::shared_quick_runner();
         let t = run(r);
-        let with_dur = t
-            .rows
-            .iter()
-            .filter(|row| row[2].parse::<f64>().unwrap() > 0.0)
-            .count();
+        let with_dur = t.rows.iter().filter(|row| row[2].parse::<f64>().unwrap() > 0.0).count();
         assert!(with_dur >= 3, "no dynamically unused space found ({with_dur} apps)");
     }
 }

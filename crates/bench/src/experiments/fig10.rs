@@ -6,6 +6,7 @@
 use workloads::all_apps;
 
 use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{f3, pct, Table};
 
@@ -17,15 +18,10 @@ pub fn run(r: &Runner) -> Table {
     let mut t = Table::new(
         "fig10",
         "VTT partition associativity: idle-RF utilization and performance vs Best-SWL",
-        vec![
-            "assoc".into(),
-            "utilization".into(),
-            "perf_vs_bswl_GM".into(),
-        ],
+        vec!["assoc".into(), "utilization".into(), "perf_vs_bswl_GM".into()],
     );
     for assoc in ASSOCS {
-        let arch =
-            if assoc == 4 { Arch::Linebacker } else { Arch::LinebackerAssoc(assoc) };
+        let arch = if assoc == 4 { Arch::Linebacker } else { Arch::LinebackerAssoc(assoc) };
         let mut ratios = Vec::new();
         let mut util_num = 0.0;
         let mut util_den = 0.0;
@@ -37,14 +33,23 @@ pub fn run(r: &Runner) -> Table {
             util_den += s.avg_static_unused_bytes() + s.avg_dynamic_unused_bytes();
         }
         let gm = gpu_sim::stats::geometric_mean(&ratios);
-        t.row(vec![
-            format!("{assoc}-way"),
-            pct(util_num / util_den.max(1.0)),
-            f3(gm),
-        ]);
+        t.row(vec![format!("{assoc}-way"), pct(util_num / util_den.max(1.0)), f3(gm)]);
     }
     t.note("paper: 1-way 92.8% util; 4-way 88.5% util, best perf (1.29); 16-way 71.1% util");
     t
+}
+
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(r: &Runner) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for app in all_apps() {
+        keys.extend(r.best_swl_plan(&app));
+        for assoc in ASSOCS {
+            let arch = if assoc == 4 { Arch::Linebacker } else { Arch::LinebackerAssoc(assoc) };
+            keys.push(RunKey::for_app(&app, arch));
+        }
+    }
+    keys
 }
 
 #[cfg(test)]
@@ -55,11 +60,8 @@ mod tests {
     fn four_way_is_best_and_utilization_falls_with_assoc() {
         let r = crate::shared_quick_runner();
         let t = run(r);
-        let util: Vec<f64> = t
-            .rows
-            .iter()
-            .map(|row| row[1].trim_end_matches('%').parse().unwrap())
-            .collect();
+        let util: Vec<f64> =
+            t.rows.iter().map(|row| row[1].trim_end_matches('%').parse().unwrap()).collect();
         let perf: Vec<f64> = t.rows.iter().map(|row| row[2].parse().unwrap()).collect();
         // Utilization: 1-way >= 4-way >= 16-way.
         assert!(util[0] >= util[1] && util[1] >= util[2], "utilization order {util:?}");

@@ -5,6 +5,7 @@
 use workloads::all_apps;
 
 use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{f3, Table};
 
@@ -13,29 +14,31 @@ pub fn run(r: &Runner) -> Table {
     let mut t = Table::new(
         "fig11",
         "Linebacker technique breakdown (normalized to Best-SWL)",
-        vec![
-            "app".into(),
-            "VictimCaching".into(),
-            "SelectiveVC".into(),
-            "Throttling+SVC".into(),
-        ],
+        vec!["app".into(), "VictimCaching".into(), "SelectiveVC".into(), "Throttling+SVC".into()],
     );
     for app in all_apps() {
         let bswl = r.best_swl_ipc(&app);
         let vc = r.run(&app, Arch::VictimCaching).ipc();
         let svc = r.run(&app, Arch::Svc).ipc();
         let full = r.run(&app, Arch::Linebacker).ipc();
-        t.row(vec![
-            app.abbrev.into(),
-            f3(vc / bswl),
-            f3(svc / bswl),
-            f3(full / bswl),
-        ]);
+        t.row(vec![app.abbrev.into(), f3(vc / bswl), f3(svc / bswl), f3(full / bswl)]);
     }
     t.gm_row("GM", &[1, 2, 3]);
     t.note("paper: SVC gains >7% over VC in stream-heavy apps (BI, BC, BG, SR2, SP);");
     t.note("paper: Throttling+SVC gains 7.7% over SVC; full design = 1.29 vs Best-SWL");
     t
+}
+
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(r: &Runner) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for app in all_apps() {
+        keys.extend(r.best_swl_plan(&app));
+        for arch in [Arch::VictimCaching, Arch::Svc, Arch::Linebacker] {
+            keys.push(RunKey::for_app(&app, arch));
+        }
+    }
+    keys
 }
 
 #[cfg(test)]

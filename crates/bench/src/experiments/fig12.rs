@@ -5,6 +5,7 @@
 use workloads::all_apps;
 
 use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{f3, Table};
 
@@ -38,6 +39,18 @@ pub fn run(r: &Runner) -> Table {
     t.note("paper GM: baseline 0.775, PCAL 1.076, CERF 1.196, LB 1.290");
     t.note("known deviation: our PCAL lands below Best-SWL (see EXPERIMENTS.md)");
     t
+}
+
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(r: &Runner) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for app in all_apps() {
+        keys.extend(r.best_swl_plan(&app));
+        for arch in [Arch::Baseline, Arch::Pcal, Arch::Cerf, Arch::Linebacker] {
+            keys.push(RunKey::for_app(&app, arch));
+        }
+    }
+    keys
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use gpu_sim::types::AccessOutcome;
 use workloads::all_apps;
 
 use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{pct, Table};
 
@@ -69,6 +70,20 @@ pub fn run(r: &Runner) -> Table {
     }
     t.note("paper: LB combined 65.1% (40.4% reg hits); CERF 57.9%");
     t
+}
+
+/// The simulations [`run`] needs, as a prefetchable plan. The "S" column
+/// resolves to `StaticLimit(winning limit)` (or the baseline), both already
+/// members of the Best-SWL sweep, so no second round is needed.
+pub fn runs(r: &Runner) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for app in all_apps() {
+        keys.extend(r.best_swl_plan(&app));
+        for arch in [Arch::Baseline, Arch::Pcal, Arch::Cerf, Arch::Linebacker] {
+            keys.push(RunKey::for_app(&app, arch));
+        }
+    }
+    keys
 }
 
 #[cfg(test)]

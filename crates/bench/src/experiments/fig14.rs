@@ -6,6 +6,7 @@
 use workloads::all_apps;
 
 use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{f3, Table};
 
@@ -41,6 +42,20 @@ pub fn run(r: &Runner) -> Table {
     t
 }
 
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(_r: &Runner) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for kbs in L1_SIZES_KB {
+        let bytes = kbs * 1024;
+        for app in all_apps() {
+            for arch in [Arch::Baseline, Arch::Linebacker, Arch::Cerf] {
+                keys.push(RunKey::for_app(&app, arch).with_l1(bytes));
+            }
+        }
+    }
+    keys
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,10 +69,7 @@ mod tests {
         // Gains shrink as the cache grows: the 48 KB point must beat the
         // 128 KB point (the 16 KB point is noisy at quick scale because the
         // severely thrashed baseline slows warp progress).
-        assert!(
-            lb[1] > *lb.last().unwrap(),
-            "LB gain should shrink from 48KB to 128KB: {lb:?}"
-        );
+        assert!(lb[1] > *lb.last().unwrap(), "LB gain should shrink from 48KB to 128KB: {lb:?}");
         // LB never seriously harms any cache size.
         for (i, v) in lb.iter().enumerate() {
             assert!(*v > 0.93, "LB harmful at sweep point {i}: {v}");

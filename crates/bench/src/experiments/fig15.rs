@@ -5,6 +5,7 @@
 use workloads::all_apps;
 
 use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{f3, Table};
 
@@ -39,6 +40,20 @@ pub fn run(r: &Runner) -> Table {
     t
 }
 
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(r: &Runner) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for app in all_apps() {
+        keys.extend(r.best_swl_plan(&app));
+        for arch in
+            [Arch::BaselineSvc, Arch::PcalCerf, Arch::PcalSvc, Arch::Linebacker, Arch::LbCacheExt]
+        {
+            keys.push(RunKey::for_app(&app, arch));
+        }
+    }
+    keys
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,13 +66,7 @@ mod tests {
         let base_svc: f64 = gm[1].parse().unwrap();
         let lb: f64 = gm[4].parse().unwrap();
         let lb_ext: f64 = gm[5].parse().unwrap();
-        assert!(
-            lb >= base_svc,
-            "full LB ({lb}) must beat SVC without throttling ({base_svc})"
-        );
-        assert!(
-            lb_ext >= lb * 0.98,
-            "LB+CacheExt ({lb_ext}) should not lose to LB ({lb})"
-        );
+        assert!(lb >= base_svc, "full LB ({lb}) must beat SVC without throttling ({base_svc})");
+        assert!(lb_ext >= lb * 0.98, "LB+CacheExt ({lb_ext}) should not lose to LB ({lb})");
     }
 }

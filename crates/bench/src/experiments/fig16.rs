@@ -6,6 +6,7 @@
 use workloads::all_apps;
 
 use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{f3, Table};
 
@@ -33,6 +34,17 @@ pub fn run(r: &Runner) -> Table {
     t
 }
 
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(_r: &Runner) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for app in all_apps() {
+        for arch in [Arch::Baseline, Arch::Cerf, Arch::Linebacker] {
+            keys.push(RunKey::for_app(&app, arch));
+        }
+    }
+    keys
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,10 +56,7 @@ mod tests {
         let gm = t.rows.last().unwrap();
         let cerf: f64 = gm[1].parse().unwrap();
         let lb: f64 = gm[2].parse().unwrap();
-        assert!(
-            cerf > lb,
-            "CERF ({cerf}) must produce more bank conflicts than LB ({lb})"
-        );
+        assert!(cerf > lb, "CERF ({cerf}) must produce more bank conflicts than LB ({lb})");
         assert!(cerf > 1.0, "CERF must add conflicts over baseline");
     }
 }

@@ -6,6 +6,7 @@
 use workloads::all_apps;
 
 use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{f3, pct, Table};
 
@@ -14,12 +15,7 @@ pub fn run(r: &Runner) -> Table {
     let mut t = Table::new(
         "fig17",
         "off-chip traffic (normalized to baseline, per instruction) and LB backup overhead",
-        vec![
-            "app".into(),
-            "CERF".into(),
-            "LB".into(),
-            "lb_backup_share".into(),
-        ],
+        vec!["app".into(), "CERF".into(), "LB".into(), "lb_backup_share".into()],
     );
     for app in all_apps() {
         let per_inst = |s: &gpu_sim::stats::SimStats| {
@@ -41,6 +37,17 @@ pub fn run(r: &Runner) -> Table {
     t.gm_row("GM", &[1, 2]);
     t.note("paper: LB traffic 0.760 of baseline (CERF 0.806); backup/restore <1% everywhere");
     t
+}
+
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(_r: &Runner) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for app in all_apps() {
+        for arch in [Arch::Baseline, Arch::Cerf, Arch::Linebacker] {
+            keys.push(RunKey::for_app(&app, arch));
+        }
+    }
+    keys
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 use workloads::all_apps;
 
 use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{f3, Table};
 
@@ -17,8 +18,7 @@ pub fn run(r: &Runner) -> Table {
         vec!["app".into(), "CERF".into(), "LB".into()],
     );
     for app in all_apps() {
-        let per_inst =
-            |s: &gpu_sim::stats::SimStats| s.energy_mj / s.instructions.max(1) as f64;
+        let per_inst = |s: &gpu_sim::stats::SimStats| s.energy_mj / s.instructions.max(1) as f64;
         let base = per_inst(&r.run(&app, Arch::Baseline)).max(1e-18);
         let cerf = per_inst(&r.run(&app, Arch::Cerf));
         let lb = per_inst(&r.run(&app, Arch::Linebacker));
@@ -27,6 +27,17 @@ pub fn run(r: &Runner) -> Table {
     t.gm_row("GM", &[1, 2]);
     t.note("paper: CERF 0.788, LB 0.779 of baseline energy");
     t
+}
+
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(_r: &Runner) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for app in all_apps() {
+        for arch in [Arch::Baseline, Arch::Cerf, Arch::Linebacker] {
+            keys.push(RunKey::for_app(&app, arch));
+        }
+    }
+    keys
 }
 
 #[cfg(test)]

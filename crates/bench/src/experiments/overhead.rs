@@ -2,6 +2,7 @@
 
 use linebacker::StorageOverhead;
 
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::Table;
 
@@ -23,6 +24,11 @@ pub fn run(_r: &Runner) -> Table {
     t.row(vec!["TOTAL".into(), o.total_bytes().to_string()]);
     t.note(format!("total {:.2} KB (paper: 5.88 KB, <0.9% of SM area)", o.total_kb()));
     t
+}
+
+/// [`run`] is analytic; it needs no simulations.
+pub fn runs(_r: &Runner) -> Vec<RunKey> {
+    Vec::new()
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 use workloads::{all_apps, Sensitivity};
 
 use crate::arch::Arch;
+use crate::runkey::RunKey;
 use crate::runner::Runner;
 use crate::table::{f2, f3, Table};
 
@@ -48,6 +49,16 @@ pub fn run(r: &Runner) -> Table {
     t
 }
 
+/// The simulations [`run`] needs, as a prefetchable plan.
+pub fn runs(_r: &Runner) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for app in all_apps() {
+        keys.push(RunKey::for_app(&app, Arch::Baseline));
+        keys.push(RunKey::for_app(&app, Arch::Baseline).with_l1(192 * 1024));
+    }
+    keys
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,12 +68,7 @@ mod tests {
         let r = crate::shared_quick_runner();
         let t = run(r);
         assert_eq!(t.rows.len(), 20);
-        let agree: u32 = t.notes[0]
-            .split('/')
-            .next()
-            .unwrap()
-            .parse()
-            .unwrap();
+        let agree: u32 = t.notes[0].split('/').next().unwrap().parse().unwrap();
         assert!(agree >= 16, "classification agreement too low: {agree}/20");
     }
 }

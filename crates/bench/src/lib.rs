@@ -13,21 +13,30 @@
 //!
 //! ```text
 //! lb-experiments --scale default all
-//! lb-experiments fig12 fig13
+//! lb-experiments --jobs 8 fig12 fig13
 //! ```
 //!
-//! Simulations are memoized inside one invocation so figures that share run
-//! sets (12/13/16/17/18) cost one set of simulations.
+//! The harness is layered: experiments *plan* their simulations as typed
+//! [`RunKey`]s ([`experiments::plan`]), the [`engine`] executes the
+//! deduplicated union across a worker pool with single-flight semantics,
+//! and rendering reads from the warm memo. Figures that share run sets
+//! (12/13/16/17/18) therefore cost one set of simulations, executed in
+//! parallel (`--jobs`/`LB_JOBS`, default: all cores) with bit-identical
+//! results at any worker count.
 
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod engine;
 pub mod experiments;
+pub mod runkey;
 pub mod runner;
 pub mod scale;
 pub mod table;
 
 pub use arch::Arch;
+pub use engine::Engine;
+pub use runkey::{ArchSpec, RunKey};
 pub use runner::Runner;
 pub use scale::Scale;
 pub use table::Table;

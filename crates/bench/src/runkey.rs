@@ -1,0 +1,210 @@
+//! Typed run identity: the memo/planning key of the experiment harness.
+//!
+//! A [`RunKey`] names one simulation — `(app, architecture, L1 override,
+//! detailed flag)` — and an [`ArchSpec`] turns that identity into the exact
+//! [`GpuConfig`] transform and policy factory the run uses. The key is a
+//! plain `Hash + Eq` value type, so two distinct configurations can never
+//! alias (the previous string-formatted key could only promise this
+//! informally), and plans for whole figure suites are just `Vec<RunKey>`.
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::policy::PolicyFactory;
+use workloads::AppSpec;
+
+use crate::arch::Arch;
+
+/// Identity of one simulation run within a [`crate::Runner`].
+///
+/// Equality is structural: every field that influences the simulation's
+/// configuration participates, so collisions are unrepresentable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Application abbreviation (the paper's two-letter code, e.g. `"S2"`).
+    pub app: &'static str,
+    /// Architecture under evaluation.
+    pub arch: Arch,
+    /// Optional L1 size override in bytes (Figure 14 / Table 2 sweeps).
+    pub l1_override: Option<u64>,
+    /// Detailed per-load statistics (Figures 2/3; forces the paper's
+    /// 50 k-cycle window definition).
+    pub detailed: bool,
+}
+
+impl RunKey {
+    /// A plain run of `app` under `arch` on the scale's base config.
+    pub fn new(app: &'static str, arch: Arch) -> Self {
+        RunKey { app, arch, l1_override: None, detailed: false }
+    }
+
+    /// A plain run keyed by an [`AppSpec`].
+    pub fn for_app(app: &AppSpec, arch: Arch) -> Self {
+        Self::new(app.abbrev, arch)
+    }
+
+    /// Overrides the L1 size (bytes).
+    pub fn with_l1(mut self, bytes: u64) -> Self {
+        self.l1_override = Some(bytes);
+        self
+    }
+
+    /// Enables detailed per-load statistics.
+    pub fn with_detailed(mut self) -> Self {
+        self.detailed = true;
+        self
+    }
+
+    /// The architecture specification part of the key (everything except
+    /// the application).
+    pub fn spec(&self) -> ArchSpec {
+        ArchSpec { arch: self.arch, l1_override: self.l1_override, detailed: self.detailed }
+    }
+}
+
+impl std::fmt::Display for RunKey {
+    /// Stable display form for logs: `GA/LB`, `GA/Baseline+l1=16K`,
+    /// `GA/Baseline+detailed`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.app, self.arch.label())?;
+        if let Some(l1) = self.l1_override {
+            if l1 % 1024 == 0 {
+                write!(f, "+l1={}K", l1 / 1024)?;
+            } else {
+                write!(f, "+l1={l1}B")?;
+            }
+        }
+        if self.detailed {
+            write!(f, "+detailed")?;
+        }
+        Ok(())
+    }
+}
+
+/// The architecture-side specification of a run: fully determines the
+/// configuration transform and the policy factory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArchSpec {
+    /// Architecture under evaluation.
+    pub arch: Arch,
+    /// Optional L1 size override in bytes.
+    pub l1_override: Option<u64>,
+    /// Detailed per-load statistics.
+    pub detailed: bool,
+}
+
+impl ArchSpec {
+    /// Builds the final [`GpuConfig`] for this spec from the scale's base
+    /// configuration. Applies, in order: the L1 override, the
+    /// architecture's own transform (CacheExt enlargements), and the
+    /// detailed-statistics window rules (Figures 2/3 use the paper's
+    /// 50 k-cycle windows regardless of scale, so reuse distances are
+    /// observable).
+    pub fn config(&self, base: &GpuConfig, app: &AppSpec) -> GpuConfig {
+        let mut cfg = base.clone();
+        if let Some(l1) = self.l1_override {
+            cfg = cfg.with_l1_size(l1);
+        }
+        cfg = self.arch.transform_config(&cfg, app);
+        cfg.detailed_load_stats = self.detailed;
+        if self.detailed {
+            let max = cfg.max_cycles.max(250_000);
+            cfg = cfg.with_windows(50_000, max);
+        }
+        cfg
+    }
+
+    /// The policy factory for this spec.
+    pub fn factory(&self) -> Box<PolicyFactory<'static>> {
+        self.arch.factory()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn distinct_configs_never_alias() {
+        // The old string key round-tripped `Option<u64>` and `bool` through
+        // Debug formatting; the typed key must keep every distinct
+        // configuration distinct. Enumerate a dense cross-product and
+        // assert full injectivity under Hash + Eq.
+        let apps = ["GA", "GE", "S2"];
+        let archs = [
+            Arch::Baseline,
+            Arch::StaticLimit(1),
+            Arch::StaticLimit(16),
+            Arch::Linebacker,
+            Arch::LinebackerAssoc(16),
+            Arch::Cerf,
+        ];
+        let l1s = [None, Some(16 * 1024), Some(16384 + 1), Some(192 * 1024)];
+        let mut seen: HashSet<RunKey> = HashSet::new();
+        let mut n = 0;
+        for app in apps {
+            for arch in archs {
+                for l1 in l1s {
+                    for detailed in [false, true] {
+                        let key = RunKey { app, arch, l1_override: l1, detailed };
+                        assert!(seen.insert(key), "key aliased: {key}");
+                        n += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), n);
+    }
+
+    #[test]
+    fn numeric_arch_parameters_do_not_collide() {
+        // StaticLimit(12) vs LinebackerAssoc(12) vs a 12-byte L1 override:
+        // structurally different fields must produce different keys even
+        // when the embedded numbers agree.
+        let a = RunKey::new("GA", Arch::StaticLimit(12));
+        let b = RunKey::new("GA", Arch::LinebackerAssoc(12));
+        let c = RunKey::new("GA", Arch::Baseline).with_l1(12);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let k = RunKey::new("BI", Arch::Cerf).with_l1(96 * 1024).with_detailed();
+        assert_eq!(k.app, "BI");
+        assert_eq!(k.l1_override, Some(96 * 1024));
+        assert!(k.detailed);
+        assert_eq!(k.spec().arch, Arch::Cerf);
+    }
+
+    #[test]
+    fn display_is_stable_and_injective_for_common_keys() {
+        let keys = [
+            RunKey::new("GA", Arch::Baseline),
+            RunKey::new("GA", Arch::Baseline).with_l1(16 * 1024),
+            RunKey::new("GA", Arch::Baseline).with_detailed(),
+            RunKey::new("GA", Arch::Linebacker),
+        ];
+        let shown: HashSet<String> = keys.iter().map(|k| k.to_string()).collect();
+        assert_eq!(shown.len(), keys.len());
+        assert_eq!(keys[0].to_string(), "GA/Baseline");
+        assert_eq!(keys[1].to_string(), "GA/Baseline+l1=16K");
+        assert_eq!(keys[2].to_string(), "GA/Baseline+detailed");
+    }
+
+    #[test]
+    fn spec_config_applies_l1_and_detailed_windows() {
+        let base = crate::scale::Scale::Quick.config();
+        let app = workloads::app("GA").unwrap();
+        let spec = ArchSpec { arch: Arch::Baseline, l1_override: Some(16 * 1024), detailed: false };
+        let cfg = spec.config(&base, &app);
+        assert_eq!(cfg.l1.size_bytes, 16 * 1024);
+        assert!(!cfg.detailed_load_stats);
+
+        let det = ArchSpec { arch: Arch::Baseline, l1_override: None, detailed: true };
+        let cfg = det.config(&base, &app);
+        assert!(cfg.detailed_load_stats);
+        assert_eq!(cfg.window_cycles, 50_000);
+        assert!(cfg.max_cycles >= 250_000);
+    }
+}

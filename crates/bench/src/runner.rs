@@ -1,13 +1,18 @@
 //! Memoized experiment runner: many figures share the same simulations
 //! (Figures 12, 13, 16, 17 and 18 all read the same five-architecture run
-//! set), so results are cached per (app, architecture, L1 size, detail flag)
-//! within one harness invocation.
+//! set), so results are cached per [`RunKey`] within one harness
+//! invocation.
+//!
+//! The runner is a thin policy layer over the [`Engine`]: it owns the scale
+//! and base configuration, translates the legacy `run`/`run_l1`/
+//! `run_detailed` entry points into typed [`RunKey`]s, and adds the
+//! Best-SWL oracle (a per-app memoized *plan node*: its candidate sweep is
+//! expressible as `Vec<RunKey>` up front via [`Runner::best_swl_plan`], so
+//! batch prefetching covers it, and the arg-max itself is cached so repeat
+//! calls re-run nothing).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use gpu_sim::config::GpuConfig;
 use gpu_sim::gpu::run_kernel;
@@ -15,31 +20,54 @@ use gpu_sim::stats::SimStats;
 use workloads::AppSpec;
 
 use crate::arch::Arch;
+use crate::engine::Engine;
+use crate::runkey::RunKey;
 use crate::scale::Scale;
 
 /// Candidate CTA limits tried by the Best-SWL oracle sweep.
 pub const SWL_CANDIDATES: [u32; 8] = [1, 2, 3, 4, 6, 8, 12, 16];
 
+/// A Best-SWL oracle verdict: the winning CTA limit (`None` = unlimited
+/// baseline) and the stats of the winning run.
+pub type BestSwl = (Option<u32>, Arc<SimStats>);
+
 /// The memoized runner.
-#[derive(Debug)]
 pub struct Runner {
     scale: Scale,
     cfg: GpuConfig,
-    memo: Mutex<HashMap<String, Arc<SimStats>>>,
-    /// Simulations actually executed (cache misses).
-    sims_run: AtomicU64,
+    engine: Engine,
+    /// Memoized Best-SWL oracle results per app (the arg-max over the
+    /// sweep, not just the individual runs).
+    best_swl: Mutex<HashMap<&'static str, BestSwl>>,
+    /// Worker threads used by [`Runner::prefetch`].
+    jobs: usize,
     /// Progress reporting to stderr.
     pub verbose: bool,
 }
 
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("scale", &self.scale)
+            .field("jobs", &self.jobs)
+            .field("sims_run", &self.sims_run())
+            .finish()
+    }
+}
+
 impl Runner {
-    /// Creates a runner at the given scale.
+    /// Creates a runner at the given scale. The worker count defaults to
+    /// the machine's available parallelism (override with
+    /// [`Runner::set_jobs`], or the `--jobs`/`LB_JOBS` knobs of
+    /// `lb-experiments`).
     pub fn new(scale: Scale) -> Self {
+        let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         Runner {
             cfg: scale.config(),
             scale,
-            memo: Mutex::new(HashMap::new()),
-            sims_run: AtomicU64::new(0),
+            engine: Engine::new(),
+            best_swl: Mutex::new(HashMap::new()),
+            jobs,
             verbose: false,
         }
     }
@@ -54,19 +82,31 @@ impl Runner {
         &self.cfg
     }
 
-    /// Number of simulations actually executed so far.
+    /// Worker threads used by [`Runner::prefetch`].
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
+    }
+
+    /// Number of simulations actually executed so far. Each distinct
+    /// [`RunKey`] contributes at most one, no matter how many figures (or
+    /// threads) request it.
     pub fn sims_run(&self) -> u64 {
-        self.sims_run.load(Ordering::Relaxed)
+        self.engine.sims_run()
     }
 
     /// Runs (or recalls) `app` under `arch` on the scale's base config.
     pub fn run(&self, app: &AppSpec, arch: Arch) -> Arc<SimStats> {
-        self.run_inner(app, arch, None, false)
+        self.run_key(RunKey::for_app(app, arch))
     }
 
     /// Runs with an overridden L1 size (Figure 14 sweeps).
     pub fn run_l1(&self, app: &AppSpec, arch: Arch, l1_bytes: u64) -> Arc<SimStats> {
-        self.run_inner(app, arch, Some(l1_bytes), false)
+        self.run_key(RunKey::for_app(app, arch).with_l1(l1_bytes))
     }
 
     /// Runs the baseline with detailed per-load statistics (Figures 2/3).
@@ -76,56 +116,74 @@ impl Runner {
     /// detailed runs always use the paper's window length (and enough
     /// cycles for several windows), independent of the scale.
     pub fn run_detailed(&self, app: &AppSpec) -> Arc<SimStats> {
-        self.run_inner(app, Arch::Baseline, None, true)
+        self.run_key(RunKey::for_app(app, Arch::Baseline).with_detailed())
     }
 
-    fn run_inner(
-        &self,
-        app: &AppSpec,
-        arch: Arch,
-        l1_bytes: Option<u64>,
-        detailed: bool,
-    ) -> Arc<SimStats> {
-        let key = format!("{}/{:?}/{:?}/{}", app.abbrev, arch, l1_bytes, detailed);
-        if let Some(hit) = self.memo.lock().get(&key) {
-            return Arc::clone(hit);
-        }
-        let mut cfg = self.cfg.clone();
-        if let Some(l1) = l1_bytes {
-            cfg = cfg.with_l1_size(l1);
-        }
-        cfg = arch.transform_config(&cfg, app);
-        cfg.detailed_load_stats = detailed;
-        if detailed {
-            // Figures 2/3 use the paper's 50 k-cycle window definition.
-            let max = cfg.max_cycles.max(250_000);
-            cfg = cfg.with_windows(50_000, max);
-        }
-        if self.verbose {
-            eprintln!("  sim {key}");
-        }
+    /// Runs (or recalls) an explicit [`RunKey`].
+    pub fn run_key(&self, key: RunKey) -> Arc<SimStats> {
+        self.engine.run(key, |k| self.compute(k))
+    }
+
+    /// Executes a batch of keys across [`Runner::jobs`] worker threads with
+    /// single-flight deduplication; every key is warm in the memo
+    /// afterwards, so rendering never simulates. Duplicate and
+    /// already-memoized keys cost nothing.
+    pub fn prefetch(&self, keys: &[RunKey]) {
+        self.engine.prefetch(keys, self.jobs, self.verbose, |k| self.compute(k));
+    }
+
+    /// The single place a simulation is actually launched: builds the
+    /// config from the key's [`crate::runkey::ArchSpec`] and calls the pure
+    /// `run_kernel`.
+    fn compute(&self, key: &RunKey) -> SimStats {
+        let app =
+            workloads::app(key.app).unwrap_or_else(|| panic!("unknown app in run key: {key}"));
+        let cfg = key.spec().config(&self.cfg, &app);
         let kernel = app.kernel(cfg.n_sms);
-        let stats = Arc::new(run_kernel(cfg, kernel, &arch.factory()));
-        self.sims_run.fetch_add(1, Ordering::Relaxed);
-        self.memo.lock().insert(key, Arc::clone(&stats));
-        stats
+        run_kernel(cfg, kernel, &key.arch.factory())
+    }
+
+    /// The keys the Best-SWL oracle for `app` needs: the unlimited baseline
+    /// plus every effective [`SWL_CANDIDATES`] point. Prefetching these
+    /// makes a later [`Runner::best_swl`] call pure table lookup.
+    pub fn best_swl_plan(&self, app: &AppSpec) -> Vec<RunKey> {
+        let resident = app.resident_ctas(&self.cfg);
+        std::iter::once(RunKey::for_app(app, Arch::Baseline))
+            .chain(
+                SWL_CANDIDATES
+                    .into_iter()
+                    .filter(|&l| l < resident) // l >= resident: no throttling effect
+                    .map(|l| RunKey::for_app(app, Arch::StaticLimit(l))),
+            )
+            .collect()
     }
 
     /// Best-SWL oracle for `app`: sweeps [`SWL_CANDIDATES`] plus unlimited
     /// and returns `(best limit, stats of the best run)`. `None` means the
-    /// unlimited baseline won.
-    pub fn best_swl(&self, app: &AppSpec) -> (Option<u32>, Arc<SimStats>) {
-        let resident = app.resident_ctas(&self.cfg);
-        let mut best: (Option<u32>, Arc<SimStats>) = (None, self.run(app, Arch::Baseline));
-        for l in SWL_CANDIDATES {
-            if l >= resident {
-                continue; // no throttling effect
+    /// unlimited baseline won. The result is memoized per app, so repeat
+    /// calls (every normalized figure takes this denominator) cost nothing.
+    pub fn best_swl(&self, app: &AppSpec) -> BestSwl {
+        if let Some(hit) = self.best_swl.lock().unwrap().get(app.abbrev) {
+            return hit.clone();
+        }
+        // Compute outside the lock: the sweep may simulate for minutes and
+        // the engine already deduplicates the underlying runs, so a
+        // concurrent racer computes the same arg-max from the same stats.
+        let mut best: BestSwl = (None, self.run(app, Arch::Baseline));
+        for key in self.best_swl_plan(app) {
+            if key.arch == Arch::Baseline {
+                continue;
             }
-            let s = self.run(app, Arch::StaticLimit(l));
+            let s = self.run_key(key);
             if s.ipc() > best.1.ipc() {
-                best = (Some(l), s);
+                let limit = match key.arch {
+                    Arch::StaticLimit(l) => Some(l),
+                    _ => unreachable!("best_swl_plan emits only baseline/static-limit keys"),
+                };
+                best = (limit, s);
             }
         }
+        self.best_swl.lock().unwrap().insert(app.abbrev, best.clone());
         best
     }
 
@@ -175,5 +233,49 @@ mod tests {
         let a = app("GA").unwrap();
         let s = r.run_detailed(&a);
         assert!(!s.load_detail.is_empty(), "detailed stats must be collected");
+    }
+
+    #[test]
+    fn best_swl_result_is_memoized() {
+        let r = Runner::new(Scale::Quick);
+        let a = app("S2").unwrap();
+        let first = r.best_swl(&a);
+        let n = r.sims_run();
+        let second = r.best_swl(&a);
+        assert_eq!(r.sims_run(), n, "second best_swl call must not simulate");
+        assert_eq!(first.0, second.0);
+        assert!(Arc::ptr_eq(&first.1, &second.1));
+    }
+
+    #[test]
+    fn prefetched_plan_makes_best_swl_free() {
+        let r = Runner::new(Scale::Quick);
+        let a = app("S2").unwrap();
+        let plan = r.best_swl_plan(&a);
+        assert!(plan.len() >= 2, "sweep must include baseline plus candidates");
+        r.prefetch(&plan);
+        let n = r.sims_run();
+        assert_eq!(n as usize, plan.len());
+        let _ = r.best_swl(&a);
+        assert_eq!(r.sims_run(), n, "best_swl after prefetch must be lookup only");
+    }
+
+    #[test]
+    fn prefetch_deduplicates_keys() {
+        let r = Runner::new(Scale::Quick);
+        let a = app("GA").unwrap();
+        let key = RunKey::for_app(&a, Arch::Baseline);
+        r.prefetch(&[key, key, key]);
+        assert_eq!(r.sims_run(), 1);
+    }
+
+    #[test]
+    fn run_key_matches_legacy_entry_points() {
+        let r = Runner::new(Scale::Quick);
+        let a = app("GA").unwrap();
+        let via_key = r.run_key(RunKey::for_app(&a, Arch::Baseline).with_l1(16 * 1024));
+        let via_legacy = r.run_l1(&a, Arch::Baseline, 16 * 1024);
+        assert!(Arc::ptr_eq(&via_key, &via_legacy));
+        assert_eq!(r.sims_run(), 1);
     }
 }

@@ -45,11 +45,8 @@ impl Table {
         let mut cells = vec![String::new(); self.headers.len()];
         cells[0] = label.to_string();
         for &c in cols {
-            let vals: Vec<f64> = self
-                .rows
-                .iter()
-                .filter_map(|r| r[c].parse::<f64>().ok())
-                .collect();
+            let vals: Vec<f64> =
+                self.rows.iter().filter_map(|r| r[c].parse::<f64>().ok()).collect();
             cells[c] = format!("{:.3}", geometric_mean(&vals));
         }
         self.rows.push(cells);

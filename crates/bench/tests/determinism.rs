@@ -1,0 +1,75 @@
+//! Determinism regression: executing the plan across a worker pool must
+//! change nothing but wall-clock time. A Figure-12-style table rendered
+//! from a serial runner (`jobs = 1`) and from a parallel runner
+//! (`jobs = 4`) must be byte-identical, and both runners must execute each
+//! distinct [`RunKey`] exactly once.
+
+use lb_bench::{Arch, RunKey, Runner, Scale, Table};
+
+/// Three-app subset of the Figure 12 headline comparison (the ISSUE-sized
+/// determinism probe; the full suite is exercised by `lb-experiments`).
+const APPS: [&str; 3] = ["GA", "GE", "S2"];
+const ARCHS: [Arch; 4] = [Arch::Baseline, Arch::Pcal, Arch::Cerf, Arch::Linebacker];
+
+/// The subset's simulation plan: every Best-SWL sweep point plus the four
+/// compared architectures, per app.
+fn plan(r: &Runner) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    for abbrev in APPS {
+        let app = workloads::app(abbrev).unwrap();
+        keys.extend(r.best_swl_plan(&app));
+        for arch in ARCHS {
+            keys.push(RunKey::for_app(&app, arch));
+        }
+    }
+    keys
+}
+
+/// Renders the subset exactly the way `fig12` renders the full suite:
+/// per-app IPC normalized to the Best-SWL oracle, three decimals.
+fn render(r: &Runner) -> String {
+    let mut t = Table::new(
+        "fig12-subset",
+        "determinism probe (normalized to Best-SWL)",
+        vec!["app".into(), "Baseline".into(), "PCAL".into(), "CERF".into(), "LB".into()],
+    );
+    for abbrev in APPS {
+        let app = workloads::app(abbrev).unwrap();
+        let bswl = r.best_swl_ipc(&app);
+        let mut row = vec![abbrev.to_string()];
+        for arch in ARCHS {
+            row.push(format!("{:.3}", r.run(&app, arch).ipc() / bswl.max(1e-9)));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+#[test]
+fn parallel_rendering_is_byte_identical_to_serial() {
+    let mut serial = Runner::new(Scale::Quick);
+    serial.set_jobs(1);
+    let mut parallel = Runner::new(Scale::Quick);
+    parallel.set_jobs(4);
+
+    let keys = plan(&serial);
+    assert_eq!(keys, plan(&parallel), "plans must not depend on the runner");
+
+    serial.prefetch(&keys);
+    parallel.prefetch(&keys);
+
+    // Exactly-once execution: both runners simulated each distinct key once,
+    // no matter the worker count or the duplicates inside the plan.
+    let distinct: std::collections::HashSet<_> = keys.iter().collect();
+    assert_eq!(serial.sims_run() as usize, distinct.len());
+    assert_eq!(parallel.sims_run() as usize, distinct.len());
+
+    let a = render(&serial);
+    let b = render(&parallel);
+    assert_eq!(a, b, "jobs=1 and jobs=4 tables must be byte-identical");
+
+    // Rendering was pure table lookup — no further simulations on either
+    // side (the Best-SWL arg-max reads the prefetched sweep).
+    assert_eq!(serial.sims_run() as usize, distinct.len());
+    assert_eq!(parallel.sims_run() as usize, distinct.len());
+}

@@ -128,10 +128,7 @@ mod tests {
         c.fill(LineAddr(7), 0);
         assert_eq!(c.access(LineAddr(7), 0), L1Lookup::Hit);
         c.invalidate(LineAddr(7));
-        assert_eq!(
-            c.access(LineAddr(7), 0),
-            L1Lookup::Miss(MissClass::CapacityConflict)
-        );
+        assert_eq!(c.access(LineAddr(7), 0), L1Lookup::Miss(MissClass::CapacityConflict));
     }
 
     #[test]
@@ -143,10 +140,7 @@ mod tests {
         }
         // Line 0 was LRU and evicted.
         assert!(!c.contains(LineAddr(0)));
-        assert_eq!(
-            c.access(LineAddr(0), 0),
-            L1Lookup::Miss(MissClass::CapacityConflict)
-        );
+        assert_eq!(c.access(LineAddr(0), 0), L1Lookup::Miss(MissClass::CapacityConflict));
     }
 
     #[test]

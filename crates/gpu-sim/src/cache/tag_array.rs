@@ -121,10 +121,7 @@ impl<P: Clone> TagArray<P> {
             return None;
         }
         // Evict true-LRU.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| w.last_use)
-            .expect("set is full, so nonempty");
+        let victim = set.iter_mut().min_by_key(|w| w.last_use).expect("set is full, so nonempty");
         let evicted = Evicted { line: victim.line, payload: victim.payload.clone() };
         *victim = Way { valid: true, line, last_use: tick, payload };
         Some(evicted)
@@ -200,7 +197,7 @@ mod tests {
         let mut t = arr(2, 1);
         t.fill(LineAddr(0), 0); // set 0
         t.fill(LineAddr(1), 0); // set 1
-        // Filling another set-0 line evicts line 0, not line 1.
+                                // Filling another set-0 line evicts line 0, not line 1.
         let ev = t.fill(LineAddr(2), 0).unwrap();
         assert_eq!(ev.line, LineAddr(0));
         assert!(t.peek(LineAddr(1)).is_some());

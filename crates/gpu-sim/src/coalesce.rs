@@ -58,7 +58,7 @@ mod tests {
 
     #[test]
     fn order_preserved() {
-        let lanes = [Address(5 * LINE_BYTES), Address(1 * LINE_BYTES), Address(5 * LINE_BYTES)];
+        let lanes = [Address(5 * LINE_BYTES), Address(LINE_BYTES), Address(5 * LINE_BYTES)];
         let lines = coalesce(&lanes);
         assert_eq!(lines, vec![LineAddr(5), LineAddr(1)]);
     }

@@ -1,7 +1,5 @@
 //! GPU configuration (the paper's Table 1) and a builder for variants.
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::LINE_BYTES;
 
 /// Full configuration of the simulated GPU.
@@ -31,7 +29,7 @@ use crate::types::LINE_BYTES;
 /// assert_eq!(cfg.l1.size_bytes, 48 * 1024);
 /// assert_eq!(cfg.warp_regs_per_sm(), 2048);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Number of streaming multiprocessors.
     pub n_sms: u32,
@@ -158,7 +156,7 @@ impl GpuConfig {
 }
 
 /// Geometry and policy of one cache level.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheConfig {
     /// Total data capacity in bytes.
     pub size_bytes: u64,
@@ -188,7 +186,10 @@ impl CacheConfig {
     /// Panics if the geometry does not divide evenly.
     pub fn n_sets(&self) -> u32 {
         let denom = self.assoc as u64 * self.line_bytes;
-        assert!(denom > 0 && self.size_bytes % denom == 0, "cache geometry must divide evenly");
+        assert!(
+            denom > 0 && self.size_bytes.is_multiple_of(denom),
+            "cache geometry must divide evenly"
+        );
         (self.size_bytes / denom) as u32
     }
 
@@ -199,7 +200,7 @@ impl CacheConfig {
 }
 
 /// DRAM model parameters (Table 1's off-chip memory).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DramConfig {
     /// Aggregate bandwidth in bytes/second (352.5 GB/s in the paper).
     pub bandwidth_bytes_per_sec: u64,
@@ -303,10 +304,7 @@ mod tests {
         let base = GpuConfig::default();
         let scaled = base.clone().with_sms(4);
         assert_eq!(scaled.n_sms, 4);
-        assert_eq!(
-            scaled.dram.bandwidth_bytes_per_sec,
-            base.dram.bandwidth_bytes_per_sec / 4
-        );
+        assert_eq!(scaled.dram.bandwidth_bytes_per_sec, base.dram.bandwidth_bytes_per_sec / 4);
     }
 
     #[test]

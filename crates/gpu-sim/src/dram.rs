@@ -139,8 +139,7 @@ impl Dram {
         // SM-side store buffer when they outrun DRAM bandwidth.
         const WINDOW: usize = 64;
         while self.line_budget >= 1.0 {
-            if let Some(i) = Self::frfcfs_pick(&self.queue, &self.banks, &self.cfg, cycle, WINDOW)
-            {
+            if let Some(i) = Self::frfcfs_pick(&self.queue, &self.banks, &self.cfg, cycle, WINDOW) {
                 let req = self.queue.remove(i).expect("index in bounds");
                 let bank_idx = (req.line.0 % self.banks.len() as u64) as usize;
                 self.start_service(req, bank_idx, cycle);
@@ -180,8 +179,7 @@ impl Dram {
     ) -> Option<usize> {
         let n = queue.len().min(window);
         let mut pick: Option<usize> = None;
-        for i in 0..n {
-            let r = &queue[i];
+        for (i, r) in queue.iter().enumerate().take(n) {
             if r.ready_at > cycle {
                 continue;
             }
@@ -219,10 +217,8 @@ impl Dram {
         self.line_budget -= 1.0;
         self.bytes[Self::class_idx(req.class)] += LINE_BYTES;
         let finish = cycle + latency as u64;
-        self.in_service.push((
-            finish,
-            DramDone { line: req.line, class: req.class, token: req.token },
-        ));
+        self.in_service
+            .push((finish, DramDone { line: req.line, class: req.class, token: req.token }));
     }
 
     /// Bytes transferred so far, per traffic class

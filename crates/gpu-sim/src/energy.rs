@@ -5,10 +5,8 @@
 //! (Figure 18: Linebacker -22.1 % vs baseline, CERF -21.2 %) are driven by
 //! runtime reduction plus small per-access adders — which this model captures.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-event energies in picojoules, plus static power.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyConfig {
     /// Energy per executed instruction (datapath + fetch/decode).
     pub inst_pj: f64,

@@ -205,7 +205,7 @@ impl Gpu {
 
         // 5. Window boundary: IPC monitoring, policy decisions, throttling
         //    enforcement, and refill of freed CTA capacity.
-        if self.cycle % self.cfg.window_cycles == 0 {
+        if self.cycle.is_multiple_of(self.cfg.window_cycles) {
             for sm in &mut self.sms {
                 sm.end_window(self.cycle, &self.cfg);
             }
@@ -287,9 +287,8 @@ impl Gpu {
 
     /// Merges per-SM stats, computes energy, and returns the run summary.
     pub fn collect_stats(&mut self) -> SimStats {
-        let mut total = SimStats::default();
-        total.cycles = self.cycle;
-        total.completed = self.done();
+        let mut total =
+            SimStats { cycles: self.cycle, completed: self.done(), ..SimStats::default() };
         for sm in &mut self.sms {
             sm.finalize_stats();
             let s = &sm.stats;
@@ -352,6 +351,17 @@ impl std::fmt::Debug for Gpu {
 }
 
 /// Convenience: run `kernel` on `cfg` with the given policy factory.
+///
+/// # Thread safety
+///
+/// `run_kernel` is a pure function of its inputs: it allocates a fresh
+/// [`Gpu`] (no globals, no interior mutability shared across calls) and the
+/// simulation is bit-deterministic for a given `(cfg, kernel, factory)`.
+/// All inputs are `Send + Sync` ([`GpuConfig`]/[`KernelSpec`] are plain
+/// data; [`PolicyFactory`] requires it by definition), so independent runs
+/// may execute concurrently on a worker pool — this is what the `lb-bench`
+/// run engine does — and produce byte-identical statistics regardless of
+/// thread count or completion order.
 pub fn run_kernel(cfg: GpuConfig, kernel: KernelSpec, factory: &PolicyFactory<'_>) -> SimStats {
     Gpu::new(cfg, kernel, factory).run()
 }

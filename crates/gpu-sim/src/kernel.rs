@@ -5,13 +5,11 @@
 //! (SIMT: all warps share the instruction stream but access different data,
 //! driven by the per-load [`AccessPattern`](crate::pattern::AccessPattern)).
 
-use serde::{Deserialize, Serialize};
-
 use crate::pattern::AccessPattern;
 use crate::types::{LoadId, Pc};
 
 /// One static instruction in a kernel body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StaticInst {
     /// Program counter (unique within the kernel).
     pub pc: Pc,
@@ -24,7 +22,7 @@ pub struct StaticInst {
 }
 
 /// The operation class of a [`StaticInst`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InstKind {
     /// Arithmetic instruction; the warp's next instruction can issue after
     /// `latency` cycles (pipelined, so it only delays the same warp).
@@ -46,7 +44,7 @@ pub enum InstKind {
 }
 
 /// A static global load (or store) instruction and its memory behaviour.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadSpec {
     /// Identifier; indexes `KernelSpec::loads`.
     pub id: LoadId,
@@ -57,7 +55,7 @@ pub struct LoadSpec {
 }
 
 /// A complete kernel: grid shape, per-thread resources and the body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelSpec {
     /// Human-readable name (e.g. the benchmark abbreviation).
     pub name: String,
@@ -254,11 +252,7 @@ impl KernelBuilder {
             self = self.alu(1);
         }
         let pc = self.alloc_pc();
-        self.body.push(StaticInst {
-            pc,
-            kind: InstKind::Alu { latency: 1 },
-            wait_for: Some(id),
-        });
+        self.body.push(StaticInst { pc, kind: InstKind::Alu { latency: 1 }, wait_for: Some(id) });
         self
     }
 
@@ -357,11 +351,7 @@ mod tests {
 
     #[test]
     fn zero_iterations_rejected() {
-        let err = KernelBuilder::new("bad")
-            .alu(1)
-            .iterations(0)
-            .build()
-            .unwrap_err();
+        let err = KernelBuilder::new("bad").alu(1).iterations(0).build().unwrap_err();
         assert!(err.contains("zero iterations"));
     }
 

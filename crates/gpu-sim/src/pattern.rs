@@ -6,8 +6,6 @@
 //! are stateless functions of `(seed, SM, warp, load, access index)` so that
 //! simulation is reproducible and warp state stays tiny.
 
-use serde::{Deserialize, Serialize};
-
 use crate::coalesce::coalesce_into;
 use crate::types::{Address, LineAddr, LoadId, SmId, LINE_BYTES};
 
@@ -39,7 +37,7 @@ pub struct AccessCtx {
 ///
 /// All sizes are *per SM* — matching how the paper reports working sets
 /// ("per-SM working set size", Figures 2 and 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AccessPattern {
     /// Cyclic sweep over a working set of `ws_bytes`. If `shared`, all warps
     /// of an SM walk the *same* region (inter-warp reuse); otherwise each
@@ -104,10 +102,7 @@ impl AccessPattern {
 
     /// Is this load a streaming load by construction?
     pub fn is_streaming(&self) -> bool {
-        matches!(
-            self,
-            AccessPattern::Streaming { .. } | AccessPattern::SparseStream { .. }
-        )
+        matches!(self, AccessPattern::Streaming { .. } | AccessPattern::SparseStream { .. })
     }
 
     /// Nominal per-SM reused working-set footprint of this load in bytes
@@ -193,7 +188,7 @@ impl AccessPattern {
             }
             AccessPattern::SparseStream { period } => {
                 let period = period.max(1) as u64;
-                if ctx.access_index % period == 0 {
+                if ctx.access_index.is_multiple_of(period) {
                     let base = region + private_slice(ctx.global_warp);
                     out.push(LineAddr(base + ctx.access_index / period));
                 }
@@ -267,8 +262,7 @@ mod tests {
         let a0 = gen(&p, 0, 0);
         let a4 = gen(&p, 0, 4);
         assert_eq!(a0, a4, "period must equal the working-set line count");
-        let all: std::collections::HashSet<_> =
-            (0..16).flat_map(|i| gen(&p, 0, i)).collect();
+        let all: std::collections::HashSet<_> = (0..16).flat_map(|i| gen(&p, 0, i)).collect();
         assert_eq!(all.len(), 4, "footprint must equal the working set");
     }
 

@@ -121,7 +121,13 @@ pub trait SmPolicy {
     }
 
     /// A CTA was launched with its first register number (the paper's FRN).
-    fn on_cta_launch(&mut self, _cta: CtaId, _first_reg: crate::types::RegNum, _ctx: &mut PolicyCtx<'_>) {}
+    fn on_cta_launch(
+        &mut self,
+        _cta: CtaId,
+        _first_reg: crate::types::RegNum,
+        _ctx: &mut PolicyCtx<'_>,
+    ) {
+    }
 
     /// A CTA is being deactivated; its registers will be backed up off-chip.
     /// Called before the backup traffic is injected.
@@ -169,7 +175,14 @@ impl SmPolicy for NullPolicy {
 }
 
 /// Factory producing one policy instance per SM.
-pub type PolicyFactory<'a> = dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy> + 'a;
+///
+/// Factories are `Send + Sync` by construction: the experiment harness
+/// executes independent simulations on a worker pool, and every thread must
+/// be able to instantiate policies concurrently. A factory therefore only
+/// captures immutable configuration (plain data), never shared mutable
+/// state; each call returns a fresh, thread-local [`SmPolicy`] instance.
+pub type PolicyFactory<'a> =
+    dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy> + Send + Sync + 'a;
 
 /// Convenience: a factory for the baseline.
 pub fn baseline_factory() -> Box<PolicyFactory<'static>> {
@@ -187,14 +200,8 @@ mod tests {
         let mut stats = SimStats::default();
         let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut stats };
         assert_eq!(p.name(), "baseline");
-        assert_eq!(
-            p.pre_access(0, Pc(0), LoadId(0), LineAddr(0), &mut ctx),
-            PreAccess::Normal
-        );
-        assert_eq!(
-            p.on_miss(Pc(0), LoadId(0), LineAddr(0), &mut ctx),
-            MissService::ToL2
-        );
+        assert_eq!(p.pre_access(0, Pc(0), LoadId(0), LineAddr(0), &mut ctx), PreAccess::Normal);
+        assert_eq!(p.on_miss(Pc(0), LoadId(0), LineAddr(0), &mut ctx), MissService::ToL2);
         let info = WindowInfo {
             index: 0,
             cycles: 100,
@@ -212,10 +219,7 @@ mod tests {
     fn factory_builds_baseline() {
         let f = baseline_factory();
         let cfg = GpuConfig::default();
-        let k = crate::kernel::KernelBuilder::new("k")
-            .alu(1)
-            .build()
-            .unwrap();
+        let k = crate::kernel::KernelBuilder::new("k").alu(1).build().unwrap();
         let p = f(SmId(0), &cfg, &k);
         assert_eq!(p.name(), "baseline");
     }

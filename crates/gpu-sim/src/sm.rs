@@ -129,8 +129,7 @@ impl Sm {
         if resident >= cfg.max_ctas_per_sm {
             return false;
         }
-        let resident_warps: u32 =
-            self.ctas.iter().flatten().map(|c| c.warps.len() as u32).sum();
+        let resident_warps: u32 = self.ctas.iter().flatten().map(|c| c.warps.len() as u32).sum();
         if resident_warps + warps_per_cta > cfg.max_warps_per_sm {
             return false;
         }
@@ -179,12 +178,8 @@ impl Sm {
             warps_done: 0,
             launch_seq: seq,
         });
-        let mut ctx = PolicyCtx {
-            cycle: 0,
-            sm: self.id,
-            regfile: &mut self.regfile,
-            stats: &mut self.stats,
-        };
+        let mut ctx =
+            PolicyCtx { cycle: 0, sm: self.id, regfile: &mut self.regfile, stats: &mut self.stats };
         self.policy.on_cta_launch(CtaId(slot), first_reg, &mut ctx);
         true
     }
@@ -331,10 +326,8 @@ impl Sm {
                 if w.id.0 % n_scheds != s || w.done {
                     continue;
                 }
-                let cta_ok = self.ctas[w.cta.0 as usize]
-                    .as_ref()
-                    .map(|c| c.schedulable())
-                    .unwrap_or(false);
+                let cta_ok =
+                    self.ctas[w.cta.0 as usize].as_ref().map(|c| c.schedulable()).unwrap_or(false);
                 if !cta_ok {
                     continue;
                 }
@@ -520,12 +513,8 @@ impl Sm {
             inactive_ctas: self.inactive_ctas(),
         };
         self.window_index += 1;
-        let mut ctx = PolicyCtx {
-            cycle,
-            sm: self.id,
-            regfile: &mut self.regfile,
-            stats: &mut self.stats,
-        };
+        let mut ctx =
+            PolicyCtx { cycle, sm: self.id, regfile: &mut self.regfile, stats: &mut self.stats };
         let limit = self.policy.on_window(&info, &mut ctx);
         self.cta_limit = limit;
         self.enforce_cta_limit(cycle);
@@ -903,11 +892,9 @@ mod tests {
         }
         sm.set_cta_limit(Some(2), 0);
         // Backup traffic must be in the outbox.
-        let backups = sm
-            .outbox
-            .iter()
-            .filter(|r| matches!(r.kind, MemReqKind::RegBackup { .. }))
-            .count() as u32;
+        let backups =
+            sm.outbox.iter().filter(|r| matches!(r.kind, MemReqKind::RegBackup { .. })).count()
+                as u32;
         assert_eq!(backups, 2 * k.regs_per_cta());
         assert_eq!(sm.active_ctas(), 2);
         // CTAs 2 and 3 (highest ids) are the deactivated ones.

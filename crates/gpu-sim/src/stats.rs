@@ -2,12 +2,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::{AccessOutcome, LoadId, MissClass};
 
 /// Per-static-load counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LoadStats {
     /// Dynamic line accesses made by the load.
     pub accesses: u64,
@@ -33,7 +31,7 @@ pub struct LoadWindowDetail {
 }
 
 /// Locality summary of one monitoring window for one load.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WindowLocality {
     /// Bytes of lines re-accessed (>=2 times) within the window — the
     /// "reused working set" of Figure 2.
@@ -57,7 +55,7 @@ impl WindowLocality {
 }
 
 /// Register-file space sample (per window).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RfSpaceSample {
     /// Statically unused warp registers.
     pub static_unused: u32,
@@ -68,7 +66,7 @@ pub struct RfSpaceSample {
 }
 
 /// One point of the per-window execution timeline of one SM.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WindowSample {
     /// SM the sample came from.
     pub sm: u32,
@@ -85,7 +83,7 @@ pub struct WindowSample {
 }
 
 /// Aggregate statistics of one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SimStats {
     /// Simulated cycles.
     pub cycles: u64,
@@ -131,7 +129,6 @@ pub struct SimStats {
     /// Extra energy charged by policy structures, in pJ.
     pub policy_extra_pj: f64,
     /// Detailed per-load locality windows (Figures 2/3), if enabled.
-    #[serde(skip)]
     pub load_detail: HashMap<u32, LoadWindowDetail>,
     /// Total energy in mJ (filled at run end).
     pub energy_mj: f64,
@@ -185,7 +182,12 @@ impl SimStats {
     }
 
     /// Records one L1-level access outcome for `load`.
-    pub fn record_access(&mut self, load: LoadId, outcome: AccessOutcome, class: Option<MissClass>) {
+    pub fn record_access(
+        &mut self,
+        load: LoadId,
+        outcome: AccessOutcome,
+        class: Option<MissClass>,
+    ) {
         let ls = self.per_load.entry(load.0).or_default();
         ls.accesses += 1;
         match outcome {
@@ -376,8 +378,16 @@ mod tests {
     #[test]
     fn rf_sample_averages() {
         let mut s = SimStats::default();
-        s.rf_samples.push(RfSpaceSample { static_unused: 100, dynamic_unused: 0, victim_in_use: 50 });
-        s.rf_samples.push(RfSpaceSample { static_unused: 300, dynamic_unused: 200, victim_in_use: 150 });
+        s.rf_samples.push(RfSpaceSample {
+            static_unused: 100,
+            dynamic_unused: 0,
+            victim_in_use: 50,
+        });
+        s.rf_samples.push(RfSpaceSample {
+            static_unused: 300,
+            dynamic_unused: 200,
+            victim_in_use: 150,
+        });
         assert!((s.avg_static_unused_bytes() - 200.0 * 128.0).abs() < 1e-9);
         assert!((s.avg_dynamic_unused_bytes() - 100.0 * 128.0).abs() < 1e-9);
         assert!((s.avg_victim_in_use_bytes() - 100.0 * 128.0).abs() < 1e-9);

@@ -4,18 +4,17 @@
 //! index can never be confused with a CTA index or a register number
 //! (C-NEWTYPE). All of them are cheap `Copy` wrappers around integers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A byte address in the simulated global memory space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Address(pub u64);
 
 /// A cache-line address: a byte [`Address`] with the line offset stripped.
 ///
 /// Lines are 128 bytes throughout (the paper matches the L1 line size to the
 /// 32-lane x 4-byte warp register width), so `LineAddr = Address >> 7`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(pub u64);
 
 /// Line size in bytes. Identical to the warp-register width (32 lanes x 4 B).
@@ -58,7 +57,7 @@ impl fmt::Display for LineAddr {
 }
 
 /// Program counter of a static instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Pc(pub u32);
 
 impl fmt::Display for Pc {
@@ -68,26 +67,26 @@ impl fmt::Display for Pc {
 }
 
 /// Index of a streaming multiprocessor within the GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SmId(pub u32);
 
 /// Index of a warp *within one SM* (0..max_warps_per_sm).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct WarpId(pub u32);
 
 /// Hardware CTA slot index *within one SM* (0..max_ctas_per_sm).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CtaId(pub u32);
 
 /// Identifier of a static load instruction within a kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LoadId(pub u32);
 
 /// A physical warp-register index in the register file.
 ///
 /// One warp register is 128 B wide (32 lanes x 4 B) — exactly one cache line.
 /// A 256 KB register file therefore holds 2048 warp registers (RN 0..2047).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RegNum(pub u32);
 
 impl fmt::Display for RegNum {
@@ -122,7 +121,7 @@ pub fn hashed_pc5(pc: Pc) -> u8 {
 /// The kind of service a memory request ultimately received.
 ///
 /// These categories are exactly the stacks of the paper's Figure 13.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessOutcome {
     /// Hit in the L1 data cache.
     L1Hit,
@@ -150,7 +149,7 @@ impl fmt::Display for AccessOutcome {
 /// Classification of an L1 miss (paper §2.2): a miss to a line that was
 /// previously resident is a capacity/conflict ("2C") miss; a miss to a line
 /// never seen before is a cold miss.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MissClass {
     /// First-ever access to the line.
     Cold,

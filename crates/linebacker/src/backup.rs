@@ -73,7 +73,12 @@ impl BackupBuffer {
 
     /// Drains up to `per_cycle` entries toward memory, invoking `sink` for
     /// each. Returns the number drained.
-    pub fn drain(&mut self, per_cycle: usize, _cycle: Cycle, mut sink: impl FnMut(BufferEntry)) -> usize {
+    pub fn drain(
+        &mut self,
+        per_cycle: usize,
+        _cycle: Cycle,
+        mut sink: impl FnMut(BufferEntry),
+    ) -> usize {
         let n = per_cycle.min(self.entries.len());
         for _ in 0..n {
             let e = self.entries.pop_front().expect("len checked");

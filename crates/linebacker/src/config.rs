@@ -1,10 +1,8 @@
 //! Linebacker microarchitectural parameters (the paper's Table 3).
 
-use serde::{Deserialize, Serialize};
-
 /// Which of Linebacker's techniques are enabled — used for the paper's
 /// ablation (Figure 11) and combination (Figure 15) studies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LbMode {
     /// Filter victims through per-load locality monitoring (Selective
     /// Victim Caching). When false, *every* evicted line is preserved.
@@ -52,7 +50,7 @@ impl LbMode {
 /// assert_eq!(cfg.vp_assoc, 4);
 /// assert_eq!(cfg.max_vps(), 8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LbConfig {
     /// Enabled techniques.
     pub mode: LbMode,
@@ -114,7 +112,7 @@ impl LbConfig {
 
     /// Default configuration with a different VP associativity (Figure 10).
     pub fn with_vp_assoc(assoc: u32) -> Self {
-        assert!(assoc >= 1 && assoc <= 32, "VP associativity must be 1..=32");
+        assert!((1..=32).contains(&assoc), "VP associativity must be 1..=32");
         LbConfig { vp_assoc: assoc, ..Default::default() }
     }
 

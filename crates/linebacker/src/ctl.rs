@@ -2,10 +2,9 @@
 //! bookkeeping structures of Figure 8.
 
 use gpu_sim::types::{CtaId, RegNum};
-use serde::{Deserialize, Serialize};
 
 /// Decision produced at each window boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThrottleDecision {
     /// Throttle one more CTA (IPC improved by more than the upper bound).
     ThrottleOne,
@@ -17,7 +16,7 @@ pub enum ThrottleDecision {
 
 /// The IPC monitor: tracks the previous/current window IPC and applies the
 /// +/-10 % variation bounds of Table 3.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IpcMonitor {
     upper: f64,
     lower: f64,
@@ -76,7 +75,7 @@ impl IpcMonitor {
 
 /// Common Info of the CTA manager: registers per CTA (#reg), the Largest
 /// active Register Number (LRN), and the Backup Pointer (BP).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CommonInfo {
     /// Warp registers used by one CTA.
     pub regs_per_cta: u32,
@@ -88,7 +87,7 @@ pub struct CommonInfo {
 
 /// Per-CTA Info entry: active bit, first register number, backup address,
 /// and backup-complete bit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PerCtaInfo {
     /// ACT: is the CTA active?
     pub active: bool,
@@ -100,14 +99,8 @@ pub struct PerCtaInfo {
     pub backup_complete: bool,
 }
 
-impl Default for PerCtaInfo {
-    fn default() -> Self {
-        PerCtaInfo { active: false, frn: None, backup_addr: None, backup_complete: false }
-    }
-}
-
 /// The CTA manager: mirrors the paper's bookkeeping for backup/restore.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CtaManager {
     /// Common info block.
     pub common: CommonInfo,
@@ -140,10 +133,7 @@ impl CtaManager {
         e.frn = Some(frn);
         e.backup_addr = None;
         e.backup_complete = false;
-        self.common.lrn = self
-            .common
-            .lrn
-            .max(frn.0 + self.common.regs_per_cta.saturating_sub(1));
+        self.common.lrn = self.common.lrn.max(frn.0 + self.common.regs_per_cta.saturating_sub(1));
     }
 
     /// Begins backing up a throttled CTA. Updates BP by `#reg x 128` and
@@ -184,10 +174,7 @@ impl CtaManager {
         e.active = true;
         e.frn = Some(frn);
         e.backup_addr = None;
-        self.common.lrn = self
-            .common
-            .lrn
-            .max(frn.0 + self.common.regs_per_cta.saturating_sub(1));
+        self.common.lrn = self.common.lrn.max(frn.0 + self.common.regs_per_cta.saturating_sub(1));
     }
 
     /// A CTA finished; clears its entry.

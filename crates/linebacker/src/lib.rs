@@ -53,7 +53,6 @@ pub use ctl::{CtaManager, IpcMonitor, ThrottleDecision};
 pub use load_monitor::{LmPhase, LoadMonitor};
 pub use overhead::StorageOverhead;
 pub use policy::{
-    linebacker_factory, selective_victim_caching_factory, victim_caching_factory,
-    LinebackerPolicy,
+    linebacker_factory, selective_victim_caching_factory, victim_caching_factory, LinebackerPolicy,
 };
 pub use vtt::{Vtt, VttHit};

@@ -172,10 +172,9 @@ impl LoadMonitor {
     /// Full PCs of the selected loads (for reporting).
     pub fn selected_pcs(&self) -> Vec<Pc> {
         match &self.phase {
-            LmPhase::Selected(set) => set
-                .iter()
-                .filter_map(|&h| self.entries[h as usize].pc)
-                .collect(),
+            LmPhase::Selected(set) => {
+                set.iter().filter_map(|&h| self.entries[h as usize].pc).collect()
+            }
             _ => Vec::new(),
         }
     }

@@ -1,10 +1,8 @@
 //! Storage-overhead model reproducing the paper's §4.2 accounting
 //! (total ≈ 5.88 KB per SM, ~0.9 % of an SM's area).
 
-use serde::{Deserialize, Serialize};
-
 /// Per-structure storage overheads in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StorageOverhead {
     /// Per-line 5-bit HPC fields over the whole L1.
     pub hpc_fields_bytes: u64,
@@ -34,7 +32,7 @@ impl StorageOverhead {
         let lm_bytes = 32 * (2 + 3 * 4 * 8) / 8;
         let ipc_monitor_bytes = 3 * 4;
         // Common info: 11 + 11 + 32 bits.
-        let cta_common_bytes = (11 + 11 + 32 + 7) / 8;
+        let cta_common_bytes = (11u64 + 11 + 32).div_ceil(8);
         // Per-CTA: 32 x (1 + 1 + 11 + 32 bits).
         let per_cta_bytes = 32 * (1 + 1 + 11 + 32) / 8;
         // VTT: 24 bits per entry.

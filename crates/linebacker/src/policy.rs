@@ -3,7 +3,7 @@
 
 use gpu_sim::config::GpuConfig;
 use gpu_sim::kernel::KernelSpec;
-use gpu_sim::policy::{MissService, PolicyCtx, SmPolicy, WindowInfo};
+use gpu_sim::policy::{MissService, PolicyCtx, PolicyFactory, SmPolicy, WindowInfo};
 use gpu_sim::types::{CtaId, LineAddr, LoadId, Pc, RegNum, SmId};
 
 use crate::config::{LbConfig, LbMode};
@@ -141,12 +141,7 @@ impl LinebackerPolicy {
     /// and above any in-flight restore range.
     fn min_free_rn(&self, ctx: &PolicyCtx<'_>) -> u32 {
         let lrn = ctx.regfile.largest_active_rn().map(|r| r.0 + 1).unwrap_or(0);
-        let restoring = self
-            .restoring
-            .iter()
-            .map(|&(_, last)| last + 1)
-            .max()
-            .unwrap_or(0);
+        let restoring = self.restoring.iter().map(|&(_, last)| last + 1).max().unwrap_or(0);
         lrn.max(restoring)
     }
 
@@ -206,8 +201,7 @@ impl SmPolicy for LinebackerPolicy {
                         // Register-file read for the victim line: sequential
                         // VP searches + arbitration + bank conflicts.
                         let conflict = ctx.regfile.access(hit.rn, ctx.cycle, false);
-                        let latency =
-                            (hit.vp + 1) * self.cfg.vp_access_latency + 1 + conflict;
+                        let latency = (hit.vp + 1) * self.cfg.vp_access_latency + 1 + conflict;
                         MissService::VictimHit { extra_latency: latency }
                     }
                     None => MissService::ToL2,
@@ -251,10 +245,8 @@ impl SmPolicy for LinebackerPolicy {
 
         // Retire completed restores (their registers are live again).
         let restoring = std::mem::take(&mut self.restoring);
-        self.restoring = restoring
-            .into_iter()
-            .filter(|&(cta, _)| ctx.regfile.is_backed_up(cta))
-            .collect();
+        self.restoring =
+            restoring.into_iter().filter(|&(cta, _)| ctx.regfile.is_backed_up(cta)).collect();
 
         // Phase transitions from the Load Monitor.
         if self.phase == Phase::Monitoring {
@@ -419,31 +411,27 @@ impl SmPolicy for LinebackerPolicy {
 /// assert!(stats.instructions > 0);
 /// # Ok::<(), String>(())
 /// ```
-pub fn linebacker_factory(
-    cfg: LbConfig,
-) -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+pub fn linebacker_factory(cfg: LbConfig) -> Box<PolicyFactory<'static>> {
     Box::new(move |sm, gpu, kernel| Box::new(LinebackerPolicy::new(cfg.clone(), sm, gpu, kernel)))
 }
 
 /// Factory for the "Victim Caching" ablation (no selection, no throttling).
-pub fn victim_caching_factory(
-) -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+pub fn victim_caching_factory() -> Box<PolicyFactory<'static>> {
     linebacker_factory(LbConfig::with_mode(LbMode::victim_caching_only()))
 }
 
 /// Factory for the "Selective Victim Caching" ablation (selection, no
 /// throttling; statically-unused registers only).
-pub fn selective_victim_caching_factory(
-) -> Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>> {
+pub fn selective_victim_caching_factory() -> Box<PolicyFactory<'static>> {
     linebacker_factory(LbConfig::with_mode(LbMode::selective_victim_caching()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_sim::types::hashed_pc5;
     use gpu_sim::regfile::RegFile;
     use gpu_sim::stats::SimStats;
+    use gpu_sim::types::hashed_pc5;
 
     fn fixture() -> (LinebackerPolicy, RegFile, SimStats, KernelSpec, GpuConfig) {
         let gpu = GpuConfig::default();
@@ -471,12 +459,7 @@ mod tests {
     }
 
     /// Drives the policy through monitoring to selection of `pc`.
-    fn select_load(
-        lb: &mut LinebackerPolicy,
-        rf: &mut RegFile,
-        stats: &mut SimStats,
-        pc: Pc,
-    ) {
+    fn select_load(lb: &mut LinebackerPolicy, rf: &mut RegFile, stats: &mut SimStats, pc: Pc) {
         for i in 0..2 {
             for j in 0..100 {
                 let mut ctx = PolicyCtx { cycle: j, sm: SmId(0), regfile: rf, stats };
@@ -507,7 +490,8 @@ mod tests {
         let pc = Pc(0x40);
         for i in 0..2 {
             for j in 0..100u64 {
-                let mut ctx = PolicyCtx { cycle: j, sm: SmId(0), regfile: &mut rf, stats: &mut stats };
+                let mut ctx =
+                    PolicyCtx { cycle: j, sm: SmId(0), regfile: &mut rf, stats: &mut stats };
                 // All misses, and the lines never repeat: no VTT tag hits.
                 lb.on_miss(pc, LoadId(0), LineAddr(10_000 + i as u64 * 1000 + j), &mut ctx);
             }
@@ -517,10 +501,7 @@ mod tests {
         assert!(lb.is_disabled());
         // Disabled: no victim service ever.
         let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: &mut rf, stats: &mut stats };
-        assert_eq!(
-            lb.on_miss(pc, LoadId(0), LineAddr(10_001), &mut ctx),
-            MissService::ToL2
-        );
+        assert_eq!(lb.on_miss(pc, LoadId(0), LineAddr(10_001), &mut ctx), MissService::ToL2);
     }
 
     #[test]
@@ -532,7 +513,8 @@ mod tests {
         for i in 0..2 {
             for j in 0..50u64 {
                 let line = LineAddr(j);
-                let mut ctx = PolicyCtx { cycle: j, sm: SmId(0), regfile: &mut rf, stats: &mut stats };
+                let mut ctx =
+                    PolicyCtx { cycle: j, sm: SmId(0), regfile: &mut rf, stats: &mut stats };
                 // Evict the line, then miss on it: tag hit.
                 lb.on_evict(line, 0, &mut ctx);
                 lb.on_miss(pc, LoadId(0), line, &mut ctx);
@@ -605,7 +587,12 @@ mod tests {
     fn probe_phase_locks_at_best_limit() {
         let (mut lb, mut rf, mut stats, _, _) = fixture();
         select_load(&mut lb, &mut rf, &mut stats, Pc(0x40));
-        let mut run = |ipc: f64, active: u32, inactive: u32, i: u32, rf: &mut RegFile, stats: &mut SimStats| {
+        let mut run = |ipc: f64,
+                       active: u32,
+                       inactive: u32,
+                       i: u32,
+                       rf: &mut RegFile,
+                       stats: &mut SimStats| {
             let mut ctx = PolicyCtx { cycle: 0, sm: SmId(0), regfile: rf, stats };
             lb.on_window(&window(active, inactive, ipc, i), &mut ctx)
         };
@@ -618,7 +605,7 @@ mod tests {
         assert_eq!(run(0.10, 5, 3, 5, &mut rf, &mut stats), Some(5)); // settle
         assert_eq!(run(1.20, 5, 3, 6, &mut rf, &mut stats), Some(4)); // (5, 1.20)
         assert_eq!(run(0.10, 4, 4, 7, &mut rf, &mut stats), Some(4)); // settle
-        // Floor reached: lock at the argmax of the records — limit 6.
+                                                                      // Floor reached: lock at the argmax of the records — limit 6.
         assert_eq!(run(0.90, 4, 4, 8, &mut rf, &mut stats), Some(6));
         // Locked: a recovering window holds.
         assert_eq!(run(0.10, 6, 2, 9, &mut rf, &mut stats), Some(6)); // settle
@@ -631,11 +618,7 @@ mod tests {
     #[test]
     fn victim_caching_mode_preserves_everything_immediately() {
         let gpu = GpuConfig::default();
-        let kernel = gpu_sim::kernel::KernelBuilder::new("k")
-            .grid(4, 2)
-            .alu(1)
-            .build()
-            .unwrap();
+        let kernel = gpu_sim::kernel::KernelBuilder::new("k").grid(4, 2).alu(1).build().unwrap();
         let mut lb = LinebackerPolicy::new(
             LbConfig::with_mode(LbMode::victim_caching_only()),
             SmId(0),

@@ -84,12 +84,7 @@ impl Vtt {
 
     /// Equation 2: the register number backing `(vp, set, way)`.
     pub fn reg_of(&self, vp: u32, set: u32, way: u32) -> RegNum {
-        RegNum(
-            self.cfg.rn_offset
-                + vp * self.cfg.entries_per_vp()
-                + set * self.cfg.vp_assoc
-                + way,
-        )
+        RegNum(self.cfg.rn_offset + vp * self.cfg.entries_per_vp() + set * self.cfg.vp_assoc + way)
     }
 
     /// First register number a partition needs.
@@ -293,12 +288,7 @@ impl Vtt {
 
     /// Valid, non-invalidated entries currently held.
     pub fn occupancy(&self) -> usize {
-        self.partitions
-            .iter()
-            .flatten()
-            .flatten()
-            .filter(|w| w.valid && !w.invalidated)
-            .count()
+        self.partitions.iter().flatten().flatten().filter(|w| w.valid && !w.invalidated).count()
     }
 
     /// Index of the first active partition.

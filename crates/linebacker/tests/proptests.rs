@@ -1,18 +1,18 @@
-//! Property-based tests for Linebacker's structures.
+//! Randomized property tests for Linebacker's structures (seeded and
+//! deterministic, via the in-tree `testkit` crate).
 
-use proptest::prelude::*;
+use testkit::check;
 
 use gpu_sim::types::{hashed_pc5, CtaId, LineAddr, Pc, RegNum};
 use linebacker::{CtaManager, LbConfig, LoadMonitor, Vtt};
 
-proptest! {
-    /// LM selection requires two consecutive qualifying windows with the
-    /// same set — a single window never selects.
-    #[test]
-    fn lm_never_selects_after_one_window(
-        hits in 1u32..100,
-        misses in 0u32..100,
-    ) {
+/// LM selection requires two consecutive qualifying windows with the
+/// same set — a single window never selects.
+#[test]
+fn lm_never_selects_after_one_window() {
+    check("lm_never_selects_after_one_window", |r| {
+        let hits = r.range_u32(1, 100);
+        let misses = r.range_u32(0, 100);
         let mut lm = LoadMonitor::new(32, 0.2);
         for _ in 0..hits {
             lm.record(Pc(0x40), true);
@@ -21,16 +21,17 @@ proptest! {
             lm.record(Pc(0x40), false);
         }
         lm.end_window();
-        prop_assert!(lm.monitoring(), "one window must never conclude monitoring");
-    }
+        assert!(lm.monitoring(), "one window must never conclude monitoring");
+    });
+}
 
-    /// Two identical windows always conclude: either Selected (ratio >=
-    /// threshold) or Disabled (below).
-    #[test]
-    fn lm_two_identical_windows_conclude(
-        hits in 0u32..50,
-        misses in 1u32..50,
-    ) {
+/// Two identical windows always conclude: either Selected (ratio >=
+/// threshold) or Disabled (below).
+#[test]
+fn lm_two_identical_windows_conclude() {
+    check("lm_two_identical_windows_conclude", |r| {
+        let hits = r.range_u32(0, 50);
+        let misses = r.range_u32(1, 50);
         let mut lm = LoadMonitor::new(32, 0.2);
         for _ in 0..2 {
             for _ in 0..hits {
@@ -43,20 +44,21 @@ proptest! {
         }
         let ratio = hits as f64 / (hits + misses) as f64;
         if ratio >= 0.2 {
-            prop_assert!(lm.is_selected(hashed_pc5(Pc(0x40))));
+            assert!(lm.is_selected(hashed_pc5(Pc(0x40))));
         } else {
-            prop_assert!(!lm.monitoring(), "below-threshold loads must disable LB");
-            prop_assert!(!lm.is_selected(hashed_pc5(Pc(0x40))));
+            assert!(!lm.monitoring(), "below-threshold loads must disable LB");
+            assert!(!lm.is_selected(hashed_pc5(Pc(0x40))));
         }
-    }
+    });
+}
 
-    /// VTT occupancy never exceeds active capacity, and store-invalidated
-    /// lines never hit.
-    #[test]
-    fn vtt_occupancy_bounded_and_stores_invalidate(
-        ops in proptest::collection::vec((0u64..500, any::<bool>()), 1..300),
-        min_free in 511u32..2048,
-    ) {
+/// VTT occupancy never exceeds active capacity, and store-invalidated
+/// lines never hit.
+#[test]
+fn vtt_occupancy_bounded_and_stores_invalidate() {
+    check("vtt_occupancy_bounded_and_stores_invalidate", |r| {
+        let ops = r.vec(1, 300, |r| (r.range_u64(0, 500), r.bool()));
+        let min_free = r.range_u32(511, 2048);
         let cfg = LbConfig::default();
         let mut v = Vtt::new(&cfg);
         v.set_tag_only(false);
@@ -66,67 +68,75 @@ proptest! {
             let line = LineAddr(line);
             if is_store {
                 v.invalidate_store(line);
-                prop_assert!(v.lookup(line).is_none(), "store-invalidated line hit");
+                assert!(v.lookup(line).is_none(), "store-invalidated line hit");
             } else {
                 v.insert(line);
             }
-            prop_assert!(v.occupancy() <= cap, "occupancy {} > capacity {cap}", v.occupancy());
+            assert!(v.occupancy() <= cap, "occupancy {} > capacity {cap}", v.occupancy());
         }
-    }
+    });
+}
 
-    /// Every RN handed out by the VTT lies inside an *active* partition's
-    /// register range (never inside live-CTA registers).
-    #[test]
-    fn vtt_rns_respect_free_boundary(
-        lines in proptest::collection::vec(0u64..2000, 1..200),
-        min_free in 511u32..2048,
-    ) {
+/// Every RN handed out by the VTT lies inside an *active* partition's
+/// register range (never inside live-CTA registers).
+#[test]
+fn vtt_rns_respect_free_boundary() {
+    check("vtt_rns_respect_free_boundary", |r| {
+        let lines = r.vec(1, 200, |r| r.range_u64(0, 2000));
+        let min_free = r.range_u32(511, 2048);
         let mut v = Vtt::new(&LbConfig::default());
         v.set_tag_only(false);
         v.refresh_partitions(min_free);
         for &l in &lines {
             if let Some(rn) = v.insert(LineAddr(l)) {
-                prop_assert!(rn.0 >= min_free, "victim register {} below free boundary {min_free}", rn.0);
-                prop_assert!(rn.0 < 2048);
+                assert!(
+                    rn.0 >= min_free,
+                    "victim register {} below free boundary {min_free}",
+                    rn.0
+                );
+                assert!(rn.0 < 2048);
             }
         }
-    }
+    });
+}
 
-    /// CTA manager: BP always advances by #reg x 128 per backup and rewinds
-    /// on restore; LRN equals the max over active CTAs.
-    #[test]
-    fn cta_manager_bp_and_lrn(
-        regs_per_cta in 1u32..256,
-        n in 1u32..8,
-    ) {
+/// CTA manager: BP always advances by #reg x 128 per backup and rewinds
+/// on restore; LRN equals the max over active CTAs.
+#[test]
+fn cta_manager_bp_and_lrn() {
+    check("cta_manager_bp_and_lrn", |r| {
+        let regs_per_cta = r.range_u32(1, 256);
+        let n = r.range_u32(1, 8);
         let bp0 = 0x1000u64;
         let mut m = CtaManager::new(8, regs_per_cta, bp0);
         for i in 0..n {
             m.on_launch(CtaId(i), RegNum(i * regs_per_cta));
         }
-        prop_assert_eq!(m.common.lrn, n * regs_per_cta - 1);
+        assert_eq!(m.common.lrn, n * regs_per_cta - 1);
         // Back up the highest CTA.
         let addr = m.begin_backup(CtaId(n - 1));
-        prop_assert_eq!(addr, bp0);
-        prop_assert_eq!(m.common.bp, bp0 + regs_per_cta as u64 * 128);
+        assert_eq!(addr, bp0);
+        assert_eq!(m.common.bp, bp0 + regs_per_cta as u64 * 128);
         m.complete_backup(CtaId(n - 1));
         let expect_lrn = if n >= 2 { (n - 1) * regs_per_cta - 1 } else { 0 };
-        prop_assert_eq!(m.common.lrn, expect_lrn);
+        assert_eq!(m.common.lrn, expect_lrn);
         // Restore rewinds BP exactly.
         let raddr = m.begin_restore(CtaId(n - 1));
-        prop_assert_eq!(raddr, bp0);
-        prop_assert_eq!(m.common.bp, bp0);
-    }
+        assert_eq!(raddr, bp0);
+        assert_eq!(m.common.bp, bp0);
+    });
+}
 
-    /// The hashed PC is stable and stride-8 PCs (the kernel builder's
-    /// encoding) do not collide within the first 32 instructions.
-    #[test]
-    fn hpc_stride8_no_collisions(base in 0u32..1024) {
-        let base = base * 256; // arbitrary aligned kernel start
+/// The hashed PC is stable and stride-8 PCs (the kernel builder's
+/// encoding) do not collide within the first 32 instructions.
+#[test]
+fn hpc_stride8_no_collisions() {
+    check("hpc_stride8_no_collisions", |r| {
+        let base = r.range_u32(0, 1024) * 256; // arbitrary aligned kernel start
         let mut seen = std::collections::HashSet::new();
         for i in 0..32u32 {
             seen.insert(hashed_pc5(Pc(base + i * 8)));
         }
-        prop_assert_eq!(seen.len(), 32);
-    }
+        assert_eq!(seen.len(), 32);
+    });
 }

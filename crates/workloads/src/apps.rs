@@ -26,7 +26,10 @@ fn reuse_private(ws_bytes: u64, gap: u32) -> AppLoad {
 }
 
 fn random(ws_kb: u64, gap: u32) -> AppLoad {
-    AppLoad { pattern: AccessPattern::RandomInSet { ws_bytes: ws_kb * KB, shared: true }, use_gap: gap }
+    AppLoad {
+        pattern: AccessPattern::RandomInSet { ws_bytes: ws_kb * KB, shared: true },
+        use_gap: gap,
+    }
 }
 
 fn stream(bytes_per_access: u64, gap: u32) -> AppLoad {
@@ -35,7 +38,11 @@ fn stream(bytes_per_access: u64, gap: u32) -> AppLoad {
 
 fn tiled(tile_kb: u64, reuse_count: u32, gap: u32) -> AppLoad {
     AppLoad {
-        pattern: AccessPattern::Tiled { tile_bytes: tile_kb * KB, reuse: reuse_count, shared: true },
+        pattern: AccessPattern::Tiled {
+            tile_bytes: tile_kb * KB,
+            reuse: reuse_count,
+            shared: true,
+        },
         use_gap: gap,
     }
 }
@@ -307,8 +314,7 @@ mod tests {
         // 48 KB L1. Sensitive apps resident 8 CTAs x 8 warps = 64 warps.
         for a in all_apps() {
             if a.sensitivity == Sensitivity::CacheSensitive {
-                let warps = a.resident_ctas(&GpuConfig::default()) as u64
-                    * a.warps_per_cta as u64;
+                let warps = a.resident_ctas(&GpuConfig::default()) as u64 * a.warps_per_cta as u64;
                 assert!(
                     a.nominal_ws_bytes(warps) > 48 * 1024,
                     "{} working set {} too small for its class",
@@ -324,11 +330,7 @@ mod tests {
         for a in all_apps() {
             if a.sensitivity == Sensitivity::CacheInsensitive {
                 let fits = a.nominal_ws_bytes(48) <= 48 * 1024;
-                assert!(
-                    fits || a.has_streaming_load(),
-                    "{} should fit in L1 or stream",
-                    a.abbrev
-                );
+                assert!(fits || a.has_streaming_load(), "{} should fit in L1 or stream", a.abbrev);
             }
         }
     }
@@ -363,7 +365,7 @@ mod tests {
         let cfg = GpuConfig::default();
         for a in all_apps() {
             let r = a.resident_ctas(&cfg);
-            assert!(r >= 1 && r <= 32, "{}: resident {r}", a.abbrev);
+            assert!((1..=32).contains(&r), "{}: resident {r}", a.abbrev);
             assert!(r * a.warps_per_cta <= 64, "{}: too many warps", a.abbrev);
         }
     }

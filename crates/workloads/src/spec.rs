@@ -3,12 +3,11 @@
 
 use gpu_sim::kernel::{KernelBuilder, KernelSpec};
 use gpu_sim::pattern::AccessPattern;
-use serde::{Deserialize, Serialize};
 
 /// Expected cache-sensitivity class (the paper's Table 2 grouping: an app is
 /// cache-sensitive if a 192 KB L1 speeds it up by more than 30 % over the
 /// 48 KB baseline).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Sensitivity {
     /// Benefits strongly from more cache.
     CacheSensitive,
@@ -17,7 +16,7 @@ pub enum Sensitivity {
 }
 
 /// One static load of an application model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppLoad {
     /// Address behaviour.
     pub pattern: AccessPattern,
@@ -32,7 +31,7 @@ pub struct AppLoad {
 /// reports for the real application: per-load reused working-set size
 /// (Figure 2), streaming footprint (Figure 3), register pressure / occupancy
 /// (Figure 4), and the Table 2 sensitivity class.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppSpec {
     /// Two-letter abbreviation used in the paper's figures (e.g. "S2").
     pub abbrev: &'static str,

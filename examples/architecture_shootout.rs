@@ -43,12 +43,7 @@ fn main() {
     ];
     for arch in archs {
         let s = runner.run(&a, arch);
-        println!(
-            "{:<16} {:>8.3} {:>9.3}x",
-            arch.label(),
-            s.ipc(),
-            s.ipc() / bswl_ipc.max(1e-9)
-        );
+        println!("{:<16} {:>8.3} {:>9.3}x", arch.label(), s.ipc(), s.ipc() / bswl_ipc.max(1e-9));
     }
     println!();
     println!("({} simulations run, memoized per architecture)", runner.sims_run());

@@ -9,15 +9,14 @@
 
 use gpu_sim::config::GpuConfig;
 use gpu_sim::gpu::run_kernel;
-use gpu_sim::kernel::KernelSpec;
-use gpu_sim::policy::{baseline_factory, SmPolicy};
-use gpu_sim::types::{AccessOutcome, SmId};
+use gpu_sim::policy::{baseline_factory, PolicyFactory};
+use gpu_sim::types::AccessOutcome;
 use linebacker::{
     linebacker_factory, selective_victim_caching_factory, victim_caching_factory, LbConfig,
 };
 use workloads::app;
 
-type Factory = Box<dyn Fn(SmId, &GpuConfig, &KernelSpec) -> Box<dyn SmPolicy>>;
+type Factory = Box<PolicyFactory<'static>>;
 
 fn main() {
     let cfg = GpuConfig::default().with_sms(2).with_windows(8_000, 200_000);

@@ -7,8 +7,8 @@
 //! cargo run --release --example throttling_timeline [APP]
 //! ```
 
-use gpu_sim::gpu::Gpu;
 use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
 use linebacker::{linebacker_factory, LbConfig};
 use workloads::app;
 
@@ -27,7 +27,8 @@ fn main() {
     println!("app: {} — {}", a.abbrev, a.description);
     println!("windows of {} cycles; Linebacker default config\n", cfg.window_cycles);
 
-    let mut gpu = Gpu::new(cfg.clone(), a.kernel(cfg.n_sms), &linebacker_factory(LbConfig::default()));
+    let mut gpu =
+        Gpu::new(cfg.clone(), a.kernel(cfg.n_sms), &linebacker_factory(LbConfig::default()));
     let stats = gpu.run();
     let series = stats.timeline_aggregate();
 

@@ -36,11 +36,7 @@ fn every_architecture_runs_every_app_class() {
             let c = arch.transform_config(&cfg(), &a);
             let k = a.kernel(c.n_sms);
             let s = run_kernel(c, k, &arch.factory());
-            assert!(
-                s.instructions > 0,
-                "{name} under {} executed nothing",
-                arch.label()
-            );
+            assert!(s.instructions > 0, "{name} under {} executed nothing", arch.label());
             assert!(s.ipc() > 0.0, "{name} under {} has zero IPC", arch.label());
         }
     }
@@ -70,7 +66,12 @@ fn baseline_never_produces_reg_hits_or_bypasses() {
         let s = run_kernel(c, k, &baseline_factory());
         assert_eq!(s.reg_hits, 0, "{}: baseline has no victim storage", a.abbrev);
         assert_eq!(s.bypasses, 0, "{}: baseline never bypasses", a.abbrev);
-        assert_eq!(s.dram_bytes[2] + s.dram_bytes[3], 0, "{}: baseline never backs up registers", a.abbrev);
+        assert_eq!(
+            s.dram_bytes[2] + s.dram_bytes[3],
+            0,
+            "{}: baseline never backs up registers",
+            a.abbrev
+        );
     }
 }
 
@@ -90,10 +91,7 @@ fn determinism_across_identical_runs() {
 fn suite_covers_both_sensitivity_classes() {
     let apps = all_apps();
     assert_eq!(apps.len(), 20);
-    assert_eq!(
-        apps.iter().filter(|a| a.sensitivity == Sensitivity::CacheSensitive).count(),
-        10
-    );
+    assert_eq!(apps.iter().filter(|a| a.sensitivity == Sensitivity::CacheSensitive).count(), 10);
 }
 
 #[test]

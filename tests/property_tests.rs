@@ -1,7 +1,7 @@
-//! Property-based tests (proptest) over the core data structures and
-//! mechanism invariants.
+//! Randomized property tests over the core data structures and mechanism
+//! invariants (seeded and deterministic, via the in-tree `testkit` crate).
 
-use proptest::prelude::*;
+use testkit::check;
 
 use gpu_sim::cache::{MshrFile, MshrOutcome, TagArray};
 use gpu_sim::coalesce::coalesce;
@@ -9,60 +9,70 @@ use gpu_sim::regfile::RegFile;
 use gpu_sim::types::{hashed_pc5, Address, CtaId, LineAddr, Pc, RegNum};
 use linebacker::{IpcMonitor, LbConfig, LoadMonitor, ThrottleDecision, Vtt};
 
-proptest! {
-    /// The coalescer never emits more requests than lanes, never duplicates
-    /// a line, and covers every lane's line.
-    #[test]
-    fn coalescer_covers_all_lanes(addrs in proptest::collection::vec(0u64..1 << 30, 1..32)) {
+/// The coalescer never emits more requests than lanes, never duplicates
+/// a line, and covers every lane's line.
+#[test]
+fn coalescer_covers_all_lanes() {
+    check("coalescer_covers_all_lanes", |r| {
+        let addrs = r.vec(1, 32, |r| r.range_u64(0, 1 << 30));
         let lanes: Vec<Address> = addrs.iter().map(|&a| Address(a)).collect();
         let lines = coalesce(&lanes);
-        prop_assert!(lines.len() <= lanes.len());
+        assert!(lines.len() <= lanes.len());
         // No duplicates.
         let set: std::collections::HashSet<_> = lines.iter().collect();
-        prop_assert_eq!(set.len(), lines.len());
+        assert_eq!(set.len(), lines.len());
         // Coverage.
         for a in &lanes {
-            prop_assert!(lines.contains(&a.line()));
+            assert!(lines.contains(&a.line()));
         }
-    }
+    });
+}
 
-    /// A tag array never holds two entries for the same line and never
-    /// exceeds its capacity; a fill is always observable until evicted.
-    #[test]
-    fn tag_array_no_duplicates_and_capacity(ops in proptest::collection::vec(0u64..200, 1..300)) {
+/// A tag array never holds two entries for the same line and never
+/// exceeds its capacity; a fill is always observable until evicted.
+#[test]
+fn tag_array_no_duplicates_and_capacity() {
+    check("tag_array_no_duplicates_and_capacity", |r| {
+        let ops = r.vec(1, 300, |r| r.range_u64(0, 200));
         let mut t: TagArray<()> = TagArray::new(16, 4);
         for &line in &ops {
             let line = LineAddr(line);
             if t.probe(line).is_none() {
                 t.fill(line, ());
             }
-            prop_assert!(t.occupancy() <= 16 * 4);
+            assert!(t.occupancy() <= 16 * 4);
             // The just-touched line must be resident.
-            prop_assert!(t.peek(line).is_some());
+            assert!(t.peek(line).is_some());
         }
         // No duplicate lines resident.
         let lines: Vec<_> = t.resident_lines().collect();
         let set: std::collections::HashSet<_> = lines.iter().collect();
-        prop_assert_eq!(set.len(), lines.len());
-    }
+        assert_eq!(set.len(), lines.len());
+    });
+}
 
-    /// LRU: after touching line A, filling conflicting lines evicts others
-    /// before A (single-set array).
-    #[test]
-    fn tag_array_lru_protects_recent(fresh in 1u64..100) {
+/// LRU: after touching line A, filling conflicting lines evicts others
+/// before A (single-set array).
+#[test]
+fn tag_array_lru_protects_recent() {
+    check("tag_array_lru_protects_recent", |r| {
+        let fresh = r.range_u64(1, 100);
         let mut t: TagArray<()> = TagArray::new(1, 4);
         for i in 0..4u64 {
             t.fill(LineAddr(1000 + i), ());
         }
         t.probe(LineAddr(1000)); // protect
         let ev = t.fill(LineAddr(2000 + fresh), ()).expect("full set evicts");
-        prop_assert_ne!(ev.line, LineAddr(1000));
-    }
+        assert_ne!(ev.line, LineAddr(1000));
+    });
+}
 
-    /// MSHR merge invariant: all waiters allocated to a line come back on
-    /// completion, exactly once.
-    #[test]
-    fn mshr_waiters_conserved(waiters in proptest::collection::vec(0u64..1000, 1..64)) {
+/// MSHR merge invariant: all waiters allocated to a line come back on
+/// completion, exactly once.
+#[test]
+fn mshr_waiters_conserved() {
+    check("mshr_waiters_conserved", |r| {
+        let waiters = r.vec(1, 64, |r| r.range_u64(0, 1000));
         let mut m = MshrFile::new(64);
         let line = LineAddr(7);
         let mut accepted = 0u64;
@@ -73,37 +83,40 @@ proptest! {
             }
         }
         let done = m.complete(line);
-        prop_assert_eq!(done.len() as u64, accepted);
-        prop_assert!(m.complete(line).is_empty());
-    }
+        assert_eq!(done.len() as u64, accepted);
+        assert!(m.complete(line).is_empty());
+    });
+}
 
-    /// Register-file CTA allocation is always disjoint and within bounds.
-    #[test]
-    fn regfile_allocations_disjoint(counts in proptest::collection::vec(1u32..300, 1..8)) {
+/// Register-file CTA allocation is always disjoint and within bounds.
+#[test]
+fn regfile_allocations_disjoint() {
+    check("regfile_allocations_disjoint", |r| {
+        let counts = r.vec(1, 8, |r| r.range_u32(1, 300));
         let mut rf = RegFile::new(2048, 32, 32);
         let mut ranges: Vec<(u32, u32)> = Vec::new();
         for (i, &c) in counts.iter().enumerate() {
             if let Some(first) = rf.allocate_cta(CtaId(i as u32), c) {
-                prop_assert!(first.0 + c <= 2048, "allocation out of bounds");
+                assert!(first.0 + c <= 2048, "allocation out of bounds");
                 for &(f2, c2) in &ranges {
                     let no_overlap = first.0 + c <= f2 || f2 + c2 <= first.0;
-                    prop_assert!(no_overlap, "overlapping CTA allocations");
+                    assert!(no_overlap, "overlapping CTA allocations");
                 }
                 ranges.push((first.0, c));
             }
         }
         // Space accounting is consistent.
         let s = rf.space();
-        prop_assert_eq!(
-            s.active_used,
-            ranges.iter().map(|&(_, c)| c).sum::<u32>()
-        );
-        prop_assert_eq!(s.active_used + s.static_unused + s.dynamic_unused, 2048);
-    }
+        assert_eq!(s.active_used, ranges.iter().map(|&(_, c)| c).sum::<u32>());
+        assert_eq!(s.active_used + s.static_unused + s.dynamic_unused, 2048);
+    });
+}
 
-    /// Backup/restore round-trips register contents for arbitrary CTA sizes.
-    #[test]
-    fn regfile_backup_restore_roundtrip(count in 1u32..500) {
+/// Backup/restore round-trips register contents for arbitrary CTA sizes.
+#[test]
+fn regfile_backup_restore_roundtrip() {
+    check("regfile_backup_restore_roundtrip", |r| {
+        let count = r.range_u32(1, 500);
         let mut rf = RegFile::new(2048, 32, 32);
         let first = rf.allocate_cta(CtaId(0), count).unwrap();
         let saved: Vec<u64> = (0..count).map(|i| rf.read_contents(RegNum(first.0 + i))).collect();
@@ -116,14 +129,16 @@ proptest! {
             rf.write_contents(RegNum(first.0 + i as u32), *v);
         }
         for (i, v) in saved.iter().enumerate() {
-            prop_assert_eq!(rf.read_contents(RegNum(first.0 + i as u32)), *v);
+            assert_eq!(rf.read_contents(RegNum(first.0 + i as u32)), *v);
         }
-    }
+    });
+}
 
-    /// Equation 2 maps every VTT slot to a unique register within RN
-    /// 511..2047, for every legal associativity.
-    #[test]
-    fn vtt_rn_mapping_injective(assoc in prop::sample::select(vec![1u32, 2, 4, 8, 16, 32])) {
+/// Equation 2 maps every VTT slot to a unique register within RN
+/// 511..2047, for every legal associativity.
+#[test]
+fn vtt_rn_mapping_injective() {
+    for assoc in [1u32, 2, 4, 8, 16, 32] {
         let cfg = LbConfig::with_vp_assoc(assoc);
         let v = Vtt::new(&cfg);
         let mut seen = std::collections::HashSet::new();
@@ -131,18 +146,21 @@ proptest! {
             for set in 0..cfg.vtt_sets {
                 for way in 0..cfg.vp_assoc {
                     let rn = v.reg_of(vp, set, way);
-                    prop_assert!(rn.0 >= 511 && rn.0 < 2048, "rn {} out of range", rn.0);
-                    prop_assert!(seen.insert(rn), "duplicate rn {}", rn.0);
+                    assert!(rn.0 >= 511 && rn.0 < 2048, "rn {} out of range", rn.0);
+                    assert!(seen.insert(rn), "duplicate rn {}", rn.0);
                 }
             }
         }
-        prop_assert_eq!(seen.len() as u32, cfg.max_vps() * cfg.entries_per_vp());
+        assert_eq!(seen.len() as u32, cfg.max_vps() * cfg.entries_per_vp());
     }
+}
 
-    /// A line inserted into an active VTT is either findable or was evicted
-    /// by a later insertion — never silently lost while capacity remains.
-    #[test]
-    fn vtt_insert_then_lookup(lines in proptest::collection::vec(0u64..48, 1..100)) {
+/// A line inserted into an active VTT is either findable or was evicted
+/// by a later insertion — never silently lost while capacity remains.
+#[test]
+fn vtt_insert_then_lookup() {
+    check("vtt_insert_then_lookup", |r| {
+        let lines = r.vec(1, 100, |r| r.range_u64(0, 48));
         let mut v = Vtt::new(&LbConfig::default());
         v.set_tag_only(false);
         v.refresh_partitions(511);
@@ -150,30 +168,40 @@ proptest! {
         for (i, &k) in lines.iter().enumerate() {
             let line = LineAddr(i as u64 * 48 + k % 48);
             v.insert(line);
-            prop_assert!(v.lookup(line).is_some(), "freshly inserted line must hit");
+            assert!(v.lookup(line).is_some(), "freshly inserted line must hit");
         }
-    }
+    });
+}
 
-    /// The Load Monitor conserves accesses: hits + misses recorded equals
-    /// total records while monitoring.
-    #[test]
-    fn load_monitor_conserves_accesses(events in proptest::collection::vec((0u32..64, any::<bool>()), 1..500)) {
+/// The Load Monitor conserves accesses: hits + misses recorded equals
+/// total records while monitoring.
+#[test]
+fn load_monitor_conserves_accesses() {
+    check("load_monitor_conserves_accesses", |r| {
+        let events = r.vec(1, 500, |r| (r.range_u32(0, 64), r.bool()));
         let mut lm = LoadMonitor::new(32, 0.2);
         for &(pc, hit) in &events {
             lm.record(Pc(pc * 8), hit);
         }
-        prop_assert_eq!(lm.accesses(), events.len() as u64);
-    }
+        assert_eq!(lm.accesses(), events.len() as u64);
+    });
+}
 
-    /// The hashed PC always fits in 5 bits.
-    #[test]
-    fn hashed_pc_is_5_bits(pc in any::<u32>()) {
-        prop_assert!(hashed_pc5(Pc(pc)) < 32);
-    }
+/// The hashed PC always fits in 5 bits.
+#[test]
+fn hashed_pc_is_5_bits() {
+    check("hashed_pc_is_5_bits", |r| {
+        let pc = r.range_u64(0, u32::MAX as u64 + 1) as u32;
+        assert!(hashed_pc5(Pc(pc)) < 32);
+    });
+}
 
-    /// The IPC monitor's decisions respect the bounds exactly.
-    #[test]
-    fn ipc_monitor_decisions_respect_bounds(prev in 0.1f64..100.0, cur in 0.1f64..100.0) {
+/// The IPC monitor's decisions respect the bounds exactly.
+#[test]
+fn ipc_monitor_decisions_respect_bounds() {
+    check("ipc_monitor_decisions_respect_bounds", |r| {
+        let prev = r.range_f64(0.1, 100.0);
+        let cur = r.range_f64(0.1, 100.0);
         let mut m = IpcMonitor::new(0.10, -0.10);
         m.end_window(prev);
         let d = m.end_window(cur);
@@ -185,6 +213,6 @@ proptest! {
         } else {
             ThrottleDecision::Hold
         };
-        prop_assert_eq!(d, expect);
-    }
+        assert_eq!(d, expect);
+    });
 }

@@ -29,7 +29,8 @@ fn kernel(n_sms: u32) -> gpu_sim::kernel::KernelSpec {
 #[test]
 fn monitoring_selects_then_throttles_then_victim_caches() {
     let cfg = cfg();
-    let mut gpu = Gpu::new(cfg.clone(), kernel(cfg.n_sms), &linebacker_factory(LbConfig::default()));
+    let mut gpu =
+        Gpu::new(cfg.clone(), kernel(cfg.n_sms), &linebacker_factory(LbConfig::default()));
     let stats = gpu.run();
 
     // Monitoring converged within a few periods (Figure 6: two periods).
@@ -77,7 +78,8 @@ fn linebacker_outperforms_baseline_on_this_workload() {
 #[test]
 fn backup_traffic_is_matched_by_restores_or_stays_backed_up() {
     let cfg = cfg();
-    let mut gpu = Gpu::new(cfg.clone(), kernel(cfg.n_sms), &linebacker_factory(LbConfig::default()));
+    let mut gpu =
+        Gpu::new(cfg.clone(), kernel(cfg.n_sms), &linebacker_factory(LbConfig::default()));
     let stats = gpu.run();
     // Restores never exceed backups (a CTA can only be restored after a
     // backup), and both are multiples of the per-CTA register footprint.
