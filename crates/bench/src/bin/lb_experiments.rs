@@ -23,6 +23,8 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut csv_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut profile = false;
+    let mut profile_out = String::from("BENCH_PR2.json");
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -47,12 +49,21 @@ fn main() {
             "--verbose" => verbose = true,
             "--out" => out_path = args.next(),
             "--csv-dir" => csv_dir = args.next(),
+            "--profile" => profile = true,
+            "--profile-out" => {
+                profile_out = args.next().unwrap_or_else(|| {
+                    eprintln!("--profile-out expects a file path");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: lb-experiments [--scale quick|default|full] [--jobs N] \
-                     [--verbose] [--out FILE] [--csv-dir DIR] [ids... | all]\n  \
+                     [--verbose] [--out FILE] [--csv-dir DIR] [--profile] \
+                     [--profile-out FILE] [ids... | all]\n  \
                      LB_JOBS=N overrides the default worker count (all cores); \
-                     --jobs beats LB_JOBS\n  ids: {}",
+                     --jobs beats LB_JOBS\n  --profile prints a hot-path throughput \
+                     report to stderr and writes BENCH_PR2.json\n  ids: {}",
                     experiments::ALL.join(" ")
                 );
                 return;
@@ -147,5 +158,13 @@ fn main() {
         let mut f = std::fs::File::create(&p).expect("create output file");
         f.write_all(rendered.as_bytes()).expect("write output file");
         eprintln!("wrote {p}");
+    }
+    if profile {
+        let suite_wall_s = started.elapsed().as_secs_f64();
+        let prof = runner.profile();
+        eprint!("{}", prof.summary(suite_wall_s));
+        let json = prof.to_json("lb-experiments", &scale.to_string(), suite_wall_s);
+        std::fs::write(&profile_out, &json).expect("write profile json");
+        eprintln!("[profile] wrote {profile_out}");
     }
 }

@@ -1,24 +1,84 @@
+//! Quick per-app IPC sanity table across all five architectures.
+//!
+//! ```text
+//! sanity [--quick] [--profile] [--profile-out FILE] [apps...]
+//! ```
+//!
+//! With `--profile`, the IPC table moves to stderr and stdout carries a
+//! single JSON throughput record (the same shape `lb-experiments --profile`
+//! writes to `BENCH_PR2.json`), so CI can parse it directly.
+
 use baselines::{best_swl_sweep, cerf_factory, pcal_factory};
 use gpu_sim::config::GpuConfig;
 use gpu_sim::gpu::run_kernel;
 use gpu_sim::policy::baseline_factory;
+use lb_bench::profile::Profile;
 use linebacker::{linebacker_factory, LbConfig};
 use workloads::all_apps;
 
 fn main() {
-    let cfg = GpuConfig::default().with_sms(4).with_windows(10_000, 240_000);
-    println!(
+    let mut profile = false;
+    let mut quick = false;
+    let mut profile_out: Option<String> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--profile" => profile = true,
+            "--quick" => quick = true,
+            "--profile-out" => profile_out = args.next(),
+            "--help" | "-h" => {
+                eprintln!("usage: sanity [--quick] [--profile] [--profile-out FILE] [apps...]");
+                return;
+            }
+            other => only.push(other.to_string()),
+        }
+    }
+
+    let cfg = if quick {
+        GpuConfig::default().with_sms(4).with_windows(5_000, 60_000)
+    } else {
+        GpuConfig::default().with_sms(4).with_windows(10_000, 240_000)
+    };
+    let started = std::time::Instant::now();
+    let mut prof = Profile::default();
+    let timed = |prof: &mut Profile, name: String, f: &dyn Fn() -> gpu_sim::stats::SimStats| {
+        let t0 = std::time::Instant::now();
+        let s = f();
+        prof.record(name, t0.elapsed().as_secs_f64(), &s);
+        s
+    };
+
+    let header = format!(
         "{:<4} {:>8} {:>8} {:>8} {:>8} {:>8}  reg_hit%  periods",
         "app", "base", "bswl", "pcal", "cerf", "lb"
     );
+    let mut table = vec![header];
     for app in all_apps() {
+        if !only.is_empty() && !only.iter().any(|a| a == app.abbrev) {
+            continue;
+        }
         let k = app.kernel(cfg.n_sms);
-        let base = run_kernel(cfg.clone(), k.clone(), &baseline_factory());
+        let base = timed(&mut prof, format!("app={} arch=base", app.abbrev), &|| {
+            run_kernel(cfg.clone(), k.clone(), &baseline_factory())
+        });
+        let t0 = std::time::Instant::now();
         let swl = best_swl_sweep(&cfg, &k);
-        let pcal = run_kernel(cfg.clone(), k.clone(), &pcal_factory());
-        let cerf = run_kernel(cfg.clone(), k.clone(), &cerf_factory());
-        let lb = run_kernel(cfg.clone(), k.clone(), &linebacker_factory(LbConfig::default()));
-        println!(
+        prof.record(
+            format!("app={} arch=bswl(sweep)", app.abbrev),
+            t0.elapsed().as_secs_f64(),
+            &swl.stats,
+        );
+        let pcal = timed(&mut prof, format!("app={} arch=pcal", app.abbrev), &|| {
+            run_kernel(cfg.clone(), k.clone(), &pcal_factory())
+        });
+        let cerf = timed(&mut prof, format!("app={} arch=cerf", app.abbrev), &|| {
+            run_kernel(cfg.clone(), k.clone(), &cerf_factory())
+        });
+        let lb = timed(&mut prof, format!("app={} arch=lb", app.abbrev), &|| {
+            run_kernel(cfg.clone(), k.clone(), &linebacker_factory(LbConfig::default()))
+        });
+        table.push(format!(
             "{:<4} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}  {:>6.1}%  {}",
             app.abbrev,
             base.ipc(),
@@ -28,6 +88,26 @@ fn main() {
             lb.ipc(),
             lb.outcome_fraction(gpu_sim::types::AccessOutcome::RegHit) * 100.0,
             lb.monitor_periods,
-        );
+        ));
+    }
+
+    if profile {
+        // Table to stderr; stdout carries exactly one JSON document.
+        for line in &table {
+            eprintln!("{line}");
+        }
+        let suite_wall_s = started.elapsed().as_secs_f64();
+        eprint!("{}", prof.summary(suite_wall_s));
+        let scale = if quick { "sanity-quick" } else { "sanity" };
+        let json = prof.to_json("sanity", scale, suite_wall_s);
+        print!("{json}");
+        if let Some(p) = profile_out {
+            std::fs::write(&p, &json).expect("write profile json");
+            eprintln!("[profile] wrote {p}");
+        }
+    } else {
+        for line in &table {
+            println!("{line}");
+        }
     }
 }

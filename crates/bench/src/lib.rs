@@ -29,6 +29,7 @@
 pub mod arch;
 pub mod engine;
 pub mod experiments;
+pub mod profile;
 pub mod runkey;
 pub mod runner;
 pub mod scale;
@@ -36,6 +37,7 @@ pub mod table;
 
 pub use arch::Arch;
 pub use engine::Engine;
+pub use profile::Profile;
 pub use runkey::{ArchSpec, RunKey};
 pub use runner::Runner;
 pub use scale::Scale;

@@ -1,0 +1,438 @@
+//! Built-in hot-path profiler: wall-clock and event accounting for every
+//! simulation the harness launches, reported by `--profile` and written to
+//! `BENCH_PR2.json` so the perf trajectory of the simulator has a recorded
+//! baseline.
+//!
+//! The workspace is std-only, so the JSON record is emitted by a small
+//! hand-rolled writer (and checked in tests by the equally small
+//! [`validate_json`] recursive-descent validator).
+
+use gpu_sim::stats::SimStats;
+
+/// Timing and event record of one simulation.
+#[derive(Debug, Clone)]
+pub struct SimRecord {
+    /// Run-key string (unique per distinct simulation).
+    pub key: String,
+    /// Wall-clock seconds spent inside `run_kernel`.
+    pub wall_s: f64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Cycles advanced one at a time.
+    pub stepped: u64,
+    /// Cycles fast-forwarded by the idle-cycle skipper.
+    pub skipped: u64,
+}
+
+impl SimRecord {
+    /// Fraction of simulated cycles that were skipped, in [0, 1].
+    pub fn skipped_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Aggregated profile over every simulation of a harness invocation.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// One record per executed simulation, in completion order.
+    pub records: Vec<SimRecord>,
+    /// Summed per-stage event counters across all simulations.
+    pub skip_jumps: u64,
+    /// L2 requests handled (demand + bypass + stores + register traffic).
+    pub l2_requests: u64,
+    /// DRAM service completions.
+    pub dram_services: u64,
+    /// Interconnect deliveries (both directions).
+    pub icnt_delivered: u64,
+    /// CTA dispatch passes over the SM array.
+    pub dispatch_passes: u64,
+}
+
+impl Profile {
+    /// Records one finished simulation.
+    pub fn record(&mut self, key: String, wall_s: f64, stats: &SimStats) {
+        let e = &stats.events;
+        self.records.push(SimRecord {
+            key,
+            wall_s,
+            cycles: stats.cycles,
+            stepped: e.stepped_cycles,
+            skipped: e.skipped_cycles,
+        });
+        self.skip_jumps += e.skip_jumps;
+        self.l2_requests += e.l2_requests;
+        self.dram_services += e.dram_services;
+        self.icnt_delivered += e.icnt_delivered;
+        self.dispatch_passes += e.dispatch_passes;
+    }
+
+    /// Number of recorded simulations.
+    pub fn sims(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total wall-clock seconds spent simulating (sum over sims; on one
+    /// worker this approximates the suite wall-clock, on N workers it can
+    /// exceed it).
+    pub fn sim_wall_s(&self) -> f64 {
+        self.records.iter().map(|r| r.wall_s).sum()
+    }
+
+    /// Total simulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.records.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Total stepped cycles.
+    pub fn stepped(&self) -> u64 {
+        self.records.iter().map(|r| r.stepped).sum()
+    }
+
+    /// Total skipped cycles.
+    pub fn skipped(&self) -> u64 {
+        self.records.iter().map(|r| r.skipped).sum()
+    }
+
+    /// Fraction of all simulated cycles that were fast-forwarded.
+    pub fn skipped_fraction(&self) -> f64 {
+        let c = self.cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.skipped() as f64 / c as f64
+        }
+    }
+
+    /// Simulated cycles per wall-clock second of simulation time.
+    pub fn cycles_per_sec(&self) -> f64 {
+        let w = self.sim_wall_s();
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.cycles() as f64 / w
+        }
+    }
+
+    /// Human-readable multi-line summary (for `--profile` stderr output).
+    pub fn summary(&self, suite_wall_s: f64) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "[profile] {} sims in {:.1}s wall ({:.1}s summed sim time, {:.2} sims/s)\n",
+            self.sims(),
+            suite_wall_s,
+            self.sim_wall_s(),
+            if suite_wall_s > 0.0 { self.sims() as f64 / suite_wall_s } else { 0.0 },
+        ));
+        s.push_str(&format!(
+            "[profile] {} cycles simulated ({:.2} Mcycles/s): {} stepped, {} skipped \
+             ({:.1}% skipped in {} jumps)\n",
+            self.cycles(),
+            self.cycles_per_sec() / 1e6,
+            self.stepped(),
+            self.skipped(),
+            self.skipped_fraction() * 100.0,
+            self.skip_jumps,
+        ));
+        s.push_str(&format!(
+            "[profile] events: {} L2 requests, {} DRAM services, {} icnt deliveries, \
+             {} dispatch passes\n",
+            self.l2_requests, self.dram_services, self.icnt_delivered, self.dispatch_passes,
+        ));
+        let mut slowest: Vec<&SimRecord> = self.records.iter().collect();
+        slowest.sort_by(|a, b| b.wall_s.total_cmp(&a.wall_s));
+        for r in slowest.iter().take(5) {
+            s.push_str(&format!(
+                "[profile]   slow: {} {:.2}s {} cycles ({:.1}% skipped)\n",
+                r.key,
+                r.wall_s,
+                r.cycles,
+                r.skipped_fraction() * 100.0,
+            ));
+        }
+        s
+    }
+
+    /// The `BENCH_PR2.json` throughput record.
+    ///
+    /// `label` names the producing binary, `scale` the run scale, and
+    /// `suite_wall_s` the end-to-end harness wall-clock.
+    pub fn to_json(&self, label: &str, scale: &str, suite_wall_s: f64) -> String {
+        let mut slowest: Vec<&SimRecord> = self.records.iter().collect();
+        slowest.sort_by(|a, b| b.wall_s.total_cmp(&a.wall_s));
+        let slow_entries: Vec<String> = slowest
+            .iter()
+            .take(5)
+            .map(|r| {
+                format!(
+                    "{{\"key\": {}, \"wall_s\": {:.3}, \"cycles\": {}, \
+                     \"skipped_fraction\": {:.6}}}",
+                    json_string(&r.key),
+                    r.wall_s,
+                    r.cycles,
+                    r.skipped_fraction(),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"PR2\",\n  \"binary\": {},\n  \"scale\": {},\n  \
+             \"suite_wall_s\": {:.3},\n  \"sims\": {},\n  \"sim_wall_s\": {:.3},\n  \
+             \"cycles\": {},\n  \"stepped_cycles\": {},\n  \"skipped_cycles\": {},\n  \
+             \"skipped_fraction\": {:.6},\n  \"cycles_per_sec\": {:.1},\n  \
+             \"sims_per_sec\": {:.3},\n  \"events\": {{\"skip_jumps\": {}, \
+             \"l2_requests\": {}, \"dram_services\": {}, \"icnt_delivered\": {}, \
+             \"dispatch_passes\": {}}},\n  \"slowest\": [{}]\n}}\n",
+            json_string(label),
+            json_string(scale),
+            suite_wall_s,
+            self.sims(),
+            self.sim_wall_s(),
+            self.cycles(),
+            self.stepped(),
+            self.skipped(),
+            self.skipped_fraction(),
+            self.cycles_per_sec(),
+            if suite_wall_s > 0.0 { self.sims() as f64 / suite_wall_s } else { 0.0 },
+            self.skip_jumps,
+            self.l2_requests,
+            self.dram_services,
+            self.icnt_delivered,
+            self.dispatch_passes,
+            slow_entries.join(", "),
+        )
+    }
+}
+
+/// Encodes `s` as a JSON string literal (quotes, escapes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON validator (recursive descent over the full grammar minus
+/// `\u` surrogate-pair checking). Returns the byte offset of the first
+/// error. Used by tests to prove `--profile` output is well-formed without
+/// pulling in a dependency.
+pub fn validate_json(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i == b.len() {
+        Ok(())
+    } else {
+        Err(i)
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        _ => Err(*i),
+    }
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), usize> {
+    if b[*i..].starts_with(lit) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(*i)
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(*i);
+        }
+        *i += 1;
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(*i),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(*i),
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(*i);
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        if b.len() < *i + 5 || !b[*i + 1..*i + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(*i);
+                        }
+                        *i += 5;
+                    }
+                    _ => return Err(*i),
+                }
+            }
+            0x00..=0x1f => return Err(*i),
+            _ => *i += 1,
+        }
+    }
+    Err(*i)
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let int_start = *i;
+    while *i < b.len() && b[*i].is_ascii_digit() {
+        *i += 1;
+    }
+    if *i == int_start || (b[int_start] == b'0' && *i - int_start > 1) {
+        return Err(start);
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        let frac = *i;
+        while *i < b.len() && b[*i].is_ascii_digit() {
+            *i += 1;
+        }
+        if *i == frac {
+            return Err(*i);
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        let exp = *i;
+        while *i < b.len() && b[*i].is_ascii_digit() {
+            *i += 1;
+        }
+        if *i == exp {
+            return Err(*i);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_accepts_valid_json() {
+        for s in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e3",
+            "{\"a\": [1, 2.5, \"x\\n\", true, null], \"b\": {\"c\": false}}",
+            "  { \"k\" : \"v\" }  ",
+        ] {
+            assert!(validate_json(s).is_ok(), "should accept: {s}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid_json() {
+        for s in ["", "{", "{\"a\":}", "[1,]", "01", "\"unterminated", "{\"a\":1} extra", "nul"] {
+            assert!(validate_json(s).is_err(), "should reject: {s}");
+        }
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert!(validate_json(&json_string("weird \u{1} ctrl")).is_ok());
+    }
+
+    #[test]
+    fn profile_json_is_valid_and_consistent() {
+        let mut p = Profile::default();
+        let mut stats = SimStats { cycles: 1000, ..SimStats::default() };
+        stats.events.stepped_cycles = 600;
+        stats.events.skipped_cycles = 400;
+        stats.events.skip_jumps = 7;
+        p.record("app=GA arch=base".into(), 0.25, &stats);
+        let j = p.to_json("test", "quick", 0.3);
+        assert!(validate_json(&j).is_ok(), "emitted JSON must validate: {j}");
+        assert_eq!(p.cycles(), 1000);
+        assert_eq!(p.stepped() + p.skipped(), p.cycles());
+        assert!((p.skipped_fraction() - 0.4).abs() < 1e-12);
+    }
+}

@@ -21,6 +21,7 @@ use workloads::AppSpec;
 
 use crate::arch::Arch;
 use crate::engine::Engine;
+use crate::profile::Profile;
 use crate::runkey::RunKey;
 use crate::scale::Scale;
 
@@ -43,6 +44,10 @@ pub struct Runner {
     jobs: usize,
     /// Progress reporting to stderr.
     pub verbose: bool,
+    /// Hot-path profiler: per-sim wall-clock and event counters
+    /// (always collected — one `Instant` pair per simulation — and
+    /// reported when the harness runs with `--profile`).
+    profile: Mutex<Profile>,
 }
 
 impl std::fmt::Debug for Runner {
@@ -69,6 +74,7 @@ impl Runner {
             best_swl: Mutex::new(HashMap::new()),
             jobs,
             verbose: false,
+            profile: Mutex::new(Profile::default()),
         }
     }
 
@@ -140,7 +146,15 @@ impl Runner {
             workloads::app(key.app).unwrap_or_else(|| panic!("unknown app in run key: {key}"));
         let cfg = key.spec().config(&self.cfg, &app);
         let kernel = app.kernel(cfg.n_sms);
-        run_kernel(cfg, kernel, &key.arch.factory())
+        let t0 = std::time::Instant::now();
+        let stats = run_kernel(cfg, kernel, &key.arch.factory());
+        self.profile.lock().unwrap().record(key.to_string(), t0.elapsed().as_secs_f64(), &stats);
+        stats
+    }
+
+    /// Snapshot of the hot-path profile accumulated so far.
+    pub fn profile(&self) -> Profile {
+        self.profile.lock().unwrap().clone()
     }
 
     /// The keys the Best-SWL oracle for `app` needs: the unlimited baseline

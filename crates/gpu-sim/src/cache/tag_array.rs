@@ -2,10 +2,17 @@
 //!
 //! Used by the L1 and L2 data caches, by CERF's cache-emulated register file,
 //! and (via the same geometry) mirrored by Linebacker's Victim Tag Table.
+//!
+//! The storage is a single `n_sets * assoc` slab (set-major) rather than a
+//! `Vec<Vec<Way>>`: probes and fills touch one contiguous cache-resident
+//! stripe of `assoc` ways with no pointer chase, and the structure performs
+//! zero heap allocation after construction. Behaviour (probe order, invalid
+//! way reuse, true-LRU victim selection) is bit-identical to the nested
+//! representation it replaced.
 
 use crate::types::{Cycle, LineAddr};
 
-/// One way of one set.
+/// One way of one set. Invalid ways hold a default payload.
 #[derive(Debug, Clone)]
 struct Way<P> {
     valid: bool,
@@ -27,7 +34,9 @@ pub struct Evicted<P> {
 /// A set-associative tag array. `P` is per-line metadata.
 #[derive(Debug, Clone)]
 pub struct TagArray<P> {
-    sets: Vec<Vec<Way<P>>>,
+    /// Set-major slab: ways of set `s` live at `s * assoc .. (s + 1) * assoc`.
+    ways: Vec<Way<P>>,
+    n_sets: usize,
     assoc: usize,
     /// Monotone access counter used as the LRU clock.
     tick: Cycle,
@@ -35,7 +44,7 @@ pub struct TagArray<P> {
     misses: u64,
 }
 
-impl<P: Clone> TagArray<P> {
+impl<P: Clone + Default> TagArray<P> {
     /// Creates an array with `n_sets` sets of `assoc` ways.
     ///
     /// # Panics
@@ -43,8 +52,17 @@ impl<P: Clone> TagArray<P> {
     /// Panics if either dimension is zero.
     pub fn new(n_sets: u32, assoc: u32) -> Self {
         assert!(n_sets > 0 && assoc > 0, "tag array must have nonzero geometry");
+        let total = n_sets as usize * assoc as usize;
         TagArray {
-            sets: (0..n_sets).map(|_| Vec::with_capacity(assoc as usize)).collect(),
+            ways: (0..total)
+                .map(|_| Way {
+                    valid: false,
+                    line: LineAddr(0),
+                    last_use: 0,
+                    payload: P::default(),
+                })
+                .collect(),
+            n_sets: n_sets as usize,
             assoc: assoc as usize,
             tick: 0,
             hits: 0,
@@ -54,7 +72,7 @@ impl<P: Clone> TagArray<P> {
 
     /// Number of sets.
     pub fn n_sets(&self) -> u32 {
-        self.sets.len() as u32
+        self.n_sets as u32
     }
 
     /// Associativity.
@@ -71,7 +89,22 @@ impl<P: Clone> TagArray<P> {
     /// power of two, so indexing is modulo rather than bit-sliced.
     #[inline]
     pub fn set_index(&self, line: LineAddr) -> usize {
-        (line.0 % self.sets.len() as u64) as usize
+        (line.0 % self.n_sets as u64) as usize
+    }
+
+    /// The slab stripe holding the ways of `line`'s set.
+    #[inline]
+    fn set_ways(&self, line: LineAddr) -> &[Way<P>] {
+        let s = self.set_index(line);
+        &self.ways[s * self.assoc..(s + 1) * self.assoc]
+    }
+
+    /// Mutable slab stripe holding the ways of `line`'s set.
+    #[inline]
+    fn set_ways_mut(&mut self, line: LineAddr) -> &mut [Way<P>] {
+        let s = self.set_index(line);
+        let assoc = self.assoc;
+        &mut self.ways[s * assoc..(s + 1) * assoc]
     }
 
     /// Looks up `line`; on a hit, updates LRU state and returns a mutable
@@ -79,9 +112,11 @@ impl<P: Clone> TagArray<P> {
     pub fn probe(&mut self, line: LineAddr) -> Option<&mut P> {
         self.tick += 1;
         let tick = self.tick;
-        let set = self.set_index(line);
-        let found = self.sets[set].iter_mut().find(|w| w.valid && w.line == line);
-        match found {
+        let s = self.set_index(line);
+        // Borrow the slab field directly (not via the `&mut self` helper) so
+        // the hit/miss counters stay independently borrowable.
+        let stripe = &mut self.ways[s * self.assoc..(s + 1) * self.assoc];
+        match stripe.iter_mut().find(|w| w.valid && w.line == line) {
             Some(w) => {
                 w.last_use = tick;
                 self.hits += 1;
@@ -96,8 +131,7 @@ impl<P: Clone> TagArray<P> {
 
     /// Looks up `line` without touching LRU or counters.
     pub fn peek(&self, line: LineAddr) -> Option<&P> {
-        let set = self.set_index(line);
-        self.sets[set].iter().find(|w| w.valid && w.line == line).map(|w| &w.payload)
+        self.set_ways(line).iter().find(|w| w.valid && w.line == line).map(|w| &w.payload)
     }
 
     /// Inserts `line` (which must not be present), evicting the LRU way if
@@ -105,50 +139,49 @@ impl<P: Clone> TagArray<P> {
     pub fn fill(&mut self, line: LineAddr, payload: P) -> Option<Evicted<P>> {
         self.tick += 1;
         let tick = self.tick;
-        let set_idx = self.set_index(line);
-        let set = &mut self.sets[set_idx];
+        let set = self.set_ways_mut(line);
         debug_assert!(
             !set.iter().any(|w| w.valid && w.line == line),
             "fill of already-present line {line}"
         );
-        // Reuse an invalid way first.
+        // Reuse the leftmost invalid way first.
         if let Some(w) = set.iter_mut().find(|w| !w.valid) {
             *w = Way { valid: true, line, last_use: tick, payload };
             return None;
         }
-        if set.len() < self.assoc {
-            set.push(Way { valid: true, line, last_use: tick, payload });
-            return None;
-        }
-        // Evict true-LRU.
+        // Evict true-LRU, moving the payload out instead of cloning it.
         let victim = set.iter_mut().min_by_key(|w| w.last_use).expect("set is full, so nonempty");
-        let evicted = Evicted { line: victim.line, payload: victim.payload.clone() };
-        *victim = Way { valid: true, line, last_use: tick, payload };
+        let evicted =
+            Evicted { line: victim.line, payload: std::mem::replace(&mut victim.payload, payload) };
+        victim.valid = true;
+        victim.line = line;
+        victim.last_use = tick;
         Some(evicted)
     }
 
-    /// Invalidates `line` if present; returns its payload.
+    /// Invalidates `line` if present; returns its payload (moved out, the
+    /// vacated way keeps a default placeholder).
     pub fn invalidate(&mut self, line: LineAddr) -> Option<P> {
-        let set = self.set_index(line);
-        let w = self.sets[set].iter_mut().find(|w| w.valid && w.line == line)?;
+        let w = self.set_ways_mut(line).iter_mut().find(|w| w.valid && w.line == line)?;
         w.valid = false;
-        Some(w.payload.clone())
+        Some(std::mem::take(&mut w.payload))
     }
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().flatten().filter(|w| w.valid).count()
+        self.ways.iter().filter(|w| w.valid).count()
     }
 
     /// Iterates over all resident lines.
     pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.sets.iter().flatten().filter(|w| w.valid).map(|w| w.line)
+        self.ways.iter().filter(|w| w.valid).map(|w| w.line)
     }
 
     /// Clears all contents and statistics.
     pub fn reset(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+        for w in &mut self.ways {
+            w.valid = false;
+            w.payload = P::default();
         }
         self.tick = 0;
         self.hits = 0;
@@ -257,5 +290,23 @@ mod tests {
     #[should_panic(expected = "nonzero geometry")]
     fn zero_geometry_panics() {
         let _ = arr(0, 1);
+    }
+
+    #[test]
+    fn invalid_way_reuse_prefers_leftmost() {
+        // Slab-specific regression: after invalidating a middle way, the
+        // next fill must land in that (leftmost invalid) slot, exactly as
+        // the nested representation reused its first `!valid` entry.
+        let mut t = arr(1, 4);
+        for i in 1..=4u64 {
+            t.fill(LineAddr(i), i as u8);
+        }
+        t.invalidate(LineAddr(2));
+        assert!(t.fill(LineAddr(9), 9).is_none(), "invalid way must absorb the fill");
+        assert_eq!(t.occupancy(), 4);
+        // All original lines except 2 survive.
+        for i in [1u64, 3, 4, 9] {
+            assert!(t.peek(LineAddr(i)).is_some(), "line {i} must be resident");
+        }
     }
 }

@@ -47,6 +47,10 @@ pub struct DramDone {
     pub token: u64,
 }
 
+/// Token-bucket burst cap, in lines (bounds how much unused bandwidth can
+/// accumulate during idle periods).
+const BUDGET_CAP: f64 = 8.0;
+
 #[derive(Debug, Clone, Copy, Default)]
 struct BankState {
     /// Row currently open (None = precharged).
@@ -127,10 +131,39 @@ impl Dram {
         self.wqueue.len()
     }
 
+    /// Both request queues are empty (requests may still be in service).
+    /// While true, `tick` makes no scheduling decisions — the only per-cycle
+    /// state change is the token-bucket refill.
+    pub fn queues_empty(&self) -> bool {
+        self.queue.is_empty() && self.wqueue.is_empty()
+    }
+
+    /// Earliest finish cycle among in-service requests, if any.
+    pub fn next_completion(&self) -> Option<Cycle> {
+        self.in_service.iter().map(|&(t, _)| t).min()
+    }
+
+    /// Replays `n` idle cycles of token-bucket refill in one call, exactly
+    /// as `n` consecutive `tick`s with empty queues would have.
+    ///
+    /// The refill is repeated addition of an `f64` (not associative), so a
+    /// closed form would not be bit-identical; instead the loop replays each
+    /// step and exits early once the bucket saturates at exactly the cap
+    /// (after which further refills are a fixpoint).
+    pub fn skip_idle_cycles(&mut self, n: u64) {
+        debug_assert!(self.queues_empty(), "skip with pending requests would lose scheduling");
+        for _ in 0..n {
+            self.line_budget = (self.line_budget + self.lines_per_cycle).min(BUDGET_CAP);
+            if self.line_budget == BUDGET_CAP {
+                break;
+            }
+        }
+    }
+
     /// Advances the model one core cycle; returns requests completing now.
     pub fn tick(&mut self, cycle: Cycle, done: &mut Vec<DramDone>) {
         // Refill the bandwidth token bucket (cap prevents unbounded burst).
-        self.line_budget = (self.line_budget + self.lines_per_cycle).min(8.0);
+        self.line_budget = (self.line_budget + self.lines_per_cycle).min(BUDGET_CAP);
 
         // FR-FCFS over a bounded reorder window with read priority: prefer
         // row-hit reads to open rows (first-ready), then the oldest

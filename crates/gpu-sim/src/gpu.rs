@@ -9,8 +9,8 @@ use crate::icnt::IcntQueue;
 use crate::kernel::KernelSpec;
 use crate::mem::{MemReq, MemReqKind};
 use crate::policy::{PolicyFactory, SmPolicy};
-use crate::sm::Sm;
-use crate::stats::SimStats;
+use crate::sm::{SkipCheck, Sm};
+use crate::stats::{ProfileEvents, SimStats};
 use crate::types::{Cycle, Pc, SmId};
 
 /// A complete simulated GPU executing one kernel.
@@ -32,6 +32,14 @@ pub struct Gpu {
     l2_access_count: u64,
     scratch_msgs: Vec<MemReq>,
     scratch_done: Vec<DramDone>,
+    /// Reusable list of SM indices still accepting CTAs during a dispatch.
+    dispatch_scratch: Vec<u32>,
+    /// Hot-path profiler counters (reported via `SimStats::events`).
+    stepped_cycles: u64,
+    skipped_cycles: u64,
+    skip_jumps: u64,
+    dram_services: u64,
+    dispatch_passes: u64,
 }
 
 impl Gpu {
@@ -59,6 +67,12 @@ impl Gpu {
             l2_access_count: 0,
             scratch_msgs: Vec::new(),
             scratch_done: Vec::new(),
+            dispatch_scratch: Vec::new(),
+            stepped_cycles: 0,
+            skipped_cycles: 0,
+            skip_jumps: 0,
+            dram_services: 0,
+            dispatch_passes: 0,
             sms,
             cfg,
             kernel,
@@ -90,33 +104,112 @@ impl Gpu {
     }
 
     /// Dispatches CTAs to every SM that has room and wants more work.
+    ///
+    /// Placement is round-robin (one CTA per willing SM per pass), which the
+    /// paper's homogeneous-SM evaluation depends on. An SM that refuses a
+    /// launch is dropped from the candidate list for the rest of this call:
+    /// nothing during a dispatch can free its resources, so the refusal is
+    /// permanent and rescanning it (as the old implementation did every
+    /// pass) is pure waste.
     fn dispatch_ctas(&mut self) {
-        loop {
-            let mut launched = false;
-            for sm in &mut self.sms {
+        self.dispatch_passes += 1;
+        if self.remaining_ctas == 0 {
+            return;
+        }
+        let mut candidates = std::mem::take(&mut self.dispatch_scratch);
+        candidates.clear();
+        candidates.extend(0..self.cfg.n_sms);
+        while self.remaining_ctas > 0 && !candidates.is_empty() {
+            candidates.retain(|&i| {
                 if self.remaining_ctas == 0 {
-                    break;
+                    return false;
                 }
+                let sm = &mut self.sms[i as usize];
                 if sm.wants_new_cta() && sm.try_launch_cta(&self.kernel, &self.cfg) {
                     self.remaining_ctas -= 1;
-                    launched = true;
+                    true
+                } else {
+                    false
                 }
-            }
-            if !launched || self.remaining_ctas == 0 {
-                break;
-            }
+            });
         }
+        self.dispatch_scratch = candidates;
     }
 
     /// Runs the kernel to completion or `max_cycles`, returning merged stats.
+    ///
+    /// Uses idle-cycle fast-forward: when no component can make progress at
+    /// the current cycle, the loop jumps straight to the earliest cycle at
+    /// which anything can happen instead of stepping through dead cycles.
+    /// `step()` itself is untouched, so manual step loops behave exactly as
+    /// before, and a fast-forwarded run is bit-identical to a stepped one.
     pub fn run(&mut self) -> SimStats {
         while self.cycle < self.cfg.max_cycles {
+            self.try_skip_idle();
+            if self.cycle >= self.cfg.max_cycles {
+                break;
+            }
             self.step();
             if self.done() {
                 break;
             }
         }
         self.collect_stats()
+    }
+
+    /// Fast-forwards over cycles in which provably nothing happens.
+    ///
+    /// Skipping is legal only when every per-cycle effect of `step()` is a
+    /// no-op: every SM is idle with empty LSU queue and outbox (so no
+    /// per-cycle MSHR-stall accounting or request draining), the DRAM
+    /// request queues are empty (so no scheduling decisions), and no
+    /// interconnect delivery, DRAM completion, warp wake-up, or SM-local
+    /// completion is due at the current cycle. The jump target is the
+    /// minimum over all pending wake-up times, capped at the last cycle of
+    /// the current monitoring window (that cycle's step fires `end_window`)
+    /// and at `max_cycles`. The only per-cycle state mutated during the
+    /// skipped span is the DRAM bandwidth token bucket, which
+    /// [`Dram::skip_idle_cycles`] replays exactly.
+    fn try_skip_idle(&mut self) {
+        let cycle = self.cycle;
+        if !self.dram.queues_empty() {
+            return;
+        }
+        let mut next: Option<Cycle> = None;
+        for t in [self.to_l2.next_ready(), self.from_l2.next_ready(), self.dram.next_completion()]
+            .into_iter()
+            .flatten()
+        {
+            if t <= cycle {
+                return;
+            }
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        for sm in &self.sms {
+            match sm.skip_check(cycle, &self.kernel, &self.cfg) {
+                SkipCheck::Busy => return,
+                SkipCheck::IdleUntil(Some(t)) => {
+                    if t <= cycle {
+                        return;
+                    }
+                    next = Some(next.map_or(t, |n| n.min(t)));
+                }
+                SkipCheck::IdleUntil(None) => {}
+            }
+        }
+        // Nothing can happen strictly before `next`. The last cycle of the
+        // current window must still be stepped so its `end_window` fires on
+        // schedule; `max_cycles` ends the run loop outright.
+        let window_last = (cycle / self.cfg.window_cycles + 1) * self.cfg.window_cycles - 1;
+        let target = next.unwrap_or(Cycle::MAX).min(window_last).min(self.cfg.max_cycles);
+        if target <= cycle {
+            return;
+        }
+        let n = target - cycle;
+        self.dram.skip_idle_cycles(n);
+        self.cycle = target;
+        self.skipped_cycles += n;
+        self.skip_jumps += 1;
     }
 
     /// All work dispatched and drained.
@@ -131,6 +224,7 @@ impl Gpu {
     /// Advances the whole GPU one cycle.
     pub fn step(&mut self) {
         let cycle = self.cycle;
+        self.stepped_cycles += 1;
 
         // 1. SM pipelines.
         for sm in &mut self.sms {
@@ -163,6 +257,7 @@ impl Gpu {
         // 3. DRAM.
         self.scratch_done.clear();
         self.dram.tick(cycle, &mut self.scratch_done);
+        self.dram_services += self.scratch_done.len() as u64;
         for i in 0..self.scratch_done.len() {
             let d = self.scratch_done[i];
             let req = self.dram_pending[d.token as usize];
@@ -305,22 +400,24 @@ impl Gpu {
             total.mshr_stalls += s.mshr_stalls;
             total.policy_extra_pj += s.policy_extra_pj;
             total.monitor_periods = total.monitor_periods.max(s.monitor_periods);
-            for (l, ls) in &s.per_load {
-                let e = total.per_load.entry(*l).or_default();
-                e.accesses += ls.accesses;
-                e.l1_hits += ls.l1_hits;
-                e.misses += ls.misses;
-                e.reg_hits += ls.reg_hits;
-                e.bypasses += ls.bypasses;
-            }
+            total.merge_per_load_dense(&s.per_load_dense);
             // RF samples: averaged per SM, then concatenated (homogeneous).
             total.rf_samples.extend(s.rf_samples.iter().copied());
             total.timeline.extend(s.timeline.iter().copied());
-            for (l, d) in &s.load_detail {
-                let agg = total.load_detail.entry(*l).or_default();
-                agg.windows.extend(d.windows.iter().copied());
-            }
+            total.merge_load_detail_dense(&s.load_detail_dense);
         }
+        // Per-access accounting is dense; the map-shaped public views are
+        // produced once, here.
+        total.materialize_maps();
+        total.events = ProfileEvents {
+            stepped_cycles: self.stepped_cycles,
+            skipped_cycles: self.skipped_cycles,
+            skip_jumps: self.skip_jumps,
+            l2_requests: self.l2_access_count,
+            dram_services: self.dram_services,
+            icnt_delivered: self.to_l2.delivered() + self.from_l2.delivered(),
+            dispatch_passes: self.dispatch_passes,
+        };
         let (l2h, l2m) = self.l2.hit_miss();
         total.l2_hits = l2h;
         total.l2_misses = l2m;

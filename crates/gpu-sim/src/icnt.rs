@@ -52,6 +52,13 @@ impl<T> IcntQueue<T> {
         self.queue.len()
     }
 
+    /// Delivery time of the head-of-line message, if any. The queue is FIFO,
+    /// so nothing can be delivered before this cycle — the GPU's idle-cycle
+    /// fast-forward uses it as a next-event bound.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.queue.front().map(|&(ready, _)| ready)
+    }
+
     /// Total messages delivered.
     pub fn delivered(&self) -> u64 {
         self.delivered

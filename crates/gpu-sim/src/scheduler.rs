@@ -31,17 +31,18 @@ impl GtoScheduler {
 
     /// Picks the warp to issue this cycle.
     ///
-    /// `ready` yields `(warp, age)` pairs for all warps of this scheduler
-    /// that can issue. Greedy: if the held warp is ready, keep it; otherwise
-    /// select the ready warp with the smallest age.
-    pub fn pick(&mut self, ready: impl Iterator<Item = (WarpId, u64)> + Clone) -> Option<WarpId> {
+    /// `ready` holds `(warp, age)` pairs for all warps of this scheduler
+    /// that can issue (a borrowed scratch slice — the SM reuses one buffer
+    /// across cycles instead of allocating). Greedy: if the held warp is
+    /// ready, keep it; otherwise select the ready warp with the smallest age.
+    pub fn pick(&mut self, ready: &[(WarpId, u64)]) -> Option<WarpId> {
         if let Some(cur) = self.current {
-            if ready.clone().any(|(w, _)| w == cur) {
+            if ready.iter().any(|&(w, _)| w == cur) {
                 self.issues += 1;
                 return Some(cur);
             }
         }
-        let oldest = ready.min_by_key(|&(w, age)| (age, w.0)).map(|(w, _)| w);
+        let oldest = ready.iter().min_by_key(|&&(w, age)| (age, w.0)).map(|&(w, _)| w);
         if let Some(w) = oldest {
             if self.current != Some(w) {
                 self.switches += 1;
@@ -69,15 +70,15 @@ impl GtoScheduler {
 mod tests {
     use super::*;
 
-    fn pairs(v: &[(u32, u64)]) -> impl Iterator<Item = (WarpId, u64)> + Clone + '_ {
-        v.iter().map(|&(w, a)| (WarpId(w), a))
+    fn pairs(v: &[(u32, u64)]) -> Vec<(WarpId, u64)> {
+        v.iter().map(|&(w, a)| (WarpId(w), a)).collect()
     }
 
     #[test]
     fn picks_oldest_first() {
         let mut s = GtoScheduler::new();
         let ready = [(3u32, 30u64), (1, 10), (2, 20)];
-        assert_eq!(s.pick(pairs(&ready)), Some(WarpId(1)));
+        assert_eq!(s.pick(&pairs(&ready)), Some(WarpId(1)));
     }
 
     #[test]
@@ -85,27 +86,27 @@ mod tests {
         let mut s = GtoScheduler::new();
         let ready = [(1u32, 10u64), (2, 5)];
         // First pick: oldest is warp 2.
-        assert_eq!(s.pick(pairs(&ready)), Some(WarpId(2)));
+        assert_eq!(s.pick(&pairs(&ready)), Some(WarpId(2)));
         // Even though warp 1 is also ready, greedy keeps warp 2.
-        assert_eq!(s.pick(pairs(&ready)), Some(WarpId(2)));
+        assert_eq!(s.pick(&pairs(&ready)), Some(WarpId(2)));
     }
 
     #[test]
     fn falls_back_to_oldest_when_current_stalls() {
         let mut s = GtoScheduler::new();
         let all = [(1u32, 10u64), (2, 5)];
-        assert_eq!(s.pick(pairs(&all)), Some(WarpId(2)));
+        assert_eq!(s.pick(&pairs(&all)), Some(WarpId(2)));
         // Warp 2 stalled: not in the ready set anymore.
         let only1 = [(1u32, 10u64)];
-        assert_eq!(s.pick(pairs(&only1)), Some(WarpId(1)));
+        assert_eq!(s.pick(&pairs(&only1)), Some(WarpId(1)));
         // Warp 2 returns; greedy now holds warp 1.
-        assert_eq!(s.pick(pairs(&all)), Some(WarpId(1)));
+        assert_eq!(s.pick(&pairs(&all)), Some(WarpId(1)));
     }
 
     #[test]
     fn empty_ready_set_issues_nothing() {
         let mut s = GtoScheduler::new();
-        assert_eq!(s.pick(pairs(&[])), None);
+        assert_eq!(s.pick(&[]), None);
         assert_eq!(s.stats().0, 0);
     }
 
@@ -113,18 +114,18 @@ mod tests {
     fn release_clears_greedy_hold() {
         let mut s = GtoScheduler::new();
         let all = [(1u32, 10u64), (2, 5)];
-        assert_eq!(s.pick(pairs(&all)), Some(WarpId(2)));
+        assert_eq!(s.pick(&pairs(&all)), Some(WarpId(2)));
         s.release(WarpId(2));
         // After release, picks oldest again (still warp 2 by age) — but if
         // warp 2 retired and only warp 1 remains, it must switch cleanly.
         let only1 = [(1u32, 10u64)];
-        assert_eq!(s.pick(pairs(&only1)), Some(WarpId(1)));
+        assert_eq!(s.pick(&pairs(&only1)), Some(WarpId(1)));
     }
 
     #[test]
     fn age_tie_broken_by_warp_id() {
         let mut s = GtoScheduler::new();
         let ready = [(7u32, 5u64), (3, 5)];
-        assert_eq!(s.pick(pairs(&ready)), Some(WarpId(3)));
+        assert_eq!(s.pick(&pairs(&ready)), Some(WarpId(3)));
     }
 }

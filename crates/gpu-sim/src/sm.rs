@@ -29,6 +29,17 @@ struct LsuReq {
 /// Maximum LSU queue depth before load issue back-pressures.
 const LSU_QUEUE_CAP: usize = 64;
 
+/// Result of [`Sm::skip_check`]: whether the SM may make progress at the
+/// current cycle, used by the GPU's idle-cycle fast-forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipCheck {
+    /// The SM may do work this cycle; the GPU must step normally.
+    Busy,
+    /// The SM provably does nothing until the contained cycle (`None` = it
+    /// has no self-generated wake-up; only global events can wake it).
+    IdleUntil(Option<Cycle>),
+}
+
 /// Store-buffer entries per SM: outstanding store lines beyond this stall
 /// further store instructions (write-through stores must not outrun DRAM
 /// bandwidth unboundedly).
@@ -68,6 +79,20 @@ pub struct Sm {
     window_index: u32,
     /// Scratch buffer for pattern generation.
     line_buf: Vec<LineAddr>,
+    /// Scratch buffer of (warp, age) pairs for the scheduler ready list,
+    /// reused every cycle so `issue` never allocates.
+    ready_buf: Vec<(WarpId, u64)>,
+    /// Per-scheduler candidate buckets filled by one pass over the warp
+    /// slots (entries carry an is-store flag so the store-credit gate can
+    /// be re-evaluated per scheduler with live credits).
+    sched_bufs: Vec<Vec<(WarpId, u64, bool)>>,
+    /// Issue-scan sleep horizon: while `cycle < issue_sleep_until` and no
+    /// wake event arrived, the ready sets are provably empty and `issue`
+    /// returns without scanning the warps.
+    issue_sleep_until: Cycle,
+    /// Set by any event that can change warp eligibility (completion
+    /// drain, memory response, CTA launch/reap/limit change, window end).
+    issue_wake: bool,
     /// Outstanding store lines in flight toward DRAM.
     stores_in_flight: u32,
     seed: u64,
@@ -96,6 +121,12 @@ impl Sm {
             window_start_insts: 0,
             window_index: 0,
             line_buf: Vec::with_capacity(32),
+            ready_buf: Vec::with_capacity(cfg.max_warps_per_sm as usize),
+            sched_bufs: (0..cfg.schedulers_per_sm)
+                .map(|_| Vec::with_capacity(cfg.max_warps_per_sm as usize))
+                .collect(),
+            issue_sleep_until: 0,
+            issue_wake: true,
             stores_in_flight: 0,
             seed,
         }
@@ -181,6 +212,7 @@ impl Sm {
         let mut ctx =
             PolicyCtx { cycle: 0, sm: self.id, regfile: &mut self.regfile, stats: &mut self.stats };
         self.policy.on_cta_launch(CtaId(slot), first_reg, &mut ctx);
+        self.issue_wake = true;
         true
     }
 
@@ -213,6 +245,7 @@ impl Sm {
                 break;
             }
             self.completions.pop();
+            self.issue_wake = true;
             if let Some(w) = self.warps[warp as usize].as_mut() {
                 w.complete_one(LoadId(load));
             }
@@ -317,40 +350,150 @@ impl Sm {
     }
 
     fn issue(&mut self, cycle: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) {
+        // Event-driven fast path: if the last full scan proved every ready
+        // set empty, nothing can become issueable before `issue_sleep_until`
+        // unless a wake event fired (completion drain, memory response, CTA
+        // launch/reap/limit change, window end). Warp latencies expire at
+        // known cycles; everything else is event-driven, so skipping the
+        // scan is exactly equivalent to running it.
+        if !self.issue_wake && cycle < self.issue_sleep_until {
+            return;
+        }
+        self.issue_wake = false;
+
         let n_scheds = self.schedulers.len() as u32;
         let lsu_full = self.lsu_queue.len() >= LSU_QUEUE_CAP;
-        for s in 0..n_scheds {
-            // Gather ready warps owned by scheduler s.
-            let mut ready: Vec<(WarpId, u64)> = Vec::new();
-            for w in self.warps.iter().flatten() {
-                if w.id.0 % n_scheds != s || w.done {
-                    continue;
-                }
-                let cta_ok =
-                    self.ctas[w.cta.0 as usize].as_ref().map(|c| c.schedulable()).unwrap_or(false);
-                if !cta_ok {
-                    continue;
-                }
-                if !w.can_issue(kernel, cycle, cfg.max_outstanding_per_warp) {
-                    continue;
-                }
-                // Back-pressure: loads/stores need LSU space; stores also
-                // need store-buffer credits.
-                let inst = &kernel.body[w.body_pos as usize];
-                if lsu_full && matches!(inst.kind, InstKind::Load { .. } | InstKind::Store { .. }) {
-                    continue;
-                }
-                if self.stores_in_flight >= STORE_BUFFER_CAP
-                    && matches!(inst.kind, InstKind::Store { .. })
-                {
-                    continue;
-                }
-                ready.push((w.id, w.age));
+        // One pass over the warp slots buckets candidates per scheduler in
+        // slot order — identical ordering to a per-scheduler filtered scan.
+        // The store-credit gate is deliberately NOT applied here: scheduler
+        // k's issue can consume the last credit, so it must be re-checked
+        // per scheduler with live credits below.
+        let mut gated_by_lsu = false;
+        let mut timed_wake: Option<Cycle> = None;
+        for b in &mut self.sched_bufs {
+            b.clear();
+        }
+        for w in self.warps.iter().flatten() {
+            if w.done {
+                continue;
             }
-            let picked = self.schedulers[s as usize].pick(ready.iter().copied());
+            let cta_ok =
+                self.ctas[w.cta.0 as usize].as_ref().map(|c| c.schedulable()).unwrap_or(false);
+            if !cta_ok {
+                continue;
+            }
+            if !w.can_issue(kernel, cycle, cfg.max_outstanding_per_warp) {
+                // Sleep-horizon bookkeeping: a warp blocked purely on its
+                // latency becomes ready at `next_ready`; warps blocked on
+                // dependencies or the load cap wake via completion events.
+                if w.next_ready > cycle
+                    && w.can_issue(kernel, w.next_ready, cfg.max_outstanding_per_warp)
+                {
+                    timed_wake = Some(timed_wake.map_or(w.next_ready, |t| t.min(w.next_ready)));
+                }
+                continue;
+            }
+            // Back-pressure: loads/stores need LSU space.
+            let inst = &kernel.body[w.body_pos as usize];
+            let is_store = matches!(inst.kind, InstKind::Store { .. });
+            if lsu_full && (is_store || matches!(inst.kind, InstKind::Load { .. })) {
+                gated_by_lsu = true;
+                continue;
+            }
+            self.sched_bufs[(w.id.0 % n_scheds) as usize].push((w.id, w.age, is_store));
+        }
+
+        let mut issued_any = false;
+        for s in 0..n_scheds as usize {
+            self.ready_buf.clear();
+            for i in 0..self.sched_bufs[s].len() {
+                let (id, age, is_store) = self.sched_bufs[s][i];
+                // Live store-credit check: an earlier scheduler may have
+                // consumed the last credit this very cycle.
+                if is_store && self.stores_in_flight >= STORE_BUFFER_CAP {
+                    continue;
+                }
+                self.ready_buf.push((id, age));
+            }
+            let picked = self.schedulers[s].pick(&self.ready_buf);
             let Some(wid) = picked else { continue };
+            issued_any = true;
             self.execute_inst(wid, cycle, kernel, cfg);
         }
+
+        // Arm the sleep horizon only when this scan did nothing and no warp
+        // was held back by LSU back-pressure (the LSU drains without firing
+        // a wake event; but then the queue is non-empty, so those cycles
+        // are busy anyway and re-scanning is cheap relative to the drain).
+        self.issue_sleep_until = if issued_any || gated_by_lsu {
+            cycle // re-scan next cycle
+        } else {
+            timed_wake.unwrap_or(Cycle::MAX)
+        };
+    }
+
+    /// Idle-cycle skip eligibility for [`Gpu::run`]'s fast-forward
+    /// (`crate::gpu::Gpu::run`): decides whether this SM could do any work at
+    /// `cycle`, and if not, the earliest future cycle at which it could wake
+    /// *on its own* (warp latency expiry or a locally queued completion).
+    ///
+    /// Warps blocked on scoreboard dependencies, the outstanding-load cap,
+    /// store-buffer credits, or a non-schedulable CTA are deliberately
+    /// excluded from the next-event computation: they wake only via events
+    /// the GPU already tracks globally (interconnect deliveries, DRAM
+    /// completions, window boundaries).
+    pub fn skip_check(&self, cycle: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) -> SkipCheck {
+        // A non-empty LSU queue makes per-cycle progress (and per-cycle
+        // MSHR-stall accounting); a non-empty outbox must drain; a finished
+        // CTA awaits reaping. All three force a real step.
+        if !self.lsu_queue.is_empty() || !self.outbox.is_empty() {
+            return SkipCheck::Busy;
+        }
+        if self
+            .ctas
+            .iter()
+            .flatten()
+            .any(|c| c.is_complete() && matches!(c.status, CtaStatus::Active))
+        {
+            return SkipCheck::Busy;
+        }
+        let mut next: Option<Cycle> = None;
+        if let Some(Reverse((t, _, _))) = self.completions.peek().copied() {
+            if t <= cycle {
+                return SkipCheck::Busy;
+            }
+            next = Some(t);
+        }
+        for w in self.warps.iter().flatten() {
+            if w.done {
+                continue;
+            }
+            let cta_ok =
+                self.ctas[w.cta.0 as usize].as_ref().map(|c| c.schedulable()).unwrap_or(false);
+            if !cta_ok {
+                continue;
+            }
+            // The LSU queue is empty here, so the only issue back-pressure
+            // left is the store-buffer credit (released by store responses,
+            // a globally tracked event).
+            let inst = &kernel.body[w.body_pos as usize];
+            if self.stores_in_flight >= STORE_BUFFER_CAP
+                && matches!(inst.kind, InstKind::Store { .. })
+            {
+                continue;
+            }
+            if w.can_issue(kernel, cycle, cfg.max_outstanding_per_warp) {
+                return SkipCheck::Busy;
+            }
+            // Blocked only by its latency timer: the warp becomes issueable
+            // at `next_ready` with no external event, so that is a wake-up.
+            if w.next_ready > cycle
+                && w.can_issue(kernel, w.next_ready, cfg.max_outstanding_per_warp)
+            {
+                next = Some(next.map_or(w.next_ready, |t| t.min(w.next_ready)));
+            }
+        }
+        SkipCheck::IdleUntil(next)
     }
 
     fn execute_inst(&mut self, wid: WarpId, cycle: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) {
@@ -457,6 +600,9 @@ impl Sm {
     /// `load_pc` maps a static load id to its PC (precomputed from the
     /// kernel), used to tag the L1 fill with the fetching load's hashed PC.
     pub fn handle_response(&mut self, req: MemReq, cycle: Cycle, load_pc: &[Pc]) {
+        // Any response can change warp eligibility (load completion, store
+        // credit return, backup/restore progress toggling CTA status).
+        self.issue_wake = true;
         match req.kind {
             MemReqKind::Read => {
                 // Fill L1; evicted victim goes to the policy.
@@ -502,6 +648,7 @@ impl Sm {
     /// Ends the current monitoring window: computes IPC, consults the
     /// policy, enforces any CTA limit, and samples RF occupancy.
     pub fn end_window(&mut self, cycle: Cycle, cfg: &GpuConfig) {
+        self.issue_wake = true;
         let insts = self.stats.instructions - self.window_start_insts;
         self.window_start_insts = self.stats.instructions;
         let info = WindowInfo {
@@ -727,6 +874,7 @@ impl Sm {
             freed += 1;
         }
         if freed > 0 {
+            self.issue_wake = true;
             // A finished CTA frees an active slot: prefer re-activating a
             // throttled CTA over launching a new one (paper §3.2, P5).
             self.enforce_cta_limit(cycle);
@@ -750,6 +898,7 @@ impl Sm {
     /// Sets the CTA limit directly (used by tests and static policies before
     /// the first window fires).
     pub fn set_cta_limit(&mut self, limit: Option<u32>, cycle: Cycle) {
+        self.issue_wake = true;
         self.cta_limit = limit;
         self.enforce_cta_limit(cycle);
     }

@@ -1,4 +1,11 @@
 //! Simulation statistics: everything the paper's figures are built from.
+//!
+//! Per-access accounting is allocation-free on the hot path: per-load
+//! counters accumulate in dense `Vec`s indexed by the static load ordinal
+//! (load ids are small dense integers assigned by
+//! [`KernelBuilder`](crate::kernel::KernelBuilder)), and the map-shaped
+//! public views (`per_load`, `load_detail`) are materialized once, at
+//! [`Gpu::collect_stats`](crate::gpu::Gpu::collect_stats).
 
 use std::collections::HashMap;
 
@@ -28,6 +35,10 @@ pub struct LoadWindowDetail {
     /// Completed-window results: (reused_ws_bytes, streamed_bytes, accesses,
     /// distinct_lines).
     pub windows: Vec<WindowLocality>,
+    /// The load was touched at least once. Dense slots exist for every load
+    /// ordinal; only touched ones appear in the materialized public map
+    /// (matching the key set the per-access map inserts used to produce).
+    pub(crate) touched: bool,
 }
 
 /// Locality summary of one monitoring window for one load.
@@ -82,6 +93,26 @@ pub struct WindowSample {
     pub victim_regs: u32,
 }
 
+/// Hot-path event counters filled by the built-in profiler (zero-cost to
+/// maintain; reported by `lb-experiments --profile`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileEvents {
+    /// Cycles advanced one at a time through the full pipeline.
+    pub stepped_cycles: u64,
+    /// Cycles fast-forwarded by the idle-cycle skipper.
+    pub skipped_cycles: u64,
+    /// Number of fast-forward jumps taken.
+    pub skip_jumps: u64,
+    /// Requests handled at the L2 (demand + bypass + stores + reg traffic).
+    pub l2_requests: u64,
+    /// DRAM requests completing service.
+    pub dram_services: u64,
+    /// Messages delivered by the two interconnect queues.
+    pub icnt_delivered: u64,
+    /// CTA dispatch passes over the SM array.
+    pub dispatch_passes: u64,
+}
+
 /// Aggregate statistics of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct SimStats {
@@ -116,8 +147,13 @@ pub struct SimStats {
     pub mshr_stalls: u64,
     /// DRAM bytes per traffic class (demand, store, backup, restore).
     pub dram_bytes: [u64; 4],
-    /// Per-load counters.
+    /// Per-load counters, keyed by static load id. Only materialized (from
+    /// [`SimStats::per_load_dense`]) when a run's stats are collected;
+    /// per-SM accumulators leave it empty.
     pub per_load: HashMap<u32, LoadStats>,
+    /// Dense per-load accumulators indexed by static load ordinal — the
+    /// allocation-free hot path behind [`SimStats::per_load`].
+    pub per_load_dense: Vec<LoadStats>,
     /// Per-window RF space samples (averaged for Figures 4 and 9).
     pub rf_samples: Vec<RfSpaceSample>,
     /// Per-window execution timeline (IPC, hit fraction, active CTAs,
@@ -128,8 +164,13 @@ pub struct SimStats {
     pub monitor_periods: u32,
     /// Extra energy charged by policy structures, in pJ.
     pub policy_extra_pj: f64,
-    /// Detailed per-load locality windows (Figures 2/3), if enabled.
+    /// Detailed per-load locality windows (Figures 2/3), if enabled. Like
+    /// [`SimStats::per_load`], materialized only at collection time.
     pub load_detail: HashMap<u32, LoadWindowDetail>,
+    /// Dense accumulators behind [`SimStats::load_detail`].
+    pub load_detail_dense: Vec<LoadWindowDetail>,
+    /// Hot-path profiler event counters (whole-GPU; filled at run end).
+    pub events: ProfileEvents,
     /// Total energy in mJ (filled at run end).
     pub energy_mj: f64,
     /// Whether the kernel fully drained before `max_cycles`.
@@ -182,13 +223,21 @@ impl SimStats {
     }
 
     /// Records one L1-level access outcome for `load`.
+    ///
+    /// Hot path: indexes the dense per-load table directly (growing it to
+    /// the load ordinal on first touch — amortized, bounded by the static
+    /// load count of the kernel) instead of hashing into a map per access.
     pub fn record_access(
         &mut self,
         load: LoadId,
         outcome: AccessOutcome,
         class: Option<MissClass>,
     ) {
-        let ls = self.per_load.entry(load.0).or_default();
+        let i = load.0 as usize;
+        if self.per_load_dense.len() <= i {
+            self.per_load_dense.resize(i + 1, LoadStats::default());
+        }
+        let ls = &mut self.per_load_dense[i];
         ls.accesses += 1;
         match outcome {
             AccessOutcome::L1Hit => {
@@ -215,13 +264,18 @@ impl SimStats {
 
     /// Records a detailed line touch (Figures 2/3 collection).
     pub fn record_line_touch(&mut self, load: LoadId, line: u64) {
-        let d = self.load_detail.entry(load.0).or_default();
+        let i = load.0 as usize;
+        if self.load_detail_dense.len() <= i {
+            self.load_detail_dense.resize(i + 1, LoadWindowDetail::default());
+        }
+        let d = &mut self.load_detail_dense[i];
+        d.touched = true;
         *d.line_counts.entry(line).or_insert(0) += 1;
     }
 
     /// Closes the detailed-stats window for all loads.
     pub fn close_detail_window(&mut self) {
-        for d in self.load_detail.values_mut() {
+        for d in &mut self.load_detail_dense {
             let mut w = WindowLocality::default();
             for (_, &count) in d.line_counts.iter() {
                 w.accesses += count as u64;
@@ -237,6 +291,56 @@ impl SimStats {
             }
             d.line_counts.clear();
         }
+    }
+
+    /// Merges another run's dense per-load counters into this one
+    /// (index-aligned; used when the GPU folds per-SM stats together).
+    pub fn merge_per_load_dense(&mut self, other: &[LoadStats]) {
+        if self.per_load_dense.len() < other.len() {
+            self.per_load_dense.resize(other.len(), LoadStats::default());
+        }
+        for (e, ls) in self.per_load_dense.iter_mut().zip(other) {
+            e.accesses += ls.accesses;
+            e.l1_hits += ls.l1_hits;
+            e.misses += ls.misses;
+            e.reg_hits += ls.reg_hits;
+            e.bypasses += ls.bypasses;
+        }
+    }
+
+    /// Merges another run's dense detail windows into this one.
+    pub fn merge_load_detail_dense(&mut self, other: &[LoadWindowDetail]) {
+        if self.load_detail_dense.len() < other.len() {
+            self.load_detail_dense.resize(other.len(), LoadWindowDetail::default());
+        }
+        for (e, d) in self.load_detail_dense.iter_mut().zip(other) {
+            e.windows.extend(d.windows.iter().copied());
+            // Open-window line counts are per-SM transients and are not
+            // merged (the legacy map merge dropped them too), but a touched
+            // load must keep its key in the materialized public map.
+            e.touched |= d.touched;
+        }
+    }
+
+    /// Materializes the map-shaped public views (`per_load`, `load_detail`)
+    /// from the dense accumulators. Called once per run, at collection; the
+    /// key sets match what the per-access map updates used to produce
+    /// (loads that were actually touched).
+    pub fn materialize_maps(&mut self) {
+        self.per_load = self
+            .per_load_dense
+            .iter()
+            .enumerate()
+            .filter(|(_, ls)| ls.accesses > 0)
+            .map(|(i, ls)| (i as u32, *ls))
+            .collect();
+        self.load_detail = self
+            .load_detail_dense
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.touched)
+            .map(|(i, d)| (i as u32, d.clone()))
+            .collect();
     }
 
     /// Mean statically-unused registers over sampled windows, in bytes.
@@ -323,6 +427,8 @@ mod tests {
         assert_eq!(s.reg_hits, 1);
         assert_eq!(s.bypasses, 1);
         assert_eq!(s.mem_accesses(), 5);
+        assert_eq!(s.per_load_dense[1].accesses, 3);
+        s.materialize_maps();
         assert_eq!(s.per_load[&1].accesses, 3);
     }
 
@@ -360,12 +466,40 @@ mod tests {
             s.record_line_touch(LoadId(1), 100 + l);
         }
         s.close_detail_window();
+        s.materialize_maps();
         let w0 = s.load_detail[&0].windows[0];
         assert_eq!(w0.reused_ws_bytes, 2 * 128);
         assert!(!w0.is_streaming());
         let w1 = s.load_detail[&1].windows[0];
         assert_eq!(w1.single_use_bytes, 20 * 128);
         assert!(w1.is_streaming());
+    }
+
+    #[test]
+    fn materialized_maps_skip_untouched_ordinals() {
+        let mut s = SimStats::default();
+        // Only load 2 is touched; the dense table still has slots 0 and 1.
+        s.record_access(LoadId(2), AccessOutcome::L1Hit, None);
+        s.record_line_touch(LoadId(2), 5);
+        s.materialize_maps();
+        assert_eq!(s.per_load.len(), 1);
+        assert!(s.per_load.contains_key(&2));
+        assert_eq!(s.load_detail.len(), 1);
+        assert!(s.load_detail.contains_key(&2));
+    }
+
+    #[test]
+    fn dense_merge_matches_elementwise_sum() {
+        let mut a = SimStats::default();
+        a.record_access(LoadId(0), AccessOutcome::L1Hit, None);
+        let mut b = SimStats::default();
+        b.record_access(LoadId(0), AccessOutcome::Miss, Some(MissClass::Cold));
+        b.record_access(LoadId(1), AccessOutcome::Bypass, None);
+        a.merge_per_load_dense(&b.per_load_dense);
+        assert_eq!(a.per_load_dense[0].accesses, 2);
+        assert_eq!(a.per_load_dense[0].l1_hits, 1);
+        assert_eq!(a.per_load_dense[0].misses, 1);
+        assert_eq!(a.per_load_dense[1].bypasses, 1);
     }
 
     #[test]

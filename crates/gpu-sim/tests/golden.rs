@@ -1,0 +1,133 @@
+//! Golden-stats regression tests.
+//!
+//! One fixed kernel is simulated under the baseline, PCAL, CERF and
+//! Linebacker policies and the resulting [`SimStats`] are locked against
+//! literal digests. The simulator is fully deterministic, so any digest
+//! drift means a functional change to the core — exactly what the
+//! hot-path refactors (flat tag array, dense stats, idle-cycle skipping)
+//! must not cause. Update the literals only when a change is *meant* to
+//! alter simulation results, and say so in the commit message.
+
+use baselines::{cerf_factory, pcal_factory};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::run_kernel;
+use gpu_sim::kernel::{KernelBuilder, KernelSpec};
+use gpu_sim::pattern::AccessPattern;
+use gpu_sim::policy::baseline_factory;
+use gpu_sim::stats::SimStats;
+use gpu_sim::types::LINE_BYTES;
+use linebacker::{linebacker_factory, LbConfig};
+
+fn golden_config() -> GpuConfig {
+    GpuConfig::default().with_sms(2).with_windows(5_000, 60_000)
+}
+
+/// A mixed reuse + streaming kernel shaped like the paper's
+/// cache-sensitive apps: a small per-warp reused working set (16 lines,
+/// wraps every 16 accesses, thrashes L1 in aggregate across many warps) so
+/// the victim-cache policies engage, plus a streaming load to exercise
+/// bypass decisions.
+fn golden_kernel(n_sms: u32) -> KernelSpec {
+    KernelBuilder::new("golden")
+        .grid(4 * n_sms, 8)
+        .regs_per_thread(24)
+        .iterations(60)
+        .alu(3)
+        .load_then_use(
+            AccessPattern::ReuseWorkingSet { ws_bytes: 16 * LINE_BYTES, shared: false },
+            2,
+        )
+        .load_then_use(AccessPattern::ReuseWorkingSet { ws_bytes: 16 * 1024, shared: true }, 1)
+        .load(AccessPattern::Streaming { bytes_per_access: LINE_BYTES })
+        .alu(2)
+        .build()
+        .expect("golden kernel must validate")
+}
+
+/// Flattens the scalar counters a policy can influence into one string, so
+/// a failure shows every divergent field at once.
+fn digest(s: &SimStats) -> String {
+    format!(
+        "cycles={} insts={} l1_hits={} miss_cold={} miss_2c={} bypasses={} \
+         reg_hits={} stores={} l2_hits={} l2_misses={} rf_reads={} rf_writes={} \
+         mshr_stalls={} dram_demand={} dram_store={} dram_backup={} dram_restore={} \
+         completed={}",
+        s.cycles,
+        s.instructions,
+        s.l1_hits,
+        s.miss_cold,
+        s.miss_2c,
+        s.bypasses,
+        s.reg_hits,
+        s.stores,
+        s.l2_hits,
+        s.l2_misses,
+        s.rf_reads,
+        s.rf_writes,
+        s.mshr_stalls,
+        s.dram_bytes[0],
+        s.dram_bytes[1],
+        s.dram_bytes[2],
+        s.dram_bytes[3],
+        s.completed,
+    )
+}
+
+fn run(factory: &gpu_sim::policy::PolicyFactory<'_>) -> SimStats {
+    let cfg = golden_config();
+    let kernel = golden_kernel(cfg.n_sms);
+    run_kernel(cfg, kernel, factory)
+}
+
+#[test]
+fn golden_baseline() {
+    let s = run(&baseline_factory());
+    assert_eq!(
+        digest(&s),
+        "cycles=47386 insts=38400 l1_hits=1002 miss_cold=5223 miss_2c=5295 bypasses=0 reg_hits=0 stores=0 l2_hits=385 l2_misses=8308 rf_reads=76800 rf_writes=38400 mshr_stalls=0 dram_demand=1063424 dram_store=0 dram_backup=0 dram_restore=0 completed=true",
+    );
+    // The profiler invariant must hold on every run.
+    assert_eq!(s.events.stepped_cycles + s.events.skipped_cycles, s.cycles);
+}
+
+#[test]
+fn golden_pcal() {
+    let s = run(&pcal_factory());
+    assert_eq!(
+        digest(&s),
+        "cycles=47386 insts=38400 l1_hits=1002 miss_cold=5223 miss_2c=5295 bypasses=0 reg_hits=0 stores=0 l2_hits=385 l2_misses=8308 rf_reads=76800 rf_writes=38400 mshr_stalls=0 dram_demand=1063424 dram_store=0 dram_backup=0 dram_restore=0 completed=true",
+    );
+    assert_eq!(s.events.stepped_cycles + s.events.skipped_cycles, s.cycles);
+}
+
+#[test]
+fn golden_cerf() {
+    let s = run(&cerf_factory());
+    assert_eq!(
+        digest(&s),
+        "cycles=27355 insts=38400 l1_hits=1115 miss_cold=5225 miss_2c=924 bypasses=0 reg_hits=4256 stores=0 l2_hits=78 l2_misses=5581 rf_reads=82171 rf_writes=42738 mshr_stalls=11274 dram_demand=714368 dram_store=0 dram_backup=0 dram_restore=0 completed=true",
+    );
+    assert_eq!(s.events.stepped_cycles + s.events.skipped_cycles, s.cycles);
+}
+
+#[test]
+fn golden_linebacker() {
+    let s = run(&linebacker_factory(LbConfig::default()));
+    assert_eq!(
+        digest(&s),
+        "cycles=40199 insts=38400 l1_hits=1793 miss_cold=5223 miss_2c=2485 bypasses=0 reg_hits=2019 stores=0 l2_hits=272 l2_misses=6709 rf_reads=78819 rf_writes=39717 mshr_stalls=0 dram_demand=858752 dram_store=0 dram_backup=98304 dram_restore=98304 completed=true",
+    );
+    assert_eq!(s.events.stepped_cycles + s.events.skipped_cycles, s.cycles);
+}
+
+/// The digests above are scalars; this locks the per-load map shape too
+/// (key set + access counts), guarding the dense-to-map materialization.
+#[test]
+fn golden_per_load_shape() {
+    let s = run(&baseline_factory());
+    let mut loads: Vec<(u32, u64, u64)> =
+        s.per_load.iter().map(|(&id, l)| (id, l.accesses, l.l1_hits + l.reg_hits)).collect();
+    loads.sort_unstable();
+    let shape = loads.iter().map(|(i, a, h)| format!("{i}:{a}:{h}")).collect::<Vec<_>>().join(" ");
+    assert_eq!(shape, "0:3840:2 1:3840:1000 2:3840:0");
+}

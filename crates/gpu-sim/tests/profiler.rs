@@ -1,0 +1,85 @@
+//! Hot-path profiler counter tests: the stepped/skipped accounting must
+//! exactly partition simulated time, and idle-cycle fast-forward must
+//! actually engage on latency-bound kernels (where almost every cycle is
+//! spent waiting on DRAM).
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::run_kernel;
+use gpu_sim::kernel::KernelBuilder;
+use gpu_sim::pattern::AccessPattern;
+use gpu_sim::policy::baseline_factory;
+use gpu_sim::stats::SimStats;
+use gpu_sim::types::LINE_BYTES;
+
+/// One warp chasing streaming misses: every load goes to DRAM and the
+/// single warp blocks on the use, so the machine is idle for the bulk of
+/// each round trip.
+fn latency_bound() -> SimStats {
+    let cfg = GpuConfig::default().with_sms(1).with_windows(5_000, 200_000);
+    let k = KernelBuilder::new("latency-bound")
+        .grid(1, 1)
+        .regs_per_thread(16)
+        .iterations(50)
+        .load_then_use(AccessPattern::Streaming { bytes_per_access: LINE_BYTES }, 1)
+        .build()
+        .expect("kernel must validate");
+    run_kernel(cfg, k, &baseline_factory())
+}
+
+#[test]
+fn stepped_plus_skipped_equals_cycles() {
+    let s = latency_bound();
+    assert!(s.completed, "latency-bound kernel must drain");
+    assert_eq!(
+        s.events.stepped_cycles + s.events.skipped_cycles,
+        s.cycles,
+        "stepped + skipped must exactly partition simulated time"
+    );
+}
+
+#[test]
+fn skipping_engages_on_latency_bound_kernel() {
+    let s = latency_bound();
+    assert!(s.events.skip_jumps > 0, "fast-forward must fire at least once");
+    assert!(s.events.skipped_cycles > 0);
+    let frac = s.events.skipped_cycles as f64 / s.cycles as f64;
+    // The skippable part of a round trip is the in-flight icnt/DRAM wait;
+    // hop stages (LSU queue, outbox occupancy) still step, so the fraction
+    // is well below 1 even on a pure pointer chase.
+    assert!(
+        frac > 0.1,
+        "a single-warp pointer chase should skip a sizable fraction of its \
+         DRAM round trips, got {frac:.3}"
+    );
+}
+
+#[test]
+fn event_counters_are_populated() {
+    let s = latency_bound();
+    assert!(s.events.l2_requests > 0, "streaming misses must reach L2");
+    assert!(s.events.dram_services > 0, "L2 misses must reach DRAM");
+    assert!(s.events.icnt_delivered > 0, "requests must cross the interconnect");
+    assert!(s.events.dispatch_passes > 0);
+    assert!(s.events.stepped_cycles > 0, "boundary cycles are always stepped");
+}
+
+/// Compute-saturated kernels never have an idle machine, so skipping must
+/// not fire — guarding against over-eager fast-forward.
+#[test]
+fn no_skipping_when_machine_is_busy() {
+    let cfg = GpuConfig::default().with_sms(1).with_windows(5_000, 200_000);
+    let k = KernelBuilder::new("alu-bound")
+        .grid(2, 8)
+        .regs_per_thread(16)
+        .iterations(200)
+        .alu(1)
+        .alu(1)
+        .alu(1)
+        .build()
+        .expect("kernel must validate");
+    let s = run_kernel(cfg, k, &baseline_factory());
+    assert!(s.completed);
+    assert_eq!(s.events.stepped_cycles + s.events.skipped_cycles, s.cycles);
+    let frac = s.events.skipped_cycles as f64 / s.cycles as f64;
+    assert!(frac < 0.05, "ALU-saturated kernel should step nearly every cycle, got {frac:.3}");
+}

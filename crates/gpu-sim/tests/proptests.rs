@@ -117,7 +117,7 @@ fn gto_picks_from_ready_set() {
         let ready = r.vec(0, 20, |r| (r.range_u32(0, 64), r.range_u64(0, 1000)));
         let mut s = GtoScheduler::new();
         let pairs: Vec<(WarpId, u64)> = ready.iter().map(|&(w, a)| (WarpId(w), a)).collect();
-        match s.pick(pairs.iter().copied()) {
+        match s.pick(&pairs) {
             Some(w) => assert!(pairs.iter().any(|&(x, _)| x == w)),
             None => assert!(pairs.is_empty()),
         }
