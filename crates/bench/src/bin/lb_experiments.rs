@@ -24,7 +24,7 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut profile = false;
-    let mut profile_out = String::from("BENCH_PR2.json");
+    let mut profile_out = String::from("BENCH_PR3.json");
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -63,7 +63,7 @@ fn main() {
                      [--profile-out FILE] [ids... | all]\n  \
                      LB_JOBS=N overrides the default worker count (all cores); \
                      --jobs beats LB_JOBS\n  --profile prints a hot-path throughput \
-                     report to stderr and writes BENCH_PR2.json\n  ids: {}",
+                     report to stderr and writes BENCH_PR3.json\n  ids: {}",
                     experiments::ALL.join(" ")
                 );
                 return;

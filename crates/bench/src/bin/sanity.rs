@@ -6,7 +6,7 @@
 //!
 //! With `--profile`, the IPC table moves to stderr and stdout carries a
 //! single JSON throughput record (the same shape `lb-experiments --profile`
-//! writes to `BENCH_PR2.json`), so CI can parse it directly.
+//! writes to `BENCH_PR3.json`), so CI can parse it directly.
 
 use baselines::{best_swl_sweep, cerf_factory, pcal_factory};
 use gpu_sim::config::GpuConfig;

@@ -1,7 +1,10 @@
 //! Built-in hot-path profiler: wall-clock and event accounting for every
 //! simulation the harness launches, reported by `--profile` and written to
-//! `BENCH_PR2.json` so the perf trajectory of the simulator has a recorded
-//! baseline.
+//! `BENCH_PR3.json` so the perf trajectory of the simulator has a recorded
+//! baseline. Since the component-calendar scheduler, the record includes
+//! per-component sleep fractions (how often each SM / the DRAM / the
+//! interconnect was gated) and a breakdown of what bounded each
+//! fast-forward jump.
 //!
 //! The workspace is std-only, so the JSON record is emitted by a small
 //! hand-rolled writer (and checked in tests by the equally small
@@ -50,6 +53,38 @@ pub struct Profile {
     pub icnt_delivered: u64,
     /// CTA dispatch passes over the SM array.
     pub dispatch_passes: u64,
+    /// SM-cycles executed (summed over SMs and simulations).
+    pub sm_stepped: u64,
+    /// SM-cycles slept (summed over SMs and simulations).
+    pub sm_slept: u64,
+    /// DRAM-controller cycles ticked.
+    pub dram_stepped: u64,
+    /// DRAM-controller cycles slept.
+    pub dram_slept: u64,
+    /// Interconnect queue-cycles delivered (two queues per GPU).
+    pub icnt_stepped: u64,
+    /// Interconnect queue-cycles slept (two queues per GPU).
+    pub icnt_slept: u64,
+    /// Fast-forward jumps bounded by an SM wake-up.
+    pub skip_to_sm: u64,
+    /// Fast-forward jumps bounded by the DRAM's next event.
+    pub skip_to_dram: u64,
+    /// Fast-forward jumps bounded by an interconnect delivery.
+    pub skip_to_icnt: u64,
+    /// Fast-forward jumps capped at a monitoring-window boundary.
+    pub skip_to_window: u64,
+    /// Fast-forward jumps capped at the cycle limit.
+    pub skip_to_max: u64,
+}
+
+/// slept / (stepped + slept), in [0, 1]; 0 when nothing was counted.
+fn sleep_fraction(stepped: u64, slept: u64) -> f64 {
+    let total = stepped + slept;
+    if total == 0 {
+        0.0
+    } else {
+        slept as f64 / total as f64
+    }
 }
 
 impl Profile {
@@ -68,6 +103,33 @@ impl Profile {
         self.dram_services += e.dram_services;
         self.icnt_delivered += e.icnt_delivered;
         self.dispatch_passes += e.dispatch_passes;
+        self.sm_stepped += e.sm_stepped_cycles;
+        self.sm_slept += e.sm_slept_cycles;
+        self.dram_stepped += e.dram_stepped_cycles;
+        self.dram_slept += e.dram_slept_cycles;
+        self.icnt_stepped += e.icnt_stepped_cycles;
+        self.icnt_slept += e.icnt_slept_cycles;
+        self.skip_to_sm += e.skip_to_sm;
+        self.skip_to_dram += e.skip_to_dram;
+        self.skip_to_icnt += e.skip_to_icnt;
+        self.skip_to_window += e.skip_to_window;
+        self.skip_to_max += e.skip_to_max;
+    }
+
+    /// Fraction of SM-cycles in which the SM was asleep (calendar-gated or
+    /// inside a fast-forwarded span).
+    pub fn sm_sleep_fraction(&self) -> f64 {
+        sleep_fraction(self.sm_stepped, self.sm_slept)
+    }
+
+    /// Fraction of cycles the DRAM controller was asleep.
+    pub fn dram_sleep_fraction(&self) -> f64 {
+        sleep_fraction(self.dram_stepped, self.dram_slept)
+    }
+
+    /// Fraction of interconnect queue-cycles with no delivery work.
+    pub fn icnt_sleep_fraction(&self) -> f64 {
+        sleep_fraction(self.icnt_stepped, self.icnt_slept)
     }
 
     /// Number of recorded simulations.
@@ -142,6 +204,20 @@ impl Profile {
              {} dispatch passes\n",
             self.l2_requests, self.dram_services, self.icnt_delivered, self.dispatch_passes,
         ));
+        s.push_str(&format!(
+            "[profile] component sleep: SM {:.1}%, DRAM {:.1}%, icnt {:.1}%\n",
+            self.sm_sleep_fraction() * 100.0,
+            self.dram_sleep_fraction() * 100.0,
+            self.icnt_sleep_fraction() * 100.0,
+        ));
+        s.push_str(&format!(
+            "[profile] skip bounds: {} sm, {} dram, {} icnt, {} window, {} max\n",
+            self.skip_to_sm,
+            self.skip_to_dram,
+            self.skip_to_icnt,
+            self.skip_to_window,
+            self.skip_to_max,
+        ));
         let mut slowest: Vec<&SimRecord> = self.records.iter().collect();
         slowest.sort_by(|a, b| b.wall_s.total_cmp(&a.wall_s));
         for r in slowest.iter().take(5) {
@@ -156,7 +232,7 @@ impl Profile {
         s
     }
 
-    /// The `BENCH_PR2.json` throughput record.
+    /// The `BENCH_PR3.json` throughput record.
     ///
     /// `label` names the producing binary, `scale` the run scale, and
     /// `suite_wall_s` the end-to-end harness wall-clock.
@@ -178,13 +254,18 @@ impl Profile {
             })
             .collect();
         format!(
-            "{{\n  \"bench\": \"PR2\",\n  \"binary\": {},\n  \"scale\": {},\n  \
+            "{{\n  \"bench\": \"PR3\",\n  \"binary\": {},\n  \"scale\": {},\n  \
              \"suite_wall_s\": {:.3},\n  \"sims\": {},\n  \"sim_wall_s\": {:.3},\n  \
              \"cycles\": {},\n  \"stepped_cycles\": {},\n  \"skipped_cycles\": {},\n  \
              \"skipped_fraction\": {:.6},\n  \"cycles_per_sec\": {:.1},\n  \
              \"sims_per_sec\": {:.3},\n  \"events\": {{\"skip_jumps\": {}, \
              \"l2_requests\": {}, \"dram_services\": {}, \"icnt_delivered\": {}, \
-             \"dispatch_passes\": {}}},\n  \"slowest\": [{}]\n}}\n",
+             \"dispatch_passes\": {}}},\n  \"component_sleep\": {{\
+             \"sm_stepped\": {}, \"sm_slept\": {}, \"sm_sleep_fraction\": {:.6}, \
+             \"dram_stepped\": {}, \"dram_slept\": {}, \"dram_sleep_fraction\": {:.6}, \
+             \"icnt_stepped\": {}, \"icnt_slept\": {}, \"icnt_sleep_fraction\": {:.6}}},\n  \
+             \"skip_bounds\": {{\"sm\": {}, \"dram\": {}, \"icnt\": {}, \
+             \"window\": {}, \"max\": {}}},\n  \"slowest\": [{}]\n}}\n",
             json_string(label),
             json_string(scale),
             suite_wall_s,
@@ -201,6 +282,20 @@ impl Profile {
             self.dram_services,
             self.icnt_delivered,
             self.dispatch_passes,
+            self.sm_stepped,
+            self.sm_slept,
+            self.sm_sleep_fraction(),
+            self.dram_stepped,
+            self.dram_slept,
+            self.dram_sleep_fraction(),
+            self.icnt_stepped,
+            self.icnt_slept,
+            self.icnt_sleep_fraction(),
+            self.skip_to_sm,
+            self.skip_to_dram,
+            self.skip_to_icnt,
+            self.skip_to_window,
+            self.skip_to_max,
             slow_entries.join(", "),
         )
     }

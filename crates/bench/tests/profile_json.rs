@@ -31,8 +31,10 @@ fn sanity_profile_emits_valid_json() {
     let stdout = String::from_utf8(out.stdout).expect("stdout must be UTF-8");
     validate_json(&stdout).unwrap_or_else(|at| panic!("invalid JSON at byte {at}: {stdout}"));
 
-    assert!(stdout.contains("\"bench\": \"PR2\""), "document must identify the bench format");
+    assert!(stdout.contains("\"bench\": \"PR3\""), "document must identify the bench format");
     assert!(stdout.contains("\"scale\": \"sanity-quick\""));
+    assert!(stdout.contains("\"component_sleep\""), "must carry per-component sleep stats");
+    assert!(stdout.contains("\"skip_bounds\""), "must carry the skip-engagement breakdown");
 }
 
 #[test]
@@ -56,4 +58,10 @@ fn sanity_profile_counters_are_consistent() {
 
     let cps = field(&stdout, "cycles_per_sec");
     assert!(cps > 0.0, "throughput must be positive");
+
+    // The DRAM controller is one component per GPU, so its stepped + slept
+    // cycles must sum to the total simulated cycles across the suite.
+    let dram_stepped = field(&stdout, "dram_stepped");
+    let dram_slept = field(&stdout, "dram_slept");
+    assert_eq!(dram_stepped + dram_slept, cycles, "per-DRAM cycle accounting must close");
 }

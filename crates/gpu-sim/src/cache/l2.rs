@@ -7,7 +7,7 @@
 use crate::cache::mshr::MshrFile;
 use crate::cache::tag_array::TagArray;
 use crate::config::CacheConfig;
-use crate::types::LineAddr;
+use crate::types::{Cycle, LineAddr};
 
 /// The GPU-wide shared L2.
 #[derive(Debug)]
@@ -62,6 +62,16 @@ impl L2Cache {
     /// (hits, misses) since construction.
     pub fn hit_miss(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Component-calendar horizon: always `None`. The L2 (including its
+    /// MSHR file) is purely reactive — it acts only when the interconnect
+    /// delivers a request or a DRAM fill returns, and both of those are
+    /// covered by the icnt queues' and DRAM's own `next_due`. Even
+    /// MSHR-full retries re-enter through `to_l2` with their retry delay,
+    /// so they ride the icnt horizon too.
+    pub fn next_due(&self) -> Option<Cycle> {
+        None
     }
 }
 

@@ -6,10 +6,11 @@
 //! kernels contend, and (2) row-buffer/bank-timing effects (RCD/RP/CL/RAS)
 //! that penalize scattered accesses.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::config::DramConfig;
-use crate::types::{Cycle, LineAddr, LINE_BYTES};
+use crate::types::{Cycle, LineAddr, LINE_BYTES, LINE_SHIFT};
 
 /// Traffic classes, for Figure 17's split of demand data vs. Linebacker's
 /// register backup/restore overhead.
@@ -51,6 +52,52 @@ pub struct DramDone {
 /// accumulate during idle periods).
 const BUDGET_CAP: f64 = 8.0;
 
+/// FR-FCFS reorder-window depth, per queue.
+const WINDOW: usize = 64;
+
+/// Precomputed line → (bank, row) mapping. Bank index is `line % banks` and
+/// row is `line * LINE_BYTES / row_bytes`; for the power-of-two geometries
+/// every config ships (16 banks, 2 KiB rows) both reduce to a mask and a
+/// shift, which matters because the FR-FCFS window scan computes them per
+/// candidate per cycle. The fallback path keeps odd geometries bit-exact.
+#[derive(Debug, Clone, Copy)]
+struct AddrMap {
+    banks: u64,
+    row_bytes: u64,
+    /// `banks - 1` when the bank count is a power of two.
+    bank_mask: Option<u64>,
+    /// `log2(row_bytes) - LINE_SHIFT` when `row_bytes` is a power of two
+    /// of at least one line.
+    row_shift: Option<u32>,
+}
+
+impl AddrMap {
+    fn new(banks: u64, row_bytes: u64) -> Self {
+        let bank_mask = (banks.is_power_of_two()).then(|| banks - 1);
+        let row_shift = (row_bytes.is_power_of_two() && row_bytes >= LINE_BYTES)
+            .then(|| row_bytes.trailing_zeros() - LINE_SHIFT);
+        AddrMap { banks, row_bytes, bank_mask, row_shift }
+    }
+
+    #[inline]
+    fn bank(&self, line: LineAddr) -> usize {
+        match self.bank_mask {
+            Some(m) => (line.0 & m) as usize,
+            None => (line.0 % self.banks) as usize,
+        }
+    }
+
+    #[inline]
+    fn row(&self, line: LineAddr) -> u64 {
+        match self.row_shift {
+            // `line * 2^LINE_SHIFT / 2^k == line >> (k - LINE_SHIFT)` exactly:
+            // the multiply only introduces low zero bits, so truncation agrees.
+            Some(s) => line.0 >> s,
+            None => line.0 * LINE_BYTES / self.row_bytes,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct BankState {
     /// Row currently open (None = precharged).
@@ -69,12 +116,25 @@ pub struct Dram {
     /// leftover bandwidth after reads (read-priority scheduling).
     wqueue: VecDeque<DramReq>,
     banks: Vec<BankState>,
+    /// Line → (bank, row) mapping with power-of-two fast paths.
+    map: AddrMap,
     /// Fractional budget of lines that may start service this cycle
     /// (token-bucket bandwidth model).
     line_budget: f64,
     lines_per_cycle: f64,
-    /// Completion heap keyed by finish cycle (kept sorted; small).
+    /// Next cycle whose token-bucket refill has not been applied yet. All
+    /// budget mutation goes through [`Dram::advance_to`], so skipped and
+    /// stepped cycles replay the identical (non-associative) f64 sequence.
+    synced_cycle: Cycle,
+    /// In-service requests in the legacy swap-remove layout. The collection
+    /// order this layout produces is observable downstream (L2 fill / LRU
+    /// order, response FIFO order) and locked by the golden digests, so the
+    /// payload store must keep it; see `finish_heap` for the fast index.
     in_service: Vec<(Cycle, DramDone)>,
+    /// Min-heap over the finish cycles of `in_service` (same multiset),
+    /// keyed by finish cycle. Makes `next_completion` O(1) — it is polled
+    /// every scheduling decision — without perturbing the collection order.
+    finish_heap: BinaryHeap<Reverse<Cycle>>,
     /// Bytes transferred per class.
     bytes: [u64; 4],
     row_hits: u64,
@@ -87,14 +147,18 @@ impl Dram {
     pub fn new(cfg: DramConfig, lines_per_cycle: f64) -> Self {
         assert!(lines_per_cycle > 0.0);
         let banks = cfg.banks as usize;
+        let map = AddrMap::new(cfg.banks as u64, cfg.row_bytes);
         Dram {
             cfg,
             queue: VecDeque::new(),
             wqueue: VecDeque::new(),
             banks: vec![BankState::default(); banks],
+            map,
             line_budget: 0.0,
             lines_per_cycle,
+            synced_cycle: 0,
             in_service: Vec::new(),
+            finish_heap: BinaryHeap::new(),
             bytes: [0; 4],
             row_hits: 0,
             row_misses: 0,
@@ -140,55 +204,61 @@ impl Dram {
 
     /// Earliest finish cycle among in-service requests, if any.
     pub fn next_completion(&self) -> Option<Cycle> {
-        self.in_service.iter().map(|&(t, _)| t).min()
+        self.finish_heap.peek().map(|&Reverse(t)| t)
     }
 
-    /// Replays `n` idle cycles of token-bucket refill in one call, exactly
-    /// as `n` consecutive `tick`s with empty queues would have.
+    /// Replays the token-bucket refill for every cycle up to and including
+    /// `cycle` that has not been applied yet. Both normal stepping and the
+    /// calendar's fast-forward go through this single method, so a skipped
+    /// span cannot drift from the per-cycle path.
     ///
     /// The refill is repeated addition of an `f64` (not associative), so a
     /// closed form would not be bit-identical; instead the loop replays each
     /// step and exits early once the bucket saturates at exactly the cap
     /// (after which further refills are a fixpoint).
-    pub fn skip_idle_cycles(&mut self, n: u64) {
-        debug_assert!(self.queues_empty(), "skip with pending requests would lose scheduling");
-        for _ in 0..n {
+    pub fn advance_to(&mut self, cycle: Cycle) {
+        while self.synced_cycle <= cycle {
             self.line_budget = (self.line_budget + self.lines_per_cycle).min(BUDGET_CAP);
+            self.synced_cycle += 1;
             if self.line_budget == BUDGET_CAP {
+                self.synced_cycle = cycle + 1;
                 break;
             }
         }
     }
 
     /// Advances the model one core cycle; returns requests completing now.
+    /// Cycles between the previous `tick` and this one need no call at all:
+    /// `advance_to` replays their (refill-only) effect on entry.
     pub fn tick(&mut self, cycle: Cycle, done: &mut Vec<DramDone>) {
-        // Refill the bandwidth token bucket (cap prevents unbounded burst).
-        self.line_budget = (self.line_budget + self.lines_per_cycle).min(BUDGET_CAP);
+        // Refill the bandwidth token bucket (cap prevents unbounded burst),
+        // covering any cycles skipped since the last tick.
+        self.advance_to(cycle);
 
         // FR-FCFS over a bounded reorder window with read priority: prefer
         // row-hit reads to open rows (first-ready), then the oldest
         // serviceable read; leftover bandwidth drains the write queue. Reads
         // never starve behind stores; stores stall the cores through the
         // SM-side store buffer when they outrun DRAM bandwidth.
-        const WINDOW: usize = 64;
         while self.line_budget >= 1.0 {
-            if let Some(i) = Self::frfcfs_pick(&self.queue, &self.banks, &self.cfg, cycle, WINDOW) {
+            if let Some(i) = Self::frfcfs_pick(&self.queue, &self.banks, self.map, cycle, WINDOW) {
                 let req = self.queue.remove(i).expect("index in bounds");
-                let bank_idx = (req.line.0 % self.banks.len() as u64) as usize;
+                let bank_idx = self.map.bank(req.line);
                 self.start_service(req, bank_idx, cycle);
                 continue;
             }
-            if let Some(i) = Self::frfcfs_pick(&self.wqueue, &self.banks, &self.cfg, cycle, WINDOW)
-            {
+            if let Some(i) = Self::frfcfs_pick(&self.wqueue, &self.banks, self.map, cycle, WINDOW) {
                 let req = self.wqueue.remove(i).expect("index in bounds");
-                let bank_idx = (req.line.0 % self.banks.len() as u64) as usize;
+                let bank_idx = self.map.bank(req.line);
                 self.start_service(req, bank_idx, cycle);
                 continue;
             }
             break;
         }
 
-        // Collect completions.
+        // Collect completions. The swap-remove scan order is deliberate:
+        // it is the canonical completion order the golden digests lock
+        // (changing it reorders same-cycle L2 fills and responses).
         let mut i = 0;
         while i < self.in_service.len() {
             if self.in_service[i].0 <= cycle {
@@ -198,6 +268,14 @@ impl Dram {
                 i += 1;
             }
         }
+        // Every entry with finish <= cycle was just collected, so popping
+        // the same prefix keeps the heap in sync with `in_service`.
+        while let Some(&Reverse(t)) = self.finish_heap.peek() {
+            if t > cycle {
+                break;
+            }
+            self.finish_heap.pop();
+        }
     }
 
     /// FR-FCFS selection over the first `window` entries of `queue`: the
@@ -206,7 +284,7 @@ impl Dram {
     fn frfcfs_pick(
         queue: &VecDeque<DramReq>,
         banks: &[BankState],
-        cfg: &DramConfig,
+        map: AddrMap,
         cycle: Cycle,
         window: usize,
     ) -> Option<usize> {
@@ -216,11 +294,11 @@ impl Dram {
             if r.ready_at > cycle {
                 continue;
             }
-            let bi = (r.line.0 % banks.len() as u64) as usize;
+            let bi = map.bank(r.line);
             if banks[bi].busy_until > cycle {
                 continue;
             }
-            let row = r.line.0 * LINE_BYTES / cfg.row_bytes;
+            let row = map.row(r.line);
             if banks[bi].open_row == Some(row) {
                 return Some(i);
             }
@@ -232,7 +310,7 @@ impl Dram {
     }
 
     fn start_service(&mut self, req: DramReq, bank_idx: usize, cycle: Cycle) {
-        let row = req.line.0 * LINE_BYTES / self.cfg.row_bytes;
+        let row = self.map.row(req.line);
         let bank = &mut self.banks[bank_idx];
         // Bank occupancy is the data-burst time; row misses pay extra
         // *latency* (precharge + activate + CAS) but banks overlap, so
@@ -252,6 +330,68 @@ impl Dram {
         let finish = cycle + latency as u64;
         self.in_service
             .push((finish, DramDone { line: req.line, class: req.class, token: req.token }));
+        self.finish_heap.push(Reverse(finish));
+    }
+
+    /// Earliest future cycle at which `tick` could do anything: start a
+    /// service or complete one. `None` means the DRAM is fully drained and
+    /// only a new `push` can create work (the token-bucket refill alone is
+    /// not "work": `advance_to` replays it lazily on the next real tick).
+    ///
+    /// Exactness argument: while no tick runs, queue contents, bank state
+    /// and `ready_at`s are frozen; the only evolving quantity is the budget,
+    /// and `earliest_budget` replays that exactly. A request in the FR-FCFS
+    /// window becomes serviceable at `max(ready_at, bank.busy_until)`, so
+    /// the earliest service opportunity is the min of that over both
+    /// windows, floored by the budget-availability cycle.
+    pub fn next_due(&self, cycle: Cycle) -> Option<Cycle> {
+        let completion = self.next_completion();
+        let service = self.next_service(cycle);
+        match (completion, service) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Earliest cycle at or after `cycle` at which an FR-FCFS pick could
+    /// succeed, `None` if both queues are empty.
+    fn next_service(&self, cycle: Cycle) -> Option<Cycle> {
+        if self.queues_empty() {
+            return None;
+        }
+        let floor = cycle.max(self.earliest_budget(cycle));
+        let mut best: Option<Cycle> = None;
+        for q in [&self.queue, &self.wqueue] {
+            for r in q.iter().take(WINDOW) {
+                let bi = self.map.bank(r.line);
+                let t = r.ready_at.max(self.banks[bi].busy_until);
+                if t <= floor {
+                    // Can't beat the floor; a pick succeeds there.
+                    return Some(floor);
+                }
+                best = Some(best.map_or(t, |b| b.min(t)));
+            }
+        }
+        best
+    }
+
+    /// First cycle at or after `from` whose replayed refill leaves at least
+    /// one whole line of budget.
+    fn earliest_budget(&self, from: Cycle) -> Cycle {
+        if self.line_budget >= 1.0 {
+            return from;
+        }
+        // Replay refills from the sync point; terminates because
+        // `lines_per_cycle > 0` and the target (1.0) is below the cap.
+        let mut budget = self.line_budget;
+        let mut c = self.synced_cycle;
+        loop {
+            budget = (budget + self.lines_per_cycle).min(BUDGET_CAP);
+            if budget >= 1.0 {
+                return c.max(from);
+            }
+            c += 1;
+        }
     }
 
     /// Bytes transferred so far, per traffic class

@@ -2,6 +2,7 @@
 //! per-cycle simulation loop.
 
 use crate::cache::{L2Cache, MshrOutcome};
+use crate::calendar::Calendar;
 use crate::config::GpuConfig;
 use crate::dram::{Dram, DramDone, TrafficClass};
 use crate::energy::Activity;
@@ -9,7 +10,7 @@ use crate::icnt::IcntQueue;
 use crate::kernel::KernelSpec;
 use crate::mem::{MemReq, MemReqKind};
 use crate::policy::{PolicyFactory, SmPolicy};
-use crate::sm::{SkipCheck, Sm};
+use crate::sm::Sm;
 use crate::stats::{ProfileEvents, SimStats};
 use crate::types::{Cycle, Pc, SmId};
 
@@ -34,12 +35,28 @@ pub struct Gpu {
     scratch_done: Vec<DramDone>,
     /// Reusable list of SM indices still accepting CTAs during a dispatch.
     dispatch_scratch: Vec<u32>,
+    /// Component calendar over the SMs (indices `0..n_sms`) and the DRAM
+    /// controller (index `n_sms`); `step` touches only due components. The
+    /// interconnect queues are not in the calendar: their `next_due` is an
+    /// O(1) head peek, cheaper read directly than kept coherent here.
+    calendar: Calendar,
+    /// Per-component stepped-cycle counters, indexed like the calendar
+    /// plus `to_l2` at `n_sms + 1` and `from_l2` at `n_sms + 2`. Slept
+    /// cycles are not counted separately: every component is either
+    /// stepped or slept each cycle, so slept == total cycles - stepped.
+    comp_stepped: Vec<u64>,
     /// Hot-path profiler counters (reported via `SimStats::events`).
     stepped_cycles: u64,
     skipped_cycles: u64,
     skip_jumps: u64,
     dram_services: u64,
     dispatch_passes: u64,
+    /// Skip-engagement breakdown: what bounded each fast-forward jump.
+    skip_to_sm: u64,
+    skip_to_dram: u64,
+    skip_to_icnt: u64,
+    skip_to_window: u64,
+    skip_to_max: u64,
 }
 
 impl Gpu {
@@ -68,11 +85,18 @@ impl Gpu {
             scratch_msgs: Vec::new(),
             scratch_done: Vec::new(),
             dispatch_scratch: Vec::new(),
+            calendar: Calendar::new(cfg.n_sms as usize + 1),
+            comp_stepped: vec![0; cfg.n_sms as usize + 3],
             stepped_cycles: 0,
             skipped_cycles: 0,
             skip_jumps: 0,
             dram_services: 0,
             dispatch_passes: 0,
+            skip_to_sm: 0,
+            skip_to_dram: 0,
+            skip_to_icnt: 0,
+            skip_to_window: 0,
+            skip_to_max: 0,
             sms,
             cfg,
             kernel,
@@ -101,6 +125,14 @@ impl Gpu {
     /// Read-only view of an SM (tests, experiments).
     pub fn sm(&self, i: u32) -> &Sm {
         &self.sms[i as usize]
+    }
+
+    /// (stepped, slept) cycle counts for SM `i`. For a finished run their
+    /// sum equals the total simulated cycles — the per-component partition
+    /// invariant the profiler tests lock.
+    pub fn sm_activity(&self, i: u32) -> (u64, u64) {
+        let stepped = self.comp_stepped[i as usize];
+        (stepped, self.cycle - stepped)
     }
 
     /// Dispatches CTAs to every SM that has room and wants more work.
@@ -138,11 +170,11 @@ impl Gpu {
 
     /// Runs the kernel to completion or `max_cycles`, returning merged stats.
     ///
-    /// Uses idle-cycle fast-forward: when no component can make progress at
-    /// the current cycle, the loop jumps straight to the earliest cycle at
-    /// which anything can happen instead of stepping through dead cycles.
-    /// `step()` itself is untouched, so manual step loops behave exactly as
-    /// before, and a fast-forwarded run is bit-identical to a stepped one.
+    /// Uses two levels of event-driven scheduling, both bit-exact: inside
+    /// `step()`, the component calendar gates each SM and the DRAM
+    /// controller individually, so a busy cycle touches only components
+    /// with work; between steps, `try_skip_idle` jumps straight to the
+    /// earliest component event instead of stepping through dead cycles.
     pub fn run(&mut self) -> SimStats {
         while self.cycle < self.cfg.max_cycles {
             self.try_skip_idle();
@@ -157,56 +189,63 @@ impl Gpu {
         self.collect_stats()
     }
 
-    /// Fast-forwards over cycles in which provably nothing happens.
+    /// Fast-forwards to the earliest cycle at which any component can act.
     ///
-    /// Skipping is legal only when every per-cycle effect of `step()` is a
-    /// no-op: every SM is idle with empty LSU queue and outbox (so no
-    /// per-cycle MSHR-stall accounting or request draining), the DRAM
-    /// request queues are empty (so no scheduling decisions), and no
-    /// interconnect delivery, DRAM completion, warp wake-up, or SM-local
-    /// completion is due at the current cycle. The jump target is the
-    /// minimum over all pending wake-up times, capped at the last cycle of
-    /// the current monitoring window (that cycle's step fires `end_window`)
-    /// and at `max_cycles`. The only per-cycle state mutated during the
-    /// skipped span is the DRAM bandwidth token bucket, which
-    /// [`Dram::skip_idle_cycles`] replays exactly.
+    /// The calendar already knows the next due cycle of every SM and of the
+    /// DRAM controller; the interconnect queues expose theirs as an O(1)
+    /// head peek. The jump target is the minimum over those horizons,
+    /// capped at the last cycle of the current monitoring window (that
+    /// cycle's step fires `end_window`) and at `max_cycles`. No per-cycle
+    /// state needs replaying at jump time: the DRAM token bucket catches up
+    /// lazily through [`Dram::advance_to`] on its next real tick.
+    ///
+    /// Unlike the all-or-nothing skipper this replaces, the check is O(1):
+    /// it never rescans warps, and it engages whenever the *earliest*
+    /// component event is in the future, not only when every component is
+    /// simultaneously idle (individual SMs sleep through busy cycles inside
+    /// `step` via the same calendar).
     fn try_skip_idle(&mut self) {
         let cycle = self.cycle;
-        if !self.dram.queues_empty() {
+        // Cheap pre-checks first: on a busy machine some component is due
+        // right now and the argmin below would be wasted work every cycle.
+        if self.calendar.any_due(cycle)
+            || self.to_l2.next_due().is_some_and(|t| t <= cycle)
+            || self.from_l2.next_due().is_some_and(|t| t <= cycle)
+        {
             return;
         }
-        let mut next: Option<Cycle> = None;
-        for t in [self.to_l2.next_ready(), self.from_l2.next_ready(), self.dram.next_completion()]
-            .into_iter()
-            .flatten()
-        {
-            if t <= cycle {
-                return;
-            }
-            next = Some(next.map_or(t, |n| n.min(t)));
+        let cal = self.calendar.next_event();
+        let icnt = match (self.to_l2.next_due(), self.from_l2.next_due()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let mut target = Cycle::MAX;
+        for t in [cal.map(|(t, _)| t), icnt].into_iter().flatten() {
+            target = target.min(t);
         }
-        for sm in &self.sms {
-            match sm.skip_check(cycle, &self.kernel, &self.cfg) {
-                SkipCheck::Busy => return,
-                SkipCheck::IdleUntil(Some(t)) => {
-                    if t <= cycle {
-                        return;
-                    }
-                    next = Some(next.map_or(t, |n| n.min(t)));
-                }
-                SkipCheck::IdleUntil(None) => {}
-            }
-        }
-        // Nothing can happen strictly before `next`. The last cycle of the
-        // current window must still be stepped so its `end_window` fires on
-        // schedule; `max_cycles` ends the run loop outright.
+        // The last cycle of the current window must still be stepped so its
+        // `end_window` fires on schedule; `max_cycles` ends the run loop.
         let window_last = (cycle / self.cfg.window_cycles + 1) * self.cfg.window_cycles - 1;
-        let target = next.unwrap_or(Cycle::MAX).min(window_last).min(self.cfg.max_cycles);
+        let target = target.min(window_last).min(self.cfg.max_cycles);
         if target <= cycle {
             return;
         }
+        // Attribute the jump to whichever horizon bounded it.
+        if cal.is_some_and(|(t, _)| t == target) {
+            let comp = cal.expect("checked").1 as usize;
+            if comp < self.sms.len() {
+                self.skip_to_sm += 1;
+            } else {
+                self.skip_to_dram += 1;
+            }
+        } else if icnt == Some(target) {
+            self.skip_to_icnt += 1;
+        } else if target == window_last {
+            self.skip_to_window += 1;
+        } else {
+            self.skip_to_max += 1;
+        }
         let n = target - cycle;
-        self.dram.skip_idle_cycles(n);
         self.cycle = target;
         self.skipped_cycles += n;
         self.skip_jumps += 1;
@@ -221,13 +260,24 @@ impl Gpu {
             && self.dram.pending() == 0
     }
 
-    /// Advances the whole GPU one cycle.
+    /// Advances the whole GPU one cycle, stepping only the components whose
+    /// calendar entry is due. Gating a component is bit-exact because its
+    /// `next_due` horizon certifies that a tick before that cycle would be
+    /// a state no-op; the phase order is identical to the old exhaustive
+    /// sweep, so a due component observes exactly what it always did.
     pub fn step(&mut self) {
         let cycle = self.cycle;
         self.stepped_cycles += 1;
+        let n_sms = self.sms.len();
+        let dram_comp = n_sms;
 
-        // 1. SM pipelines.
-        for sm in &mut self.sms {
+        // 1. SM pipelines (in SM-id order, as the exhaustive sweep was).
+        for i in 0..n_sms {
+            if !self.calendar.is_due(i, cycle) {
+                continue;
+            }
+            self.comp_stepped[i] += 1;
+            let sm = &mut self.sms[i];
             sm.tick(cycle, &self.kernel, &self.cfg);
             let completed = sm.reap_completed_ctas(cycle);
             if completed > 0 && self.remaining_ctas > 0 {
@@ -244,17 +294,72 @@ impl Gpu {
             for req in sm.outbox.drain(..) {
                 self.to_l2.push(req, cycle);
             }
+            let due = self.sms[i].next_due(cycle).unwrap_or(Cycle::MAX);
+            self.calendar.schedule(i, due);
         }
 
-        // 2. L2 side: consume arriving requests.
-        self.scratch_msgs.clear();
-        self.to_l2.pop_ready(cycle, &mut self.scratch_msgs);
-        for i in 0..self.scratch_msgs.len() {
-            let req = self.scratch_msgs[i];
-            self.handle_at_l2(req, cycle);
+        // 2. L2 side: consume arriving requests. A request pushed to DRAM
+        //    here arrives at its `ready_at` cycle (stores this very cycle),
+        //    so pull the DRAM's due cycle forward before phase 3 reads it.
+        //    Waking at arrival rather than at the exact serviceable cycle
+        //    is safe — a tick that can't pick anything is a state no-op —
+        //    and keeps this path O(1) per request.
+        if self.to_l2.next_due().is_some_and(|t| t <= cycle) {
+            self.comp_stepped[n_sms + 1] += 1;
+            self.scratch_msgs.clear();
+            self.to_l2.pop_ready(cycle, &mut self.scratch_msgs);
+            for i in 0..self.scratch_msgs.len() {
+                let req = self.scratch_msgs[i];
+                if let Some(arrival) = self.handle_at_l2(req, cycle) {
+                    self.calendar.wake_at(dram_comp, arrival);
+                }
+            }
         }
 
-        // 3. DRAM.
+        // 3. DRAM. After every tick the controller reports its exact next
+        //    horizon (next completion, or the earliest cycle a pick can
+        //    succeed: request arrival + bank free + bandwidth-token refill);
+        //    the calendar sleeps it until then. `next_service`'s floor
+        //    early-out keeps the scan short on busy streaks.
+        if self.calendar.is_due(dram_comp, cycle) {
+            self.comp_stepped[dram_comp] += 1;
+            self.step_dram(cycle);
+            let due = self.dram.next_due(cycle).unwrap_or(Cycle::MAX);
+            self.calendar.schedule(dram_comp, due);
+        }
+
+        // 4. Responses back to SMs; each delivery re-arms the SM's slot.
+        if self.from_l2.next_due().is_some_and(|t| t <= cycle) {
+            self.comp_stepped[n_sms + 2] += 1;
+            self.scratch_msgs.clear();
+            self.from_l2.pop_ready(cycle, &mut self.scratch_msgs);
+            for i in 0..self.scratch_msgs.len() {
+                let rsp = self.scratch_msgs[i];
+                let sm = &mut self.sms[rsp.sm.0 as usize];
+                sm.handle_response(rsp, cycle, &self.load_pcs);
+                self.calendar.wake_at(rsp.sm.0 as usize, cycle + 1);
+            }
+        }
+
+        self.cycle += 1;
+
+        // 5. Window boundary: IPC monitoring, policy decisions, throttling
+        //    enforcement, and refill of freed CTA capacity. Every SM runs
+        //    `end_window` (it samples stats and can change CTA status), so
+        //    every SM must be stepped at the boundary cycle.
+        if self.cycle.is_multiple_of(self.cfg.window_cycles) {
+            for sm in &mut self.sms {
+                sm.end_window(self.cycle, &self.cfg);
+            }
+            self.dispatch_ctas();
+            for i in 0..n_sms {
+                self.calendar.wake_at(i, self.cycle);
+            }
+        }
+    }
+
+    /// Phase 3 of `step`: one DRAM tick plus completion fan-out.
+    fn step_dram(&mut self, cycle: Cycle) {
         self.scratch_done.clear();
         self.dram.tick(cycle, &mut self.scratch_done);
         self.dram_services += self.scratch_done.len() as u64;
@@ -286,26 +391,6 @@ impl Gpu {
                 }
             }
         }
-
-        // 4. Responses back to SMs.
-        self.scratch_msgs.clear();
-        self.from_l2.pop_ready(cycle, &mut self.scratch_msgs);
-        for i in 0..self.scratch_msgs.len() {
-            let rsp = self.scratch_msgs[i];
-            let sm = &mut self.sms[rsp.sm.0 as usize];
-            sm.handle_response(rsp, cycle, &self.load_pcs);
-        }
-
-        self.cycle += 1;
-
-        // 5. Window boundary: IPC monitoring, policy decisions, throttling
-        //    enforcement, and refill of freed CTA capacity.
-        if self.cycle.is_multiple_of(self.cfg.window_cycles) {
-            for sm in &mut self.sms {
-                sm.end_window(self.cycle, &self.cfg);
-            }
-            self.dispatch_ctas();
-        }
     }
 
     fn alloc_dram_slot(&mut self, req: MemReq) -> u64 {
@@ -318,13 +403,17 @@ impl Gpu {
         }
     }
 
-    fn handle_at_l2(&mut self, req: MemReq, cycle: Cycle) {
+    /// Handles one request arriving at the L2; returns the DRAM arrival
+    /// cycle if the request was forwarded there (the caller wakes the DRAM
+    /// calendar slot at that cycle).
+    fn handle_at_l2(&mut self, req: MemReq, cycle: Cycle) -> Option<Cycle> {
         match req.kind {
             MemReqKind::Read | MemReqKind::BypassRead => {
                 self.l2_access_count += 1;
                 if self.l2.access(req.line) {
                     // L2 hit: response after the L2 pipeline latency.
                     self.from_l2.push(req, cycle + self.cfg.l2_latency as u64);
+                    None
                 } else {
                     let token = self.alloc_dram_slot(req);
                     match self.l2.mshrs().allocate(req.line, token) {
@@ -332,18 +421,16 @@ impl Gpu {
                             // The DRAM request itself carries a fresh token
                             // so the fill can find the merged waiter list.
                             let dram_token = self.alloc_dram_slot(req);
-                            self.dram.push(
-                                req.line,
-                                TrafficClass::DemandRead,
-                                dram_token,
-                                cycle + self.cfg.l2_latency as u64,
-                            );
+                            let arrival = cycle + self.cfg.l2_latency as u64;
+                            self.dram.push(req.line, TrafficClass::DemandRead, dram_token, arrival);
+                            Some(arrival)
                         }
-                        MshrOutcome::Merged => {}
+                        MshrOutcome::Merged => None,
                         MshrOutcome::Full => {
                             // Model back-pressure as a retried request.
                             self.to_l2.push(req, cycle + 16);
                             self.dram_free.push(token as usize);
+                            None
                         }
                     }
                 }
@@ -353,14 +440,17 @@ impl Gpu {
                 self.l2_access_count += 1;
                 let token = self.alloc_dram_slot(req);
                 self.dram.push(req.line, TrafficClass::StoreWrite, token, cycle);
+                Some(cycle)
             }
             MemReqKind::RegBackup { .. } => {
                 let token = self.alloc_dram_slot(req);
                 self.dram.push(req.line, TrafficClass::RegBackup, token, cycle);
+                Some(cycle)
             }
             MemReqKind::RegRestore { .. } => {
                 let token = self.alloc_dram_slot(req);
                 self.dram.push(req.line, TrafficClass::RegRestore, token, cycle);
+                Some(cycle)
             }
         }
     }
@@ -409,6 +499,7 @@ impl Gpu {
         // Per-access accounting is dense; the map-shaped public views are
         // produced once, here.
         total.materialize_maps();
+        let n_sms = self.sms.len();
         total.events = ProfileEvents {
             stepped_cycles: self.stepped_cycles,
             skipped_cycles: self.skipped_cycles,
@@ -417,6 +508,21 @@ impl Gpu {
             dram_services: self.dram_services,
             icnt_delivered: self.to_l2.delivered() + self.from_l2.delivered(),
             dispatch_passes: self.dispatch_passes,
+            // Each component is either stepped or slept every simulated
+            // cycle, so slept counts are derived, never maintained.
+            sm_stepped_cycles: self.comp_stepped[..n_sms].iter().sum(),
+            sm_slept_cycles: n_sms as u64 * self.cycle
+                - self.comp_stepped[..n_sms].iter().sum::<u64>(),
+            dram_stepped_cycles: self.comp_stepped[n_sms],
+            dram_slept_cycles: self.cycle - self.comp_stepped[n_sms],
+            icnt_stepped_cycles: self.comp_stepped[n_sms + 1] + self.comp_stepped[n_sms + 2],
+            icnt_slept_cycles: 2 * self.cycle
+                - (self.comp_stepped[n_sms + 1] + self.comp_stepped[n_sms + 2]),
+            skip_to_sm: self.skip_to_sm,
+            skip_to_dram: self.skip_to_dram,
+            skip_to_icnt: self.skip_to_icnt,
+            skip_to_window: self.skip_to_window,
+            skip_to_max: self.skip_to_max,
         };
         let (l2h, l2m) = self.l2.hit_miss();
         total.l2_hits = l2h;

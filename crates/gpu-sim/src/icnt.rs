@@ -59,6 +59,14 @@ impl<T> IcntQueue<T> {
         self.queue.front().map(|&(ready, _)| ready)
     }
 
+    /// Component-calendar horizon: the earliest cycle this queue can do any
+    /// work. Identical to [`IcntQueue::next_ready`] — a FIFO with fixed
+    /// latency has no other self-generated events — and O(1), so the GPU
+    /// reads it directly every cycle instead of caching it in the calendar.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.next_ready()
+    }
+
     /// Total messages delivered.
     pub fn delivered(&self) -> u64 {
         self.delivered

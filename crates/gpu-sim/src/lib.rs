@@ -39,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod calendar;
 pub mod coalesce;
 pub mod config;
 pub mod cta;

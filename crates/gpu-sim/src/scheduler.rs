@@ -53,6 +53,24 @@ impl GtoScheduler {
         oldest
     }
 
+    /// The greedily-held warp, if any (the SM's lazy candidate walk checks
+    /// it first, mirroring `pick`'s greedy branch).
+    pub fn current(&self) -> Option<WarpId> {
+        self.current
+    }
+
+    /// Records an issue chosen by the SM's lazy candidate walk without
+    /// materializing the ready list. Accounting is identical to `pick`:
+    /// re-issuing the held warp counts no switch; any other pick (or a
+    /// pick from idle) counts one and becomes the held warp.
+    pub fn note_pick(&mut self, w: WarpId) {
+        if self.current != Some(w) {
+            self.switches += 1;
+        }
+        self.current = Some(w);
+        self.issues += 1;
+    }
+
     /// Notes that the held warp stalled or retired, releasing greediness.
     pub fn release(&mut self, warp: WarpId) {
         if self.current == Some(warp) {

@@ -29,21 +29,38 @@ struct LsuReq {
 /// Maximum LSU queue depth before load issue back-pressures.
 const LSU_QUEUE_CAP: usize = 64;
 
-/// Result of [`Sm::skip_check`]: whether the SM may make progress at the
-/// current cycle, used by the GPU's idle-cycle fast-forward.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SkipCheck {
-    /// The SM may do work this cycle; the GPU must step normally.
-    Busy,
-    /// The SM provably does nothing until the contained cycle (`None` = it
-    /// has no self-generated wake-up; only global events can wake it).
-    IdleUntil(Option<Cycle>),
-}
-
 /// Store-buffer entries per SM: outstanding store lines beyond this stall
 /// further store instructions (write-through stores must not outrun DRAM
 /// bandwidth unboundedly).
 const STORE_BUFFER_CAP: u32 = 64;
+
+/// Timer-wheel horizon in cycles. A warp blocked purely on a `next_ready`
+/// within this many cycles parks in `wake_ring` (it leaves the candidate
+/// lists and the exact slot re-lists it); the rare longer latency stays a
+/// candidate and is re-examined instead.
+const WAKE_RING: u64 = 256;
+
+/// Issue eligibility of one warp this cycle, as seen by the lazy GTO walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarpClass {
+    /// Can issue right now.
+    Eligible,
+    /// Ready, but its load/store needs LSU queue space (drains without a
+    /// warp event — stays a candidate, and the SM re-walks next cycle).
+    GatedLsu,
+    /// Ready store, but no store credit (returns via a store ack, which
+    /// fires a wake — stays a candidate).
+    GatedStore,
+    /// Blocked only on a latency expiring at the carried cycle, within the
+    /// timer-wheel horizon: park it there.
+    TimeNear(Cycle),
+    /// Latency expiring beyond the wheel horizon: stays a candidate and
+    /// bounds the sleep horizon with the carried cycle.
+    TimeFar(Cycle),
+    /// Event-blocked (retired, CTA not schedulable, dependency or load
+    /// cap): leaves the candidate list until an event re-lists it.
+    Blocked,
+}
 
 /// One streaming multiprocessor.
 pub struct Sm {
@@ -58,6 +75,29 @@ pub struct Sm {
     /// The architecture policy driving this SM.
     pub policy: Box<dyn SmPolicy>,
     warps: Vec<Option<WarpState>>,
+    /// Per-scheduler candidate lists of `(age, warp slot)` sorted
+    /// ascending — GTO's fallback order — holding every warp that may be
+    /// issueable. The issue walk takes the greedily-held warp if it is
+    /// eligible, else the first eligible candidate; candidates proven
+    /// event-blocked on the way (retired, CTA not schedulable, waiting on
+    /// a dependency or the outstanding-load cap) are removed, and warps
+    /// blocked only on a known `next_ready` park in the timer wheel.
+    /// Every unblocking event re-inserts: a load completion re-arms its
+    /// warp, a restore finishing re-arms its CTA's warps, and CTA launch /
+    /// reap / limit changes / window ends conservatively rebuild all
+    /// lists. Warps held back by LSU back-pressure or store credits stay
+    /// listed — those gates clear without any warp event firing.
+    cands: Vec<Vec<(u64, u32)>>,
+    /// Timer wheel for warps blocked only on a known `next_ready`: slot
+    /// `(t % WAKE_RING) * words..` holds the bitmask of warp slots to
+    /// re-list at cycle `t`. The issue walk fires the current slot before
+    /// picking, and the sleep horizon of an empty walk is the nearest
+    /// non-empty slot — the walk therefore visits every cycle with a
+    /// parked timer (`issue_sleep_until` never exceeds the earliest one),
+    /// so slots cannot be skipped over.
+    wake_ring: Vec<u64>,
+    /// Bits currently set across `wake_ring` (lets quiet paths skip it).
+    ring_timers: u32,
     ctas: Vec<Option<CtaState>>,
     schedulers: Vec<GtoScheduler>,
     lsu_queue: VecDeque<LsuReq>,
@@ -79,13 +119,6 @@ pub struct Sm {
     window_index: u32,
     /// Scratch buffer for pattern generation.
     line_buf: Vec<LineAddr>,
-    /// Scratch buffer of (warp, age) pairs for the scheduler ready list,
-    /// reused every cycle so `issue` never allocates.
-    ready_buf: Vec<(WarpId, u64)>,
-    /// Per-scheduler candidate buckets filled by one pass over the warp
-    /// slots (entries carry an is-store flag so the store-credit gate can
-    /// be re-evaluated per scheduler with live credits).
-    sched_bufs: Vec<Vec<(WarpId, u64, bool)>>,
     /// Issue-scan sleep horizon: while `cycle < issue_sleep_until` and no
     /// wake event arrived, the ready sets are provably empty and `issue`
     /// returns without scanning the warps.
@@ -108,6 +141,11 @@ impl Sm {
             stats: SimStats::default(),
             policy,
             warps: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
+            cands: (0..cfg.schedulers_per_sm)
+                .map(|_| Vec::with_capacity(cfg.max_warps_per_sm as usize))
+                .collect(),
+            wake_ring: vec![0; WAKE_RING as usize * cfg.max_warps_per_sm.div_ceil(64) as usize],
+            ring_timers: 0,
             ctas: (0..cfg.max_ctas_per_sm).map(|_| None).collect(),
             schedulers: (0..cfg.schedulers_per_sm).map(|_| GtoScheduler::new()).collect(),
             lsu_queue: VecDeque::new(),
@@ -121,14 +159,41 @@ impl Sm {
             window_start_insts: 0,
             window_index: 0,
             line_buf: Vec::with_capacity(32),
-            ready_buf: Vec::with_capacity(cfg.max_warps_per_sm as usize),
-            sched_bufs: (0..cfg.schedulers_per_sm)
-                .map(|_| Vec::with_capacity(cfg.max_warps_per_sm as usize))
-                .collect(),
             issue_sleep_until: 0,
             issue_wake: true,
             stores_in_flight: 0,
             seed,
+        }
+    }
+
+    /// Re-lists one warp as a scheduling candidate (no-op for vacated
+    /// slots or warps already listed). Called on events that can unblock
+    /// exactly this warp, i.e. its own load completions and timer expiry.
+    #[inline]
+    fn wake_warp(&mut self, wi: usize) {
+        let Some(w) = self.warps[wi].as_ref() else { return };
+        let key = (w.age, w.id.0);
+        let v = &mut self.cands[(w.id.0 as usize) % self.schedulers.len()];
+        if let Err(pos) = v.binary_search(&key) {
+            v.insert(pos, key);
+        }
+    }
+
+    /// Conservatively re-lists every resident warp. Called on CTA-level
+    /// events (launch, reap, limit change, window end) whose eligibility
+    /// effects span warps.
+    fn wake_all_warps(&mut self) {
+        for v in &mut self.cands {
+            v.clear();
+        }
+        let n_scheds = self.schedulers.len();
+        for slot in &self.warps {
+            if let Some(w) = slot.as_ref() {
+                self.cands[(w.id.0 as usize) % n_scheds].push((w.age, w.id.0));
+            }
+        }
+        for v in &mut self.cands {
+            v.sort_unstable();
         }
     }
 
@@ -200,6 +265,9 @@ impl Sm {
             ));
             warp_ids.push(wid);
         }
+        for wid in warp_base..warp_base + warps_per_cta {
+            self.wake_warp(wid as usize);
+        }
         self.ctas[slot as usize] = Some(CtaState {
             id: CtaId(slot),
             status: CtaStatus::Active,
@@ -249,6 +317,7 @@ impl Sm {
             if let Some(w) = self.warps[warp as usize].as_mut() {
                 w.complete_one(LoadId(load));
             }
+            self.wake_warp(warp as usize);
         }
     }
 
@@ -361,64 +430,89 @@ impl Sm {
         }
         self.issue_wake = false;
 
-        let n_scheds = self.schedulers.len() as u32;
-        let lsu_full = self.lsu_queue.len() >= LSU_QUEUE_CAP;
-        // One pass over the warp slots buckets candidates per scheduler in
-        // slot order — identical ordering to a per-scheduler filtered scan.
-        // The store-credit gate is deliberately NOT applied here: scheduler
-        // k's issue can consume the last credit, so it must be re-checked
-        // per scheduler with live credits below.
-        let mut gated_by_lsu = false;
-        let mut timed_wake: Option<Cycle> = None;
-        for b in &mut self.sched_bufs {
-            b.clear();
-        }
-        for w in self.warps.iter().flatten() {
-            if w.done {
-                continue;
-            }
-            let cta_ok =
-                self.ctas[w.cta.0 as usize].as_ref().map(|c| c.schedulable()).unwrap_or(false);
-            if !cta_ok {
-                continue;
-            }
-            if !w.can_issue(kernel, cycle, cfg.max_outstanding_per_warp) {
-                // Sleep-horizon bookkeeping: a warp blocked purely on its
-                // latency becomes ready at `next_ready`; warps blocked on
-                // dependencies or the load cap wake via completion events.
-                if w.next_ready > cycle
-                    && w.can_issue(kernel, w.next_ready, cfg.max_outstanding_per_warp)
-                {
-                    timed_wake = Some(timed_wake.map_or(w.next_ready, |t| t.min(w.next_ready)));
+        // Fire due warp timers: re-list warps whose `next_ready` is now.
+        let nw = self.wake_ring.len() / WAKE_RING as usize;
+        if self.ring_timers > 0 {
+            let base = (cycle % WAKE_RING) as usize * nw;
+            for wdx in 0..nw {
+                let mut fired = self.wake_ring[base + wdx];
+                if fired != 0 {
+                    self.wake_ring[base + wdx] = 0;
+                    self.ring_timers -= fired.count_ones();
+                    while fired != 0 {
+                        let b = fired.trailing_zeros() as usize;
+                        fired &= fired - 1;
+                        // A parked warp may have been reaped since;
+                        // `wake_warp` ignores vacated slots.
+                        self.wake_warp(wdx * 64 + b);
+                    }
                 }
-                continue;
             }
-            // Back-pressure: loads/stores need LSU space.
-            let inst = &kernel.body[w.body_pos as usize];
-            let is_store = matches!(inst.kind, InstKind::Store { .. });
-            if lsu_full && (is_store || matches!(inst.kind, InstKind::Load { .. })) {
-                gated_by_lsu = true;
-                continue;
-            }
-            self.sched_bufs[(w.id.0 % n_scheds) as usize].push((w.id, w.age, is_store));
         }
 
+        let lsu_full = self.lsu_queue.len() >= LSU_QUEUE_CAP;
+        let mut gated_by_lsu = false;
+        let mut timed_wake: Option<Cycle> = None;
         let mut issued_any = false;
-        for s in 0..n_scheds as usize {
-            self.ready_buf.clear();
-            for i in 0..self.sched_bufs[s].len() {
-                let (id, age, is_store) = self.sched_bufs[s][i];
-                // Live store-credit check: an earlier scheduler may have
-                // consumed the last credit this very cycle.
-                if is_store && self.stores_in_flight >= STORE_BUFFER_CAP {
-                    continue;
+
+        // Lazy GTO per scheduler: take the greedily-held warp if it is
+        // still eligible, else walk the age-sorted candidate list and take
+        // the first eligible entry — exactly `GtoScheduler::pick` over the
+        // full ready set, without materializing it. The walk prunes
+        // event-blocked candidates and parks latency-blocked ones in the
+        // timer wheel as it passes them; entries it never reaches stay
+        // listed for the next walk. Store credits are re-checked live per
+        // scheduler (an earlier scheduler's issue can consume the last
+        // credit), and `can_issue`/CTA eligibility of one warp cannot be
+        // changed by another warp's same-cycle execution, so evaluating
+        // lazily is equivalent to the former full pre-scan.
+        for s in 0..self.schedulers.len() {
+            let mut pick: Option<WarpId> = None;
+            if let Some(cur) = self.schedulers[s].current() {
+                match self.classify(cur.0 as usize, cycle, kernel, cfg, lsu_full) {
+                    WarpClass::Eligible => pick = Some(cur),
+                    WarpClass::GatedLsu => gated_by_lsu = true,
+                    _ => {}
                 }
-                self.ready_buf.push((id, age));
             }
-            let picked = self.schedulers[s].pick(&self.ready_buf);
-            let Some(wid) = picked else { continue };
-            issued_any = true;
-            self.execute_inst(wid, cycle, kernel, cfg);
+            if pick.is_none() {
+                let mut k = 0;
+                while k < self.cands[s].len() {
+                    let (_, wid) = self.cands[s][k];
+                    match self.classify(wid as usize, cycle, kernel, cfg, lsu_full) {
+                        WarpClass::Eligible => {
+                            pick = Some(WarpId(wid));
+                            break;
+                        }
+                        WarpClass::GatedLsu => {
+                            gated_by_lsu = true;
+                            k += 1;
+                        }
+                        WarpClass::GatedStore => k += 1,
+                        WarpClass::TimeNear(t) => {
+                            let idx = (t % WAKE_RING) as usize * nw + wid as usize / 64;
+                            let bit = 1u64 << (wid as usize % 64);
+                            if self.wake_ring[idx] & bit == 0 {
+                                self.wake_ring[idx] |= bit;
+                                self.ring_timers += 1;
+                            }
+                            self.cands[s].remove(k);
+                        }
+                        WarpClass::TimeFar(t) => {
+                            timed_wake = Some(timed_wake.map_or(t, |x| x.min(t)));
+                            k += 1;
+                        }
+                        WarpClass::Blocked => {
+                            self.cands[s].remove(k);
+                        }
+                    }
+                }
+            }
+            if let Some(wid) = pick {
+                self.schedulers[s].note_pick(wid);
+                issued_any = true;
+                self.execute_inst(wid, cycle, kernel, cfg);
+            }
         }
 
         // Arm the sleep horizon only when this scan did nothing and no warp
@@ -428,72 +522,102 @@ impl Sm {
         self.issue_sleep_until = if issued_any || gated_by_lsu {
             cycle // re-scan next cycle
         } else {
+            // The nearest parked timer bounds the horizon too. Any parked
+            // wake lies within (cycle, cycle + WAKE_RING), so the forward
+            // walk always finds it — and usually within a few slots.
+            if self.ring_timers > 0 {
+                for d in 1..WAKE_RING {
+                    let t = cycle + d;
+                    let base = (t % WAKE_RING) as usize * nw;
+                    if self.wake_ring[base..base + nw].iter().any(|&w| w != 0) {
+                        timed_wake = Some(timed_wake.map_or(t, |x| x.min(t)));
+                        break;
+                    }
+                }
+            }
             timed_wake.unwrap_or(Cycle::MAX)
         };
     }
 
-    /// Idle-cycle skip eligibility for [`Gpu::run`]'s fast-forward
-    /// (`crate::gpu::Gpu::run`): decides whether this SM could do any work at
-    /// `cycle`, and if not, the earliest future cycle at which it could wake
-    /// *on its own* (warp latency expiry or a locally queued completion).
-    ///
-    /// Warps blocked on scoreboard dependencies, the outstanding-load cap,
-    /// store-buffer credits, or a non-schedulable CTA are deliberately
-    /// excluded from the next-event computation: they wake only via events
-    /// the GPU already tracks globally (interconnect deliveries, DRAM
-    /// completions, window boundaries).
-    pub fn skip_check(&self, cycle: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) -> SkipCheck {
-        // A non-empty LSU queue makes per-cycle progress (and per-cycle
-        // MSHR-stall accounting); a non-empty outbox must drain; a finished
-        // CTA awaits reaping. All three force a real step.
-        if !self.lsu_queue.is_empty() || !self.outbox.is_empty() {
-            return SkipCheck::Busy;
+    /// Classifies one warp slot's issue eligibility this cycle (pure; the
+    /// caller does the candidate-list / timer-wheel bookkeeping).
+    #[inline]
+    fn classify(
+        &self,
+        wi: usize,
+        cycle: Cycle,
+        kernel: &KernelSpec,
+        cfg: &GpuConfig,
+        lsu_full: bool,
+    ) -> WarpClass {
+        let Some(w) = self.warps[wi].as_ref() else { return WarpClass::Blocked };
+        if w.done {
+            return WarpClass::Blocked;
         }
-        if self
-            .ctas
-            .iter()
-            .flatten()
-            .any(|c| c.is_complete() && matches!(c.status, CtaStatus::Active))
-        {
-            return SkipCheck::Busy;
+        let cta_ok = self.ctas[w.cta.0 as usize].as_ref().map(|c| c.schedulable()).unwrap_or(false);
+        if !cta_ok {
+            return WarpClass::Blocked;
         }
-        let mut next: Option<Cycle> = None;
-        if let Some(Reverse((t, _, _))) = self.completions.peek().copied() {
-            if t <= cycle {
-                return SkipCheck::Busy;
-            }
-            next = Some(t);
-        }
-        for w in self.warps.iter().flatten() {
-            if w.done {
-                continue;
-            }
-            let cta_ok =
-                self.ctas[w.cta.0 as usize].as_ref().map(|c| c.schedulable()).unwrap_or(false);
-            if !cta_ok {
-                continue;
-            }
-            // The LSU queue is empty here, so the only issue back-pressure
-            // left is the store-buffer credit (released by store responses,
-            // a globally tracked event).
-            let inst = &kernel.body[w.body_pos as usize];
-            if self.stores_in_flight >= STORE_BUFFER_CAP
-                && matches!(inst.kind, InstKind::Store { .. })
-            {
-                continue;
-            }
-            if w.can_issue(kernel, cycle, cfg.max_outstanding_per_warp) {
-                return SkipCheck::Busy;
-            }
-            // Blocked only by its latency timer: the warp becomes issueable
-            // at `next_ready` with no external event, so that is a wake-up.
+        if !w.can_issue(kernel, cycle, cfg.max_outstanding_per_warp) {
+            // A warp blocked purely on its latency becomes ready at
+            // `next_ready`; warps blocked on dependencies or the load cap
+            // wake via completion events instead.
             if w.next_ready > cycle
                 && w.can_issue(kernel, w.next_ready, cfg.max_outstanding_per_warp)
             {
-                next = Some(next.map_or(w.next_ready, |t| t.min(w.next_ready)));
+                if w.next_ready - cycle < WAKE_RING {
+                    return WarpClass::TimeNear(w.next_ready);
+                }
+                return WarpClass::TimeFar(w.next_ready);
             }
+            return WarpClass::Blocked;
         }
-        SkipCheck::IdleUntil(next)
+        // Back-pressure: loads/stores need LSU space; stores need a credit.
+        let inst = &kernel.body[w.body_pos as usize];
+        let is_store = matches!(inst.kind, InstKind::Store { .. });
+        if lsu_full && (is_store || matches!(inst.kind, InstKind::Load { .. })) {
+            return WarpClass::GatedLsu;
+        }
+        if is_store && self.stores_in_flight >= STORE_BUFFER_CAP {
+            return WarpClass::GatedStore;
+        }
+        WarpClass::Eligible
+    }
+
+    /// Earliest future cycle at which this SM can make progress without an
+    /// external event — its slot in the GPU's component calendar. Must be
+    /// called right after the SM's phase of the current cycle (tick, CTA
+    /// reap, outbox drain), so the cached issue horizon and completion heap
+    /// reflect this cycle. `None` means only external events (memory
+    /// responses, window boundaries, CTA dispatch) can wake the SM, and the
+    /// GPU re-arms the calendar slot whenever it delivers one.
+    ///
+    /// Unlike the per-cycle warp scan this replaces, the horizon is O(1):
+    /// it reuses the `issue_sleep_until` bookkeeping the issue scan already
+    /// maintains (a scan that finds no candidate records the earliest
+    /// latency-expiry wake-up; warps blocked on dependencies, the
+    /// outstanding-load cap, or store credits wake via response events,
+    /// which set `issue_wake` and re-arm the slot). A completed-but-active
+    /// CTA can exist only inside a tick (completion happens in the issue
+    /// stage and the GPU reaps in the same phase), so no reap is ever
+    /// pending while the SM sleeps.
+    pub fn next_due(&self, cycle: Cycle) -> Option<Cycle> {
+        // A non-empty LSU queue makes per-cycle progress (and per-cycle
+        // MSHR-stall accounting); a non-empty outbox must drain; a pending
+        // wake event requires a fresh issue scan. All three mean the next
+        // cycle is a real step.
+        if !self.lsu_queue.is_empty() || !self.outbox.is_empty() || self.issue_wake {
+            return Some(cycle + 1);
+        }
+        let mut next: Option<Cycle> = None;
+        if let Some(Reverse((t, _, _))) = self.completions.peek().copied() {
+            next = Some(t.max(cycle + 1));
+        }
+        if self.issue_sleep_until != Cycle::MAX {
+            let t = self.issue_sleep_until.max(cycle + 1);
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        next
     }
 
     fn execute_inst(&mut self, wid: WarpId, cycle: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) {
@@ -630,12 +754,14 @@ impl Sm {
                     if let Some(w) = self.warps[warp as usize].as_mut() {
                         w.complete_one(LoadId(load));
                     }
+                    self.wake_warp(warp as usize);
                 }
             }
             MemReqKind::BypassRead => {
                 if let Some(w) = self.warps[req.warp as usize].as_mut() {
                     w.complete_one(req.load);
                 }
+                self.wake_warp(req.warp as usize);
             }
             MemReqKind::Store => {
                 self.stores_in_flight = self.stores_in_flight.saturating_sub(1);
@@ -649,6 +775,7 @@ impl Sm {
     /// policy, enforces any CTA limit, and samples RF occupancy.
     pub fn end_window(&mut self, cycle: Cycle, cfg: &GpuConfig) {
         self.issue_wake = true;
+        self.wake_all_warps();
         let insts = self.stats.instructions - self.window_start_insts;
         self.window_start_insts = self.stats.instructions;
         let info = WindowInfo {
@@ -835,6 +962,9 @@ impl Sm {
             *remaining -= 1;
             if *remaining == 0 {
                 c.status = CtaStatus::Active;
+                // The CTA's warps occupy one contiguous ascending block.
+                let lo = *c.warps.first().expect("CTA has warps");
+                let hi = *c.warps.last().expect("CTA has warps");
                 let _ = cycle;
                 if let Some((first, count)) = self.regfile.mark_restored(cta) {
                     if let Some(saved) = self.backup_store.remove(&cta.0) {
@@ -843,6 +973,10 @@ impl Sm {
                             self.regfile.write_contents(RegNum(first.0 + i as u32), v);
                         }
                     }
+                }
+                // The CTA is schedulable again: re-list its warps.
+                for wi in lo..=hi {
+                    self.wake_warp(wi as usize);
                 }
             }
         }
@@ -875,6 +1009,7 @@ impl Sm {
         }
         if freed > 0 {
             self.issue_wake = true;
+            self.wake_all_warps();
             // A finished CTA frees an active slot: prefer re-activating a
             // throttled CTA over launching a new one (paper §3.2, P5).
             self.enforce_cta_limit(cycle);
@@ -899,6 +1034,7 @@ impl Sm {
     /// the first window fires).
     pub fn set_cta_limit(&mut self, limit: Option<u32>, cycle: Cycle) {
         self.issue_wake = true;
+        self.wake_all_warps();
         self.cta_limit = limit;
         self.enforce_cta_limit(cycle);
     }

@@ -111,6 +111,32 @@ pub struct ProfileEvents {
     pub icnt_delivered: u64,
     /// CTA dispatch passes over the SM array.
     pub dispatch_passes: u64,
+    /// SM-cycles actually executed (summed over SMs; an SM ticked on a
+    /// stepped cycle counts 1).
+    pub sm_stepped_cycles: u64,
+    /// SM-cycles slept: the SM was gated by the component calendar on a
+    /// stepped cycle, or the whole GPU fast-forwarded past the cycle.
+    /// For every SM, stepped + slept == total cycles.
+    pub sm_slept_cycles: u64,
+    /// Cycles the DRAM controller was ticked.
+    pub dram_stepped_cycles: u64,
+    /// Cycles the DRAM controller was gated or fast-forwarded past.
+    pub dram_slept_cycles: u64,
+    /// Queue-cycles either interconnect queue delivered (two queues, so
+    /// stepped + slept == 2 × total cycles).
+    pub icnt_stepped_cycles: u64,
+    /// Queue-cycles either interconnect queue was gated or skipped.
+    pub icnt_slept_cycles: u64,
+    /// Fast-forward jumps whose target was an SM's next-due cycle.
+    pub skip_to_sm: u64,
+    /// Fast-forward jumps whose target was the DRAM's next-due cycle.
+    pub skip_to_dram: u64,
+    /// Fast-forward jumps whose target was an interconnect delivery.
+    pub skip_to_icnt: u64,
+    /// Fast-forward jumps capped at the monitoring-window boundary.
+    pub skip_to_window: u64,
+    /// Fast-forward jumps capped at `max_cycles`.
+    pub skip_to_max: u64,
 }
 
 /// Aggregate statistics of one simulation run.

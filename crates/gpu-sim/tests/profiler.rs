@@ -4,7 +4,7 @@
 //! spent waiting on DRAM).
 
 use gpu_sim::config::GpuConfig;
-use gpu_sim::gpu::run_kernel;
+use gpu_sim::gpu::{run_kernel, Gpu};
 use gpu_sim::kernel::KernelBuilder;
 use gpu_sim::pattern::AccessPattern;
 use gpu_sim::policy::baseline_factory;
@@ -61,6 +61,79 @@ fn event_counters_are_populated() {
     assert!(s.events.icnt_delivered > 0, "requests must cross the interconnect");
     assert!(s.events.dispatch_passes > 0);
     assert!(s.events.stepped_cycles > 0, "boundary cycles are always stepped");
+}
+
+/// Per-component accounting must close exactly: every simulated cycle, each
+/// SM (and the DRAM controller) is either stepped or slept — never both,
+/// never neither — whether the cycle was executed or fast-forwarded.
+#[test]
+fn per_sm_stepped_plus_slept_equals_cycles() {
+    let cfg = GpuConfig::default().with_sms(4).with_windows(5_000, 200_000);
+    let n_sms = cfg.n_sms;
+    let k = KernelBuilder::new("per-sm-accounting")
+        .grid(6, 2)
+        .regs_per_thread(16)
+        .iterations(40)
+        .load_then_use(AccessPattern::Streaming { bytes_per_access: LINE_BYTES }, 1)
+        .build()
+        .expect("kernel must validate");
+    let mut gpu = Gpu::new(cfg, k, &baseline_factory());
+    let s = gpu.run();
+    assert!(s.completed);
+    for i in 0..n_sms {
+        let (stepped, slept) = gpu.sm_activity(i);
+        assert_eq!(
+            stepped + slept,
+            s.cycles,
+            "SM {i}: stepped ({stepped}) + slept ({slept}) must equal total cycles"
+        );
+    }
+    assert_eq!(s.events.sm_stepped_cycles + s.events.sm_slept_cycles, n_sms as u64 * s.cycles);
+    assert_eq!(s.events.dram_stepped_cycles + s.events.dram_slept_cycles, s.cycles);
+    // Two interconnect queues, each accounted every cycle.
+    assert_eq!(s.events.icnt_stepped_cycles + s.events.icnt_slept_cycles, 2 * s.cycles);
+}
+
+/// Heterogeneous occupancy: one CTA on a four-SM machine leaves three SMs
+/// with nothing to do after the dispatch pass, so the calendar must let
+/// them sleep while the loaded SM keeps stepping.
+#[test]
+fn idle_sms_sleep_while_busy_sms_step() {
+    let cfg = GpuConfig::default().with_sms(4).with_windows(5_000, 200_000);
+    let n_sms = cfg.n_sms;
+    let k = KernelBuilder::new("one-cta-hetero")
+        .grid(1, 2)
+        .regs_per_thread(16)
+        .iterations(100)
+        .load_then_use(AccessPattern::Streaming { bytes_per_access: LINE_BYTES }, 1)
+        .alu(1)
+        .build()
+        .expect("kernel must validate");
+    let mut gpu = Gpu::new(cfg, k, &baseline_factory());
+    let s = gpu.run();
+    assert!(s.completed);
+
+    // Round-robin dispatch places the single CTA on SM 0. The kernel is
+    // latency-bound, so even the loaded SM sleeps through DRAM round trips;
+    // the discriminating invariant is relative: it must step at least once
+    // per iteration, while the empty SMs step only on window-boundary wakes.
+    let (busy_stepped, _) = gpu.sm_activity(0);
+    assert!(
+        busy_stepped >= 100,
+        "the loaded SM must step at least once per iteration, got {busy_stepped}"
+    );
+    for i in 1..n_sms {
+        let (stepped, slept) = gpu.sm_activity(i);
+        assert!(
+            slept > 9 * (s.cycles / 10),
+            "empty SM {i} should sleep almost every cycle, got {stepped} stepped / {slept} slept"
+        );
+        assert!(
+            10 * stepped < busy_stepped,
+            "empty SM {i} ({stepped} stepped) must step far less than the loaded SM \
+             ({busy_stepped} stepped)"
+        );
+    }
 }
 
 /// Compute-saturated kernels never have an idle machine, so skipping must
