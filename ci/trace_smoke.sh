@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Trace subsystem smoke test.
+#
+# Captures short traced runs of two architectures (baseline and Linebacker)
+# twice, then checks the three properties the trace subsystem promises:
+#
+#   1. determinism  - re-running the same configuration produces a
+#                     byte-identical event stream (`diff` exits 0);
+#   2. sensitivity  - different policies produce different streams
+#                     (`diff` exits 2 and names the first divergence);
+#   3. inspectability - `summarize` parses the capture without error.
+#
+#   usage: ci/trace_smoke.sh [sanity-binary] [lb-trace-binary]
+set -eu
+
+SANITY=${1:-target/release/sanity}
+LBTRACE=${2:-target/release/lb-trace}
+
+A=$(mktemp -d)
+B=$(mktemp -d)
+trap 'rm -rf "$A" "$B"' EXIT
+
+echo "trace_smoke: capturing run A and run B (sanity --quick GA)"
+"$SANITY" --quick GA --trace "$A" > /dev/null
+"$SANITY" --quick GA --trace "$B" > /dev/null
+
+for arch in base lb; do
+    f="app=GA_arch=$arch.lbt"
+    [ -f "$A/$f" ] || { echo "trace_smoke: missing capture $A/$f" >&2; exit 1; }
+
+    echo "trace_smoke: self-diff $f (must be identical)"
+    "$LBTRACE" diff "$A/$f" "$B/$f" || {
+        echo "trace_smoke: FAIL - identical configs diverged for $arch" >&2
+        exit 1
+    }
+done
+
+echo "trace_smoke: cross-policy diff base vs lb (must diverge)"
+if "$LBTRACE" diff "$A/app=GA_arch=base.lbt" "$A/app=GA_arch=lb.lbt" > /dev/null; then
+    echo "trace_smoke: FAIL - baseline and Linebacker produced identical traces" >&2
+    exit 1
+else
+    status=$?
+    [ "$status" -eq 2 ] || {
+        echo "trace_smoke: FAIL - diff errored (exit $status) instead of diverging" >&2
+        exit 1
+    }
+fi
+
+echo "trace_smoke: summarize the Linebacker capture"
+"$LBTRACE" summarize "$A/app=GA_arch=lb.lbt"
+
+echo "trace_smoke: OK"

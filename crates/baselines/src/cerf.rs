@@ -161,11 +161,14 @@ impl SmPolicy for CerfPolicy {
         }
     }
 
-    fn on_evict(&mut self, victim: LineAddr, _victim_hpc: u8, ctx: &mut PolicyCtx<'_>) {
+    fn on_evict(&mut self, victim: LineAddr, _victim_hpc: u8, ctx: &mut PolicyCtx<'_>) -> bool {
         // No filtering: every evicted line (streaming included) is cached.
         if self.insert(victim) {
             let rn = self.pseudo_rn(victim);
             ctx.regfile.access(rn, ctx.cycle, true);
+            true
+        } else {
+            false
         }
     }
 

@@ -69,8 +69,8 @@ impl SmPolicy for ComposedPolicy {
         self.victim.on_miss(pc, load, line, ctx)
     }
 
-    fn on_evict(&mut self, victim: LineAddr, victim_hpc: u8, ctx: &mut PolicyCtx<'_>) {
-        self.victim.on_evict(victim, victim_hpc, ctx);
+    fn on_evict(&mut self, victim: LineAddr, victim_hpc: u8, ctx: &mut PolicyCtx<'_>) -> bool {
+        self.victim.on_evict(victim, victim_hpc, ctx)
     }
 
     fn on_store(&mut self, line: LineAddr, ctx: &mut PolicyCtx<'_>) {

@@ -91,7 +91,7 @@ fn bench_dram() {
                 d.push(LineAddr(i * 7), TrafficClass::DemandRead, i, i);
             }
             done.clear();
-            d.tick(i, &mut done);
+            d.tick(i, &mut done, &gpu_sim::trace::Tracer::off());
             black_box(done.len());
         }
     });

@@ -24,7 +24,9 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut profile = false;
-    let mut profile_out = String::from("BENCH_PR3.json");
+    let mut profile_out = String::from("BENCH_PR4.json");
+    let mut trace_dir: Option<String> = None;
+    let mut trace_mask = gpu_sim::trace::MASK_ALL;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -56,14 +58,31 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--trace" => {
+                trace_dir = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace expects a directory path");
+                    std::process::exit(2);
+                }));
+            }
+            "--trace-events" => {
+                let v = args.next().unwrap_or_default();
+                trace_mask = gpu_sim::trace::parse_mask(&v).unwrap_or_else(|e| {
+                    eprintln!("--trace-events: {e}");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: lb-experiments [--scale quick|default|full] [--jobs N] \
                      [--verbose] [--out FILE] [--csv-dir DIR] [--profile] \
-                     [--profile-out FILE] [ids... | all]\n  \
+                     [--profile-out FILE] [--trace DIR] [--trace-events MASK] \
+                     [ids... | all]\n  \
                      LB_JOBS=N overrides the default worker count (all cores); \
                      --jobs beats LB_JOBS\n  --profile prints a hot-path throughput \
-                     report to stderr and writes BENCH_PR3.json\n  ids: {}",
+                     report to stderr and writes BENCH_PR4.json\n  --trace DIR \
+                     captures one .lbt event trace per simulation into DIR; \
+                     --trace-events narrows the captured kinds (names like \
+                     issue,l1,dram, a 0x hex mask, or 'all')\n  ids: {}",
                     experiments::ALL.join(" ")
                 );
                 return;
@@ -81,6 +100,16 @@ fn main() {
     let env_jobs = std::env::var("LB_JOBS").ok().and_then(|v| v.parse::<usize>().ok());
     if let Some(n) = jobs.or(env_jobs) {
         runner.set_jobs(n);
+    }
+    if let Some(dir) = &trace_dir {
+        runner.set_trace(dir.into(), trace_mask).unwrap_or_else(|e| {
+            eprintln!("--trace {dir}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!(
+            "[trace] capturing to {dir}/ (events: {})",
+            gpu_sim::trace::mask_names(trace_mask)
+        );
     }
 
     let started = std::time::Instant::now();

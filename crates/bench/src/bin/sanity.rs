@@ -1,18 +1,24 @@
 //! Quick per-app IPC sanity table across all five architectures.
 //!
 //! ```text
-//! sanity [--quick] [--profile] [--profile-out FILE] [apps...]
+//! sanity [--quick] [--profile] [--profile-out FILE]
+//!        [--trace DIR] [--trace-events MASK] [apps...]
 //! ```
 //!
 //! With `--profile`, the IPC table moves to stderr and stdout carries a
 //! single JSON throughput record (the same shape `lb-experiments --profile`
-//! writes to `BENCH_PR3.json`), so CI can parse it directly.
+//! writes to `BENCH_PR4.json`), so CI can parse it directly. With
+//! `--trace DIR`, every timed simulation also captures an `.lbt` event
+//! trace named after its profile key (e.g. `app=GA_arch=base.lbt`).
 
 use baselines::{best_swl_sweep, cerf_factory, pcal_factory};
 use gpu_sim::config::GpuConfig;
-use gpu_sim::gpu::run_kernel;
-use gpu_sim::policy::baseline_factory;
+use gpu_sim::gpu::{run_kernel, run_kernel_traced};
+use gpu_sim::kernel::KernelSpec;
+use gpu_sim::policy::{baseline_factory, PolicyFactory};
+use gpu_sim::trace::{parse_mask, TraceWriter, Tracer, MASK_ALL};
 use lb_bench::profile::Profile;
+use lb_bench::runner::sanitize_key;
 use linebacker::{linebacker_factory, LbConfig};
 use workloads::all_apps;
 
@@ -20,6 +26,8 @@ fn main() {
     let mut profile = false;
     let mut quick = false;
     let mut profile_out: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
+    let mut trace_mask = MASK_ALL;
     let mut only: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -27,12 +35,31 @@ fn main() {
             "--profile" => profile = true,
             "--quick" => quick = true,
             "--profile-out" => profile_out = args.next(),
+            "--trace" => {
+                trace_dir = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace expects a directory path");
+                    std::process::exit(2);
+                }));
+            }
+            "--trace-events" => {
+                let v = args.next().unwrap_or_default();
+                trace_mask = parse_mask(&v).unwrap_or_else(|e| {
+                    eprintln!("--trace-events: {e}");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
-                eprintln!("usage: sanity [--quick] [--profile] [--profile-out FILE] [apps...]");
+                eprintln!(
+                    "usage: sanity [--quick] [--profile] [--profile-out FILE] \
+                     [--trace DIR] [--trace-events MASK] [apps...]"
+                );
                 return;
             }
             other => only.push(other.to_string()),
         }
+    }
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir).expect("create trace dir");
     }
 
     let cfg = if quick {
@@ -42,9 +69,26 @@ fn main() {
     };
     let started = std::time::Instant::now();
     let mut prof = Profile::default();
-    let timed = |prof: &mut Profile, name: String, f: &dyn Fn() -> gpu_sim::stats::SimStats| {
+    let trace = trace_dir.map(|d| (d, trace_mask));
+    let timed = |prof: &mut Profile,
+                 name: String,
+                 cfg: &GpuConfig,
+                 k: &KernelSpec,
+                 factory: &PolicyFactory<'_>| {
         let t0 = std::time::Instant::now();
-        let s = f();
+        let s = match &trace {
+            None => run_kernel(cfg.clone(), k.clone(), factory),
+            Some((dir, mask)) => {
+                let path = format!("{dir}/{}.lbt", sanitize_key(&name));
+                let writer = TraceWriter::to_file(std::path::Path::new(&path), *mask)
+                    .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
+                let tracer = Tracer::new(writer);
+                let s = run_kernel_traced(cfg.clone(), k.clone(), factory, tracer.clone());
+                tracer.finish().unwrap_or_else(|e| panic!("cannot flush trace file {path}: {e}"));
+                prof.record_trace(tracer.bytes(), tracer.events());
+                s
+            }
+        };
         prof.record(name, t0.elapsed().as_secs_f64(), &s);
         s
     };
@@ -59,9 +103,13 @@ fn main() {
             continue;
         }
         let k = app.kernel(cfg.n_sms);
-        let base = timed(&mut prof, format!("app={} arch=base", app.abbrev), &|| {
-            run_kernel(cfg.clone(), k.clone(), &baseline_factory())
-        });
+        let base = timed(
+            &mut prof,
+            format!("app={} arch=base", app.abbrev),
+            &cfg,
+            &k,
+            &baseline_factory(),
+        );
         let t0 = std::time::Instant::now();
         let swl = best_swl_sweep(&cfg, &k);
         prof.record(
@@ -69,15 +117,17 @@ fn main() {
             t0.elapsed().as_secs_f64(),
             &swl.stats,
         );
-        let pcal = timed(&mut prof, format!("app={} arch=pcal", app.abbrev), &|| {
-            run_kernel(cfg.clone(), k.clone(), &pcal_factory())
-        });
-        let cerf = timed(&mut prof, format!("app={} arch=cerf", app.abbrev), &|| {
-            run_kernel(cfg.clone(), k.clone(), &cerf_factory())
-        });
-        let lb = timed(&mut prof, format!("app={} arch=lb", app.abbrev), &|| {
-            run_kernel(cfg.clone(), k.clone(), &linebacker_factory(LbConfig::default()))
-        });
+        let pcal =
+            timed(&mut prof, format!("app={} arch=pcal", app.abbrev), &cfg, &k, &pcal_factory());
+        let cerf =
+            timed(&mut prof, format!("app={} arch=cerf", app.abbrev), &cfg, &k, &cerf_factory());
+        let lb = timed(
+            &mut prof,
+            format!("app={} arch=lb", app.abbrev),
+            &cfg,
+            &k,
+            &linebacker_factory(LbConfig::default()),
+        );
         table.push(format!(
             "{:<4} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}  {:>6.1}%  {}",
             app.abbrev,

@@ -1,6 +1,6 @@
 //! Built-in hot-path profiler: wall-clock and event accounting for every
 //! simulation the harness launches, reported by `--profile` and written to
-//! `BENCH_PR3.json` so the perf trajectory of the simulator has a recorded
+//! `BENCH_PR4.json` so the perf trajectory of the simulator has a recorded
 //! baseline. Since the component-calendar scheduler, the record includes
 //! per-component sleep fractions (how often each SM / the DRAM / the
 //! interconnect was gated) and a breakdown of what bounded each
@@ -75,6 +75,12 @@ pub struct Profile {
     pub skip_to_window: u64,
     /// Fast-forward jumps capped at the cycle limit.
     pub skip_to_max: u64,
+    /// Trace files written (when `--trace` is active).
+    pub trace_files: u64,
+    /// Total encoded trace bytes across those files.
+    pub trace_bytes: u64,
+    /// Total trace events captured across those files.
+    pub trace_events: u64,
 }
 
 /// slept / (stepped + slept), in [0, 1]; 0 when nothing was counted.
@@ -114,6 +120,13 @@ impl Profile {
         self.skip_to_icnt += e.skip_to_icnt;
         self.skip_to_window += e.skip_to_window;
         self.skip_to_max += e.skip_to_max;
+    }
+
+    /// Records one written trace file (size and event count).
+    pub fn record_trace(&mut self, bytes: u64, events: u64) {
+        self.trace_files += 1;
+        self.trace_bytes += bytes;
+        self.trace_events += events;
     }
 
     /// Fraction of SM-cycles in which the SM was asleep (calendar-gated or
@@ -232,7 +245,7 @@ impl Profile {
         s
     }
 
-    /// The `BENCH_PR3.json` throughput record.
+    /// The `BENCH_PR4.json` throughput record.
     ///
     /// `label` names the producing binary, `scale` the run scale, and
     /// `suite_wall_s` the end-to-end harness wall-clock.
@@ -254,7 +267,7 @@ impl Profile {
             })
             .collect();
         format!(
-            "{{\n  \"bench\": \"PR3\",\n  \"binary\": {},\n  \"scale\": {},\n  \
+            "{{\n  \"bench\": \"PR4\",\n  \"binary\": {},\n  \"scale\": {},\n  \
              \"suite_wall_s\": {:.3},\n  \"sims\": {},\n  \"sim_wall_s\": {:.3},\n  \
              \"cycles\": {},\n  \"stepped_cycles\": {},\n  \"skipped_cycles\": {},\n  \
              \"skipped_fraction\": {:.6},\n  \"cycles_per_sec\": {:.1},\n  \
@@ -265,7 +278,8 @@ impl Profile {
              \"dram_stepped\": {}, \"dram_slept\": {}, \"dram_sleep_fraction\": {:.6}, \
              \"icnt_stepped\": {}, \"icnt_slept\": {}, \"icnt_sleep_fraction\": {:.6}}},\n  \
              \"skip_bounds\": {{\"sm\": {}, \"dram\": {}, \"icnt\": {}, \
-             \"window\": {}, \"max\": {}}},\n  \"slowest\": [{}]\n}}\n",
+             \"window\": {}, \"max\": {}}},\n  \"trace\": {{\"files\": {}, \
+             \"bytes\": {}, \"events\": {}}},\n  \"slowest\": [{}]\n}}\n",
             json_string(label),
             json_string(scale),
             suite_wall_s,
@@ -296,6 +310,9 @@ impl Profile {
             self.skip_to_icnt,
             self.skip_to_window,
             self.skip_to_max,
+            self.trace_files,
+            self.trace_bytes,
+            self.trace_events,
             slow_entries.join(", "),
         )
     }

@@ -15,8 +15,9 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use gpu_sim::config::GpuConfig;
-use gpu_sim::gpu::run_kernel;
+use gpu_sim::gpu::{run_kernel, run_kernel_traced};
 use gpu_sim::stats::SimStats;
+use gpu_sim::trace::{TraceWriter, Tracer};
 use workloads::AppSpec;
 
 use crate::arch::Arch;
@@ -31,6 +32,24 @@ pub const SWL_CANDIDATES: [u32; 8] = [1, 2, 3, 4, 6, 8, 12, 16];
 /// A Best-SWL oracle verdict: the winning CTA limit (`None` = unlimited
 /// baseline) and the stats of the winning run.
 pub type BestSwl = (Option<u32>, Arc<SimStats>);
+
+/// Event-trace capture configuration for a whole harness invocation: each
+/// distinct simulation writes `<dir>/<sanitized RunKey>.lbt`.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Directory receiving one `.lbt` file per distinct simulation.
+    pub dir: std::path::PathBuf,
+    /// Event-kind selection mask (see [`gpu_sim::trace::parse_mask`]).
+    pub mask: u64,
+}
+
+/// Turns a `RunKey` display string (`GA/Baseline+l1=16K`) into a safe file
+/// stem (`GA_Baseline+l1=16K`).
+pub fn sanitize_key(key: &str) -> String {
+    key.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || "+=.-".contains(c) { c } else { '_' })
+        .collect()
+}
 
 /// The memoized runner.
 pub struct Runner {
@@ -48,6 +67,9 @@ pub struct Runner {
     /// (always collected — one `Instant` pair per simulation — and
     /// reported when the harness runs with `--profile`).
     profile: Mutex<Profile>,
+    /// Event-trace capture (`--trace`): when set, every distinct simulation
+    /// writes one `.lbt` file named after its run key.
+    trace: Option<TraceSpec>,
 }
 
 impl std::fmt::Debug for Runner {
@@ -75,7 +97,23 @@ impl Runner {
             jobs,
             verbose: false,
             profile: Mutex::new(Profile::default()),
+            trace: None,
         }
+    }
+
+    /// Enables per-simulation event tracing: each distinct run key writes
+    /// `<dir>/<sanitized key>.lbt` with the given event mask. The directory
+    /// is created here; simulation behavior is unchanged (tracing is
+    /// strictly observational).
+    pub fn set_trace(&mut self, dir: std::path::PathBuf, mask: u64) -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        self.trace = Some(TraceSpec { dir, mask });
+        Ok(())
+    }
+
+    /// The active trace capture configuration, if any.
+    pub fn trace_spec(&self) -> Option<&TraceSpec> {
+        self.trace.as_ref()
     }
 
     /// The scale in use.
@@ -147,8 +185,28 @@ impl Runner {
         let cfg = key.spec().config(&self.cfg, &app);
         let kernel = app.kernel(cfg.n_sms);
         let t0 = std::time::Instant::now();
-        let stats = run_kernel(cfg, kernel, &key.arch.factory());
-        self.profile.lock().unwrap().record(key.to_string(), t0.elapsed().as_secs_f64(), &stats);
+        let mut trace_io = None;
+        let stats = match &self.trace {
+            None => run_kernel(cfg, kernel, &key.arch.factory()),
+            Some(spec) => {
+                let path = spec.dir.join(format!("{}.lbt", sanitize_key(&key.to_string())));
+                let writer = TraceWriter::to_file(&path, spec.mask)
+                    .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+                let tracer = Tracer::new(writer);
+                let stats = run_kernel_traced(cfg, kernel, &key.arch.factory(), tracer.clone());
+                tracer
+                    .finish()
+                    .unwrap_or_else(|e| panic!("cannot flush trace file {}: {e}", path.display()));
+                trace_io = Some((tracer.bytes(), tracer.events()));
+                stats
+            }
+        };
+        let mut prof = self.profile.lock().unwrap();
+        prof.record(key.to_string(), t0.elapsed().as_secs_f64(), &stats);
+        if let Some((bytes, events)) = trace_io {
+            prof.record_trace(bytes, events);
+        }
+        drop(prof);
         stats
     }
 

@@ -11,6 +11,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use crate::config::DramConfig;
 use crate::types::{Cycle, LineAddr, LINE_BYTES, LINE_SHIFT};
+use lb_trace::{Event as TraceEvent, Tracer};
 
 /// Traffic classes, for Figure 17's split of demand data vs. Linebacker's
 /// register backup/restore overhead.
@@ -230,7 +231,7 @@ impl Dram {
     /// Advances the model one core cycle; returns requests completing now.
     /// Cycles between the previous `tick` and this one need no call at all:
     /// `advance_to` replays their (refill-only) effect on entry.
-    pub fn tick(&mut self, cycle: Cycle, done: &mut Vec<DramDone>) {
+    pub fn tick(&mut self, cycle: Cycle, done: &mut Vec<DramDone>, tracer: &Tracer) {
         // Refill the bandwidth token bucket (cap prevents unbounded burst),
         // covering any cycles skipped since the last tick.
         self.advance_to(cycle);
@@ -244,13 +245,13 @@ impl Dram {
             if let Some(i) = Self::frfcfs_pick(&self.queue, &self.banks, self.map, cycle, WINDOW) {
                 let req = self.queue.remove(i).expect("index in bounds");
                 let bank_idx = self.map.bank(req.line);
-                self.start_service(req, bank_idx, cycle);
+                self.start_service(req, bank_idx, cycle, tracer);
                 continue;
             }
             if let Some(i) = Self::frfcfs_pick(&self.wqueue, &self.banks, self.map, cycle, WINDOW) {
                 let req = self.wqueue.remove(i).expect("index in bounds");
                 let bank_idx = self.map.bank(req.line);
-                self.start_service(req, bank_idx, cycle);
+                self.start_service(req, bank_idx, cycle, tracer);
                 continue;
             }
             break;
@@ -309,7 +310,11 @@ impl Dram {
         pick
     }
 
-    fn start_service(&mut self, req: DramReq, bank_idx: usize, cycle: Cycle) {
+    fn start_service(&mut self, req: DramReq, bank_idx: usize, cycle: Cycle, tracer: &Tracer) {
+        tracer.emit(
+            cycle,
+            TraceEvent::DramTx { class: Self::class_idx(req.class) as u64, line: req.line.0 },
+        );
         let row = self.map.row(req.line);
         let bank = &mut self.banks[bank_idx];
         // Bank occupancy is the data-burst time; row misses pay extra
@@ -424,7 +429,7 @@ mod tests {
         let mut buf = Vec::new();
         for c in start..start + max {
             buf.clear();
-            d.tick(c, &mut buf);
+            d.tick(c, &mut buf, &Tracer::off());
             for x in &buf {
                 out.push((c, *x));
             }
@@ -489,8 +494,88 @@ mod tests {
         d.push(LineAddr(1), TrafficClass::DemandRead, 0, 50);
         let mut buf = Vec::new();
         for c in 0..50 {
-            d.tick(c, &mut buf);
+            d.tick(c, &mut buf, &Tracer::off());
         }
         assert!(buf.is_empty(), "request serviced before its arrival cycle");
+    }
+
+    /// The calendar's fast-forward contract, checked at the event level: a
+    /// DRAM ticked only at its `next_due` cycles must start the same
+    /// transactions at the same cycles (and complete the same requests at
+    /// the same cycles) as one ticked every single cycle. The traces are
+    /// captured with memory-backed tracers and compared byte-for-byte, so
+    /// any drift in `advance_to`'s replayed refill — including the
+    /// saturation fast-path — would surface as a divergence.
+    #[test]
+    fn skipped_span_matches_stepped_span_transaction_for_transaction() {
+        use lb_trace::{EventKind, TraceReader, TraceWriter, Tracer};
+
+        // Bursts separated by long idle gaps (the spans the calendar
+        // skips), mixed classes, bank conflicts, and a fractional
+        // bandwidth so the token bucket carries non-trivial state.
+        let schedule: &[(u64, TrafficClass, u64)] = &[
+            (0, TrafficClass::DemandRead, 0),
+            (0, TrafficClass::DemandRead, 64),
+            (1, TrafficClass::StoreWrite, 64 * 7),
+            (2, TrafficClass::RegBackup, 64 * 13),
+            (400, TrafficClass::DemandRead, 64),
+            (401, TrafficClass::RegRestore, 64 * 13),
+            (1900, TrafficClass::DemandRead, 0),
+            (1901, TrafficClass::StoreWrite, 64 * 29),
+        ];
+        let build = || {
+            let mut d = Dram::new(DramConfig::default(), 0.3);
+            for (i, &(at, class, line)) in schedule.iter().enumerate() {
+                d.push(LineAddr(line), class, i as u64, at);
+            }
+            d
+        };
+        let mask = EventKind::DramTx.bit();
+
+        // Reference: tick every cycle until drained.
+        let mut stepped = build();
+        let t_stepped = Tracer::new(TraceWriter::to_memory(mask));
+        let mut done_stepped = Vec::new();
+        let mut buf = Vec::new();
+        for c in 0..40_000 {
+            buf.clear();
+            stepped.tick(c, &mut buf, &t_stepped);
+            done_stepped.extend(buf.iter().map(|d| (c, d.token)));
+            if stepped.pending() == 0 {
+                break;
+            }
+        }
+        assert_eq!(done_stepped.len(), schedule.len(), "stepped run must drain");
+
+        // Skipping: tick only at the cycles `next_due` reports.
+        let mut skipped = build();
+        let t_skipped = Tracer::new(TraceWriter::to_memory(mask));
+        let mut done_skipped = Vec::new();
+        let mut c = 0;
+        let mut ticks = 0u64;
+        while skipped.pending() > 0 && c < 40_000 {
+            buf.clear();
+            skipped.tick(c, &mut buf, &t_skipped);
+            ticks += 1;
+            done_skipped.extend(buf.iter().map(|d| (c, d.token)));
+            match skipped.next_due(c + 1) {
+                Some(n) => c = n.max(c + 1),
+                None => break,
+            }
+        }
+        assert_eq!(done_skipped, done_stepped, "completion sequences must match");
+        assert!(
+            ticks < done_stepped.iter().map(|&(c, _)| c).max().unwrap(),
+            "skip path must actually skip cycles (took {ticks} ticks)"
+        );
+
+        // The DramTx event streams must be byte-identical.
+        t_stepped.finish().unwrap();
+        t_skipped.finish().unwrap();
+        let a = t_stepped.take_bytes().unwrap();
+        let b = t_skipped.take_bytes().unwrap();
+        assert_eq!(a, b, "DramTx traces diverge between stepped and skipped spans");
+        let n = TraceReader::new(&a).unwrap().collect_events().unwrap().len();
+        assert_eq!(n, schedule.len(), "one DramTx per scheduled request");
     }
 }

@@ -13,6 +13,7 @@ use crate::policy::{PolicyFactory, SmPolicy};
 use crate::sm::Sm;
 use crate::stats::{ProfileEvents, SimStats};
 use crate::types::{Cycle, Pc, SmId};
+use lb_trace::{Event as TraceEvent, Tracer};
 
 /// A complete simulated GPU executing one kernel.
 pub struct Gpu {
@@ -57,15 +58,32 @@ pub struct Gpu {
     skip_to_icnt: u64,
     skip_to_window: u64,
     skip_to_max: u64,
+    /// Event-trace capture handle shared with every SM and passed to the
+    /// DRAM controller (off by default; zero-cost when off).
+    tracer: Tracer,
 }
 
 impl Gpu {
     /// Builds a GPU for `kernel` with one policy instance per SM.
     pub fn new(cfg: GpuConfig, kernel: KernelSpec, factory: &PolicyFactory<'_>) -> Self {
+        Self::new_traced(cfg, kernel, factory, Tracer::off())
+    }
+
+    /// Builds a GPU with an event-trace capture handle. Every SM gets a
+    /// clone of the handle (they share one writer), so a single trace file
+    /// interleaves all components in deterministic step-phase order.
+    pub fn new_traced(
+        cfg: GpuConfig,
+        kernel: KernelSpec,
+        factory: &PolicyFactory<'_>,
+        tracer: Tracer,
+    ) -> Self {
         let sms = (0..cfg.n_sms)
             .map(|i| {
                 let policy: Box<dyn SmPolicy> = factory(SmId(i), &cfg, &kernel);
-                Sm::new(SmId(i), &cfg, policy, 0x5eed ^ (i as u64))
+                let mut sm = Sm::new(SmId(i), &cfg, policy, 0x5eed ^ (i as u64));
+                sm.set_tracer(tracer.clone());
+                sm
             })
             .collect();
         let lines_per_cycle = cfg.dram_lines_per_cycle();
@@ -97,6 +115,7 @@ impl Gpu {
             skip_to_icnt: 0,
             skip_to_window: 0,
             skip_to_max: 0,
+            tracer,
             sms,
             cfg,
             kernel,
@@ -361,7 +380,7 @@ impl Gpu {
     /// Phase 3 of `step`: one DRAM tick plus completion fan-out.
     fn step_dram(&mut self, cycle: Cycle) {
         self.scratch_done.clear();
-        self.dram.tick(cycle, &mut self.scratch_done);
+        self.dram.tick(cycle, &mut self.scratch_done, &self.tracer);
         self.dram_services += self.scratch_done.len() as u64;
         for i in 0..self.scratch_done.len() {
             let d = self.scratch_done[i];
@@ -410,7 +429,9 @@ impl Gpu {
         match req.kind {
             MemReqKind::Read | MemReqKind::BypassRead => {
                 self.l2_access_count += 1;
-                if self.l2.access(req.line) {
+                let hit = self.l2.access(req.line);
+                self.tracer.emit(cycle, TraceEvent::L2Access { line: req.line.0, hit });
+                if hit {
                     // L2 hit: response after the L2 pipeline latency.
                     self.from_l2.push(req, cycle + self.cfg.l2_latency as u64);
                     None
@@ -425,7 +446,17 @@ impl Gpu {
                             self.dram.push(req.line, TrafficClass::DemandRead, dram_token, arrival);
                             Some(arrival)
                         }
-                        MshrOutcome::Merged => None,
+                        MshrOutcome::Merged => {
+                            self.tracer.emit(
+                                cycle,
+                                TraceEvent::MshrMerge {
+                                    level: 1,
+                                    sm: req.sm.0 as u64,
+                                    line: req.line.0,
+                                },
+                            );
+                            None
+                        }
                         MshrOutcome::Full => {
                             // Model back-pressure as a retried request.
                             self.to_l2.push(req, cycle + 16);
@@ -567,6 +598,23 @@ impl std::fmt::Debug for Gpu {
 /// thread count or completion order.
 pub fn run_kernel(cfg: GpuConfig, kernel: KernelSpec, factory: &PolicyFactory<'_>) -> SimStats {
     Gpu::new(cfg, kernel, factory).run()
+}
+
+/// Like [`run_kernel`], but capturing microarchitectural events through
+/// `tracer`. With `Tracer::off()` this is exactly `run_kernel`: the emit
+/// sites reduce to a single dead branch each, and the simulated state —
+/// and therefore the returned stats — is untouched either way (tracing is
+/// strictly observational).
+///
+/// The caller keeps a clone of the handle and calls `Tracer::finish()`
+/// (or `take_bytes()` for memory sinks) after this returns.
+pub fn run_kernel_traced(
+    cfg: GpuConfig,
+    kernel: KernelSpec,
+    factory: &PolicyFactory<'_>,
+    tracer: Tracer,
+) -> SimStats {
+    Gpu::new_traced(cfg, kernel, factory, tracer).run()
 }
 
 #[cfg(test)]

@@ -59,8 +59,11 @@ pub mod types;
 pub mod warp;
 
 pub use config::GpuConfig;
-pub use gpu::{run_kernel, Gpu};
+pub use gpu::{run_kernel, run_kernel_traced, Gpu};
 pub use kernel::{KernelBuilder, KernelSpec};
+/// The event-trace crate, re-exported so simulator users need not name the
+/// `lb-trace` dependency themselves.
+pub use lb_trace as trace;
 pub use pattern::AccessPattern;
 pub use policy::{NullPolicy, SmPolicy};
 pub use stats::SimStats;

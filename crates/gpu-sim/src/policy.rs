@@ -105,7 +105,12 @@ pub trait SmPolicy {
     }
 
     /// A fill evicted `victim` (with its per-line hashed-PC metadata).
-    fn on_evict(&mut self, _victim: LineAddr, _victim_hpc: u8, _ctx: &mut PolicyCtx<'_>) {}
+    /// Returns `true` when the policy preserved the victim's *data* in
+    /// register-file victim space (tag-only bookkeeping does not count) —
+    /// surfaced in the event trace as `Evict { preserved }`.
+    fn on_evict(&mut self, _victim: LineAddr, _victim_hpc: u8, _ctx: &mut PolicyCtx<'_>) -> bool {
+        false
+    }
 
     /// A store touched `line` (write-evict/write-no-allocate is already
     /// applied to L1; policies invalidate any preserved copy so victim data

@@ -14,8 +14,11 @@ use crate::policy::{MissService, PolicyCtx, PreAccess, SmPolicy, WindowInfo};
 use crate::regfile::RegFile;
 use crate::scheduler::GtoScheduler;
 use crate::stats::{RfSpaceSample, SimStats};
-use crate::types::{hashed_pc5, CtaId, Cycle, LineAddr, LoadId, Pc, RegNum, SmId, WarpId};
+use crate::types::{
+    hashed_pc5, CtaId, Cycle, LineAddr, LoadId, MissClass, Pc, RegNum, SmId, WarpId,
+};
 use crate::warp::WarpState;
+use lb_trace::{Event as TraceEvent, L1Outcome as TraceL1Outcome, Tracer};
 
 /// A line request waiting for an L1 port.
 #[derive(Debug, Clone, Copy)]
@@ -129,6 +132,8 @@ pub struct Sm {
     /// Outstanding store lines in flight toward DRAM.
     stores_in_flight: u32,
     seed: u64,
+    /// Event-trace capture handle (shared with the GPU; off by default).
+    tracer: Tracer,
 }
 
 impl Sm {
@@ -163,7 +168,13 @@ impl Sm {
             issue_wake: true,
             stores_in_flight: 0,
             seed,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Installs an event-trace capture handle (a clone of the GPU's).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Re-lists one warp as a scheduling candidate (no-op for vacated
@@ -335,6 +346,15 @@ impl Sm {
                 == PreAccess::Bypass
             {
                 self.stats.record_access(req.load, crate::types::AccessOutcome::Bypass, None);
+                self.tracer.emit(
+                    cycle,
+                    TraceEvent::L1Access {
+                        sm: self.id.0 as u64,
+                        warp: req.warp as u64,
+                        line: req.line.0,
+                        outcome: TraceL1Outcome::Bypass,
+                    },
+                );
                 self.outbox.push(MemReq {
                     sm: self.id,
                     warp: req.warp,
@@ -354,6 +374,15 @@ impl Sm {
                     };
                     self.policy.on_hit(req.pc, req.load, req.line, &mut ctx);
                     self.stats.record_access(req.load, crate::types::AccessOutcome::L1Hit, None);
+                    self.tracer.emit(
+                        cycle,
+                        TraceEvent::L1Access {
+                            sm: self.id.0 as u64,
+                            warp: req.warp as u64,
+                            line: req.line.0,
+                            outcome: TraceL1Outcome::Hit,
+                        },
+                    );
                     self.completions.push(Reverse((
                         cycle + cfg.l1_hit_latency as u64,
                         req.warp,
@@ -374,6 +403,15 @@ impl Sm {
                                 crate::types::AccessOutcome::RegHit,
                                 None,
                             );
+                            self.tracer.emit(
+                                cycle,
+                                TraceEvent::L1Access {
+                                    sm: self.id.0 as u64,
+                                    warp: req.warp as u64,
+                                    line: req.line.0,
+                                    outcome: TraceL1Outcome::RegHit,
+                                },
+                            );
                             self.completions.push(Reverse((
                                 cycle + (cfg.l1_hit_latency + extra_latency) as u64,
                                 req.warp,
@@ -382,6 +420,10 @@ impl Sm {
                         }
                         MissService::ToL2 => {
                             let token = (req.warp as u64) << 32 | req.load.0 as u64;
+                            let miss_outcome = match class {
+                                MissClass::Cold => TraceL1Outcome::MissCold,
+                                MissClass::CapacityConflict => TraceL1Outcome::MissCapacity,
+                            };
                             match self.l1.mshrs().allocate(req.line, token) {
                                 MshrOutcome::Merged => {
                                     self.stats.record_access(
@@ -389,12 +431,38 @@ impl Sm {
                                         crate::types::AccessOutcome::Miss,
                                         Some(class),
                                     );
+                                    self.tracer.emit(
+                                        cycle,
+                                        TraceEvent::L1Access {
+                                            sm: self.id.0 as u64,
+                                            warp: req.warp as u64,
+                                            line: req.line.0,
+                                            outcome: miss_outcome,
+                                        },
+                                    );
+                                    self.tracer.emit(
+                                        cycle,
+                                        TraceEvent::MshrMerge {
+                                            level: 0,
+                                            sm: self.id.0 as u64,
+                                            line: req.line.0,
+                                        },
+                                    );
                                 }
                                 MshrOutcome::NewEntry => {
                                     self.stats.record_access(
                                         req.load,
                                         crate::types::AccessOutcome::Miss,
                                         Some(class),
+                                    );
+                                    self.tracer.emit(
+                                        cycle,
+                                        TraceEvent::L1Access {
+                                            sm: self.id.0 as u64,
+                                            warp: req.warp as u64,
+                                            line: req.line.0,
+                                            outcome: miss_outcome,
+                                        },
                                     );
                                     self.outbox.push(MemReq {
                                         sm: self.id,
@@ -625,6 +693,10 @@ impl Sm {
         let cta = self.ctas[w.cta.0 as usize].as_ref().expect("warp's CTA exists");
         let inst = &kernel.body[w.body_pos as usize];
         self.stats.instructions += 1;
+        self.tracer.emit(
+            cycle,
+            TraceEvent::Issue { sm: self.id.0 as u64, warp: wid.0 as u64, pos: w.body_pos as u64 },
+        );
 
         // Operand traffic: two reads and one write on the warp's registers.
         let warp_local = wid.0 % kernel.warps_per_cta.max(1);
@@ -740,13 +812,24 @@ impl Sm {
                     .unwrap_or(0);
                 let evicted = self.l1.fill(req.line, fill_hpc);
                 if let Some(ev) = evicted {
-                    let mut ctx = PolicyCtx {
-                        cycle,
-                        sm: self.id,
-                        regfile: &mut self.regfile,
-                        stats: &mut self.stats,
+                    let preserved = {
+                        let mut ctx = PolicyCtx {
+                            cycle,
+                            sm: self.id,
+                            regfile: &mut self.regfile,
+                            stats: &mut self.stats,
+                        };
+                        self.policy.on_evict(ev.line, ev.payload.hpc, &mut ctx)
                     };
-                    self.policy.on_evict(ev.line, ev.payload.hpc, &mut ctx);
+                    self.tracer.emit(
+                        cycle,
+                        TraceEvent::Evict {
+                            sm: self.id.0 as u64,
+                            line: ev.line.0,
+                            hpc: ev.payload.hpc as u64,
+                            preserved,
+                        },
+                    );
                 }
                 for t in waiters {
                     let warp = (t >> 32) as u32;
@@ -787,6 +870,8 @@ impl Sm {
             inactive_ctas: self.inactive_ctas(),
         };
         self.window_index += 1;
+        self.tracer
+            .emit(cycle, TraceEvent::Window { sm: self.id.0 as u64, window: info.index as u64 });
         let mut ctx =
             PolicyCtx { cycle, sm: self.id, regfile: &mut self.regfile, stats: &mut self.stats };
         let limit = self.policy.on_window(&info, &mut ctx);
@@ -875,6 +960,7 @@ impl Sm {
             };
             self.policy.on_cta_deactivate(cta, &mut ctx);
         }
+        self.tracer.emit(cycle, TraceEvent::Backup { sm: self.id.0 as u64, cta: cta.0 as u64 });
         // Snapshot architectural state for fidelity checking.
         let contents: Vec<u64> =
             (first.0..first.0 + count).map(|r| self.regfile.read_contents(RegNum(r))).collect();
@@ -913,6 +999,7 @@ impl Sm {
             // before the restore overwrites them.
             self.policy.on_cta_activate(cta, &mut ctx);
         }
+        self.tracer.emit(cycle, TraceEvent::Restore { sm: self.id.0 as u64, cta: cta.0 as u64 });
         for i in 0..count {
             let line = self.backup_line_addr(i);
             self.outbox.push(MemReq {

@@ -8,6 +8,7 @@ use gpu_sim::dram::{Dram, TrafficClass};
 use gpu_sim::kernel::KernelBuilder;
 use gpu_sim::pattern::{AccessCtx, AccessPattern};
 use gpu_sim::scheduler::GtoScheduler;
+use gpu_sim::trace::Tracer;
 use gpu_sim::types::{LineAddr, LoadId, SmId, WarpId, LINE_BYTES};
 
 fn any_pattern(r: &mut Rng) -> AccessPattern {
@@ -99,7 +100,7 @@ fn dram_conserves_requests() {
         let mut out = 0usize;
         for c in 0..200_000u64 {
             done.clear();
-            d.tick(c, &mut done);
+            d.tick(c, &mut done, &Tracer::off());
             out += done.len();
             if d.pending() == 0 {
                 break;

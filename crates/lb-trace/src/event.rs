@@ -1,0 +1,307 @@
+//! The trace event model.
+//!
+//! Events carry raw integers (SM ids, warp ids, line addresses) rather than
+//! `gpu-sim` newtypes so this crate has no dependency on the simulator — the
+//! dependency points the other way.
+
+/// Outcome of an L1 data-cache access, as seen by the LSU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L1Outcome {
+    /// Tag hit in the L1 data array.
+    Hit,
+    /// Miss on a line never resident (cold / compulsory).
+    MissCold,
+    /// Miss on a previously evicted line (capacity/conflict).
+    MissCapacity,
+    /// Request bypassed L1 entirely (PCAL token overflow).
+    Bypass,
+    /// Miss serviced from register-file victim space (Linebacker/CERF).
+    RegHit,
+}
+
+impl L1Outcome {
+    pub fn as_u8(self) -> u8 {
+        match self {
+            L1Outcome::Hit => 0,
+            L1Outcome::MissCold => 1,
+            L1Outcome::MissCapacity => 2,
+            L1Outcome::Bypass => 3,
+            L1Outcome::RegHit => 4,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => L1Outcome::Hit,
+            1 => L1Outcome::MissCold,
+            2 => L1Outcome::MissCapacity,
+            3 => L1Outcome::Bypass,
+            4 => L1Outcome::RegHit,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            L1Outcome::Hit => "hit",
+            L1Outcome::MissCold => "miss-cold",
+            L1Outcome::MissCapacity => "miss-cap",
+            L1Outcome::Bypass => "bypass",
+            L1Outcome::RegHit => "reg-hit",
+        }
+    }
+}
+
+/// Event kind tag. The numeric value is the low nibble of each record's
+/// leading varint and the bit position in an event mask, so values must
+/// stay stable across versions of the format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    Issue = 0,
+    L1Access = 1,
+    L2Access = 2,
+    Evict = 3,
+    Backup = 4,
+    Restore = 5,
+    MshrMerge = 6,
+    DramTx = 7,
+    Window = 8,
+    /// Sentinel written once when a bounded writer hits its byte cap.
+    Truncated = 15,
+}
+
+/// All concrete (non-sentinel) kinds, in tag order.
+pub const ALL_KINDS: [EventKind; 9] = [
+    EventKind::Issue,
+    EventKind::L1Access,
+    EventKind::L2Access,
+    EventKind::Evict,
+    EventKind::Backup,
+    EventKind::Restore,
+    EventKind::MshrMerge,
+    EventKind::DramTx,
+    EventKind::Window,
+];
+
+/// Mask with every concrete kind enabled.
+pub const MASK_ALL: u64 = (1 << 0)
+    | (1 << 1)
+    | (1 << 2)
+    | (1 << 3)
+    | (1 << 4)
+    | (1 << 5)
+    | (1 << 6)
+    | (1 << 7)
+    | (1 << 8);
+
+impl EventKind {
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => EventKind::Issue,
+            1 => EventKind::L1Access,
+            2 => EventKind::L2Access,
+            3 => EventKind::Evict,
+            4 => EventKind::Backup,
+            5 => EventKind::Restore,
+            6 => EventKind::MshrMerge,
+            7 => EventKind::DramTx,
+            8 => EventKind::Window,
+            15 => EventKind::Truncated,
+            _ => return None,
+        })
+    }
+
+    /// Bit in an event mask selecting this kind.
+    pub fn bit(self) -> u64 {
+        1u64 << (self as u8)
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Issue => "issue",
+            EventKind::L1Access => "l1",
+            EventKind::L2Access => "l2",
+            EventKind::Evict => "evict",
+            EventKind::Backup => "backup",
+            EventKind::Restore => "restore",
+            EventKind::MshrMerge => "mshr",
+            EventKind::DramTx => "dram",
+            EventKind::Window => "window",
+            EventKind::Truncated => "truncated",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "issue" => EventKind::Issue,
+            "l1" => EventKind::L1Access,
+            "l2" => EventKind::L2Access,
+            "evict" => EventKind::Evict,
+            "backup" => EventKind::Backup,
+            "restore" => EventKind::Restore,
+            "mshr" => EventKind::MshrMerge,
+            "dram" => EventKind::DramTx,
+            "window" => EventKind::Window,
+            _ => return None,
+        })
+    }
+}
+
+/// Parse an event-mask spec: either a comma-separated list of kind names
+/// (`l1,dram,window`), the word `all`, or a hex literal (`0x1ff`).
+pub fn parse_mask(spec: &str) -> Result<u64, String> {
+    let spec = spec.trim();
+    if spec.eq_ignore_ascii_case("all") {
+        return Ok(MASK_ALL);
+    }
+    if let Some(hex) = spec.strip_prefix("0x").or_else(|| spec.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16)
+            .map(|m| m & MASK_ALL)
+            .map_err(|e| format!("bad hex mask {spec:?}: {e}"));
+    }
+    let mut mask = 0u64;
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match EventKind::from_name(part) {
+            Some(k) => mask |= k.bit(),
+            None => {
+                return Err(format!(
+                    "unknown event kind {part:?} (expected one of: issue,l1,l2,evict,backup,restore,mshr,dram,window,all or 0x<hex>)"
+                ))
+            }
+        }
+    }
+    Ok(mask)
+}
+
+/// Render a mask back as a comma-separated list of kind names.
+pub fn mask_names(mask: u64) -> String {
+    if mask & MASK_ALL == MASK_ALL {
+        return "all".to_string();
+    }
+    let mut names: Vec<&str> = Vec::new();
+    for k in ALL_KINDS {
+        if mask & k.bit() != 0 {
+            names.push(k.name());
+        }
+    }
+    names.join(",")
+}
+
+/// One microarchitectural event. Paired with a cycle number in the trace
+/// stream; the cycle lives outside the enum so delta encoding stays in the
+/// framing layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// A warp issued one instruction on SM `sm` (`pos` = program position).
+    Issue { sm: u64, warp: u64, pos: u64 },
+    /// LSU finished an L1 lookup for `line` with `outcome`.
+    L1Access { sm: u64, warp: u64, line: u64, outcome: L1Outcome },
+    /// Shared L2 lookup for `line`; `hit` is the tag-array result.
+    L2Access { line: u64, hit: bool },
+    /// L1 fill on SM `sm` evicted `line` (hit-counter `hpc`); `preserved`
+    /// means the policy kept the victim in register-file victim space.
+    Evict { sm: u64, line: u64, hpc: u64, preserved: bool },
+    /// Linebacker CTA throttle: registers of `cta` backed up to L2.
+    Backup { sm: u64, cta: u64 },
+    /// Linebacker CTA release: registers of `cta` restored from L2.
+    Restore { sm: u64, cta: u64 },
+    /// A miss merged into an existing MSHR entry (`level` 0 = L1, 1 = L2).
+    MshrMerge { level: u64, sm: u64, line: u64 },
+    /// DRAM started servicing a transaction (`class` = request-class tag).
+    DramTx { class: u64, line: u64 },
+    /// SM `sm` crossed sampling-window boundary number `window`.
+    Window { sm: u64, window: u64 },
+    /// Writer hit its byte cap; everything after this point was dropped.
+    Truncated,
+}
+
+impl Event {
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::Issue { .. } => EventKind::Issue,
+            Event::L1Access { .. } => EventKind::L1Access,
+            Event::L2Access { .. } => EventKind::L2Access,
+            Event::Evict { .. } => EventKind::Evict,
+            Event::Backup { .. } => EventKind::Backup,
+            Event::Restore { .. } => EventKind::Restore,
+            Event::MshrMerge { .. } => EventKind::MshrMerge,
+            Event::DramTx { .. } => EventKind::DramTx,
+            Event::Window { .. } => EventKind::Window,
+            Event::Truncated => EventKind::Truncated,
+        }
+    }
+
+    /// SM id carried by the event, if any (L2/DRAM events are global).
+    pub fn sm(&self) -> Option<u64> {
+        match *self {
+            Event::Issue { sm, .. }
+            | Event::L1Access { sm, .. }
+            | Event::Evict { sm, .. }
+            | Event::Backup { sm, .. }
+            | Event::Restore { sm, .. }
+            | Event::MshrMerge { sm, .. }
+            | Event::Window { sm, .. } => Some(sm),
+            _ => None,
+        }
+    }
+
+    /// Warp id carried by the event, if any.
+    pub fn warp(&self) -> Option<u64> {
+        match *self {
+            Event::Issue { warp, .. } | Event::L1Access { warp, .. } => Some(warp),
+            _ => None,
+        }
+    }
+
+    /// Cache-line address carried by the event, if any.
+    pub fn line(&self) -> Option<u64> {
+        match *self {
+            Event::L1Access { line, .. }
+            | Event::L2Access { line, .. }
+            | Event::Evict { line, .. }
+            | Event::MshrMerge { line, .. }
+            | Event::DramTx { line, .. } => Some(line),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Event::Issue { sm, warp, pos } => {
+                write!(f, "issue sm={sm} warp={warp} pos={pos}")
+            }
+            Event::L1Access { sm, warp, line, outcome } => {
+                write!(f, "l1 sm={sm} warp={warp} line={line:#x} outcome={}", outcome.name())
+            }
+            Event::L2Access { line, hit } => {
+                write!(f, "l2 line={line:#x} {}", if hit { "hit" } else { "miss" })
+            }
+            Event::Evict { sm, line, hpc, preserved } => {
+                write!(
+                    f,
+                    "evict sm={sm} line={line:#x} hpc={hpc}{}",
+                    if preserved { " preserved" } else { "" }
+                )
+            }
+            Event::Backup { sm, cta } => write!(f, "backup sm={sm} cta={cta}"),
+            Event::Restore { sm, cta } => write!(f, "restore sm={sm} cta={cta}"),
+            Event::MshrMerge { level, sm, line } => {
+                write!(
+                    f,
+                    "mshr level={} sm={sm} line={line:#x}",
+                    if level == 0 { "L1" } else { "L2" }
+                )
+            }
+            Event::DramTx { class, line } => write!(f, "dram class={class} line={line:#x}"),
+            Event::Window { sm, window } => write!(f, "window sm={sm} index={window}"),
+            Event::Truncated => write!(f, "truncated"),
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Decoder for the `LBT1` trace format. Traces are bounded by construction
+//! (the writer has a byte cap), so the reader slurps the whole buffer and
+//! iterates records in place.
+
+use std::path::Path;
+
+use crate::event::{Event, EventKind, L1Outcome};
+use crate::wire::get_uvarint;
+use crate::writer::MAGIC;
+
+/// Decode failure. A well-formed-but-capped trace is *not* an error: the
+/// `Truncated` sentinel ends iteration cleanly and sets a flag instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// File does not start with the `LBT1` magic.
+    BadMagic,
+    /// Buffer ended in the middle of a record (a torn/chopped file).
+    UnexpectedEof { at: usize },
+    /// Unknown event-kind tag.
+    BadKind { tag: u8, at: usize },
+    /// Varint encodes more than 64 bits.
+    VarintOverflow { at: usize },
+    /// Payload field out of range (e.g. unknown L1 outcome).
+    BadPayload { at: usize },
+    /// Underlying I/O failure when loading a trace file.
+    Io(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not an LBT1 trace (bad magic)"),
+            TraceError::UnexpectedEof { at } => {
+                write!(f, "unexpected end of trace at byte {at} (file chopped mid-record?)")
+            }
+            TraceError::BadKind { tag, at } => {
+                write!(f, "unknown event kind tag {tag} at byte {at}")
+            }
+            TraceError::VarintOverflow { at } => {
+                write!(f, "varint wider than 64 bits at byte {at}")
+            }
+            TraceError::BadPayload { at } => write!(f, "invalid payload value at byte {at}"),
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+pub struct TraceReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    cycle: u64,
+    mask: u64,
+    truncated: bool,
+}
+
+impl<'a> TraceReader<'a> {
+    pub fn new(data: &'a [u8]) -> Result<Self, TraceError> {
+        if data.len() < MAGIC.len() || data[..MAGIC.len()] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut pos = MAGIC.len();
+        let mask = get_uvarint(data, &mut pos)?;
+        Ok(TraceReader { data, pos, cycle: 0, mask, truncated: false })
+    }
+
+    /// Event mask the trace was captured with.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// True once a `Truncated` sentinel has been read: the capture hit its
+    /// byte cap and later events were dropped at record time.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Decode the next record, or `Ok(None)` at a clean end of stream
+    /// (including the `Truncated` sentinel).
+    pub fn next_event(&mut self) -> Result<Option<(u64, Event)>, TraceError> {
+        if self.pos >= self.data.len() || self.truncated {
+            return Ok(None);
+        }
+        let head_at = self.pos;
+        let head = get_uvarint(self.data, &mut self.pos)?;
+        let tag = (head & 0xf) as u8;
+        self.cycle += head >> 4;
+        let kind = EventKind::from_tag(tag).ok_or(TraceError::BadKind { tag, at: head_at })?;
+
+        let ev = match kind {
+            EventKind::Issue => {
+                let sm = get_uvarint(self.data, &mut self.pos)?;
+                let warp = get_uvarint(self.data, &mut self.pos)?;
+                let pos = get_uvarint(self.data, &mut self.pos)?;
+                Event::Issue { sm, warp, pos }
+            }
+            EventKind::L1Access => {
+                let sm = get_uvarint(self.data, &mut self.pos)?;
+                let warp = get_uvarint(self.data, &mut self.pos)?;
+                let line = get_uvarint(self.data, &mut self.pos)?;
+                let at = self.pos;
+                let raw = get_uvarint(self.data, &mut self.pos)?;
+                let outcome = u8::try_from(raw)
+                    .ok()
+                    .and_then(L1Outcome::from_u8)
+                    .ok_or(TraceError::BadPayload { at })?;
+                Event::L1Access { sm, warp, line, outcome }
+            }
+            EventKind::L2Access => {
+                let line = get_uvarint(self.data, &mut self.pos)?;
+                let hit = get_uvarint(self.data, &mut self.pos)? != 0;
+                Event::L2Access { line, hit }
+            }
+            EventKind::Evict => {
+                let sm = get_uvarint(self.data, &mut self.pos)?;
+                let line = get_uvarint(self.data, &mut self.pos)?;
+                let hpc = get_uvarint(self.data, &mut self.pos)?;
+                let preserved = get_uvarint(self.data, &mut self.pos)? != 0;
+                Event::Evict { sm, line, hpc, preserved }
+            }
+            EventKind::Backup => {
+                let sm = get_uvarint(self.data, &mut self.pos)?;
+                let cta = get_uvarint(self.data, &mut self.pos)?;
+                Event::Backup { sm, cta }
+            }
+            EventKind::Restore => {
+                let sm = get_uvarint(self.data, &mut self.pos)?;
+                let cta = get_uvarint(self.data, &mut self.pos)?;
+                Event::Restore { sm, cta }
+            }
+            EventKind::MshrMerge => {
+                let level = get_uvarint(self.data, &mut self.pos)?;
+                let sm = get_uvarint(self.data, &mut self.pos)?;
+                let line = get_uvarint(self.data, &mut self.pos)?;
+                Event::MshrMerge { level, sm, line }
+            }
+            EventKind::DramTx => {
+                let class = get_uvarint(self.data, &mut self.pos)?;
+                let line = get_uvarint(self.data, &mut self.pos)?;
+                Event::DramTx { class, line }
+            }
+            EventKind::Window => {
+                let sm = get_uvarint(self.data, &mut self.pos)?;
+                let window = get_uvarint(self.data, &mut self.pos)?;
+                Event::Window { sm, window }
+            }
+            EventKind::Truncated => {
+                self.truncated = true;
+                return Ok(None);
+            }
+        };
+        Ok(Some((self.cycle, ev)))
+    }
+
+    /// Decode the remaining records into a vector.
+    pub fn collect_events(mut self) -> Result<Vec<(u64, Event)>, TraceError> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_event()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+/// Load a trace file into memory.
+pub fn read_file(path: &Path) -> Result<Vec<u8>, TraceError> {
+    std::fs::read(path).map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))
+}

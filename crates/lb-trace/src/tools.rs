@@ -1,0 +1,318 @@
+//! Offline trace inspection: summarize / diff / grep, shared by the
+//! `lb-trace` CLI and by regression tests.
+
+use crate::event::{Event, EventKind, L1Outcome, ALL_KINDS};
+use crate::reader::{TraceError, TraceReader};
+
+/// Per-component event histogram plus headline counters for one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    pub mask: u64,
+    pub events: u64,
+    pub first_cycle: u64,
+    pub last_cycle: u64,
+    pub truncated: bool,
+    /// Events per kind, indexed by `EventKind as u8` (0..=8).
+    pub by_kind: [u64; 9],
+    /// Events per SM id (grown on demand; L2/DRAM events are global).
+    pub by_sm: Vec<u64>,
+    /// L1 outcomes: hit, miss-cold, miss-cap, bypass, reg-hit.
+    pub l1_outcomes: [u64; 5],
+    pub l2_hits: u64,
+    pub l2_misses: u64,
+    pub evicts_preserved: u64,
+    pub dram_by_class: Vec<u64>,
+    pub windows: u64,
+}
+
+impl Summary {
+    fn note(&mut self, cycle: u64, ev: &Event) {
+        if self.events == 0 {
+            self.first_cycle = cycle;
+        }
+        self.events += 1;
+        self.last_cycle = cycle;
+        let kind = ev.kind();
+        if (kind as usize) < self.by_kind.len() {
+            self.by_kind[kind as usize] += 1;
+        }
+        if let Some(sm) = ev.sm() {
+            let sm = sm as usize;
+            if self.by_sm.len() <= sm {
+                self.by_sm.resize(sm + 1, 0);
+            }
+            self.by_sm[sm] += 1;
+        }
+        match *ev {
+            Event::L1Access { outcome, .. } => self.l1_outcomes[outcome.as_u8() as usize] += 1,
+            Event::L2Access { hit, .. } => {
+                if hit {
+                    self.l2_hits += 1
+                } else {
+                    self.l2_misses += 1
+                }
+            }
+            Event::Evict { preserved: true, .. } => self.evicts_preserved += 1,
+            Event::DramTx { class, .. } => {
+                let class = class as usize;
+                if self.dram_by_class.len() <= class {
+                    self.dram_by_class.resize(class + 1, 0);
+                }
+                self.dram_by_class[class] += 1;
+            }
+            Event::Window { .. } => self.windows += 1,
+            _ => {}
+        }
+    }
+}
+
+pub fn summarize(bytes: &[u8]) -> Result<Summary, TraceError> {
+    let mut r = TraceReader::new(bytes)?;
+    let mut s = Summary { mask: r.mask(), ..Summary::default() };
+    while let Some((cycle, ev)) = r.next_event()? {
+        s.note(cycle, &ev);
+    }
+    s.truncated = r.truncated();
+    Ok(s)
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "events={} cycles={}..{} mask={}{}",
+            self.events,
+            self.first_cycle,
+            self.last_cycle,
+            crate::event::mask_names(self.mask),
+            if self.truncated { " (TRUNCATED)" } else { "" }
+        )?;
+        for k in ALL_KINDS {
+            let n = self.by_kind[k as usize];
+            if n == 0 {
+                continue;
+            }
+            write!(f, "  {:<8} {:>10}", k.name(), n)?;
+            match k {
+                EventKind::L1Access => {
+                    write!(f, "   (")?;
+                    let mut first = true;
+                    for (i, &n) in self.l1_outcomes.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        let name = L1Outcome::from_u8(i as u8).unwrap().name();
+                        if !first {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{name}={n}")?;
+                        first = false;
+                    }
+                    write!(f, ")")?;
+                }
+                EventKind::L2Access => {
+                    write!(f, "   (hit={} miss={})", self.l2_hits, self.l2_misses)?;
+                }
+                EventKind::Evict => {
+                    write!(f, "   (preserved={})", self.evicts_preserved)?;
+                }
+                EventKind::DramTx => {
+                    write!(f, "   (by-class=[")?;
+                    for (i, &n) in self.dram_by_class.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{n}")?;
+                    }
+                    write!(f, "])")?;
+                }
+                _ => {}
+            }
+            writeln!(f)?;
+        }
+        if self.by_sm.iter().any(|&n| n > 0) {
+            write!(f, "  per-SM  ")?;
+            for (sm, &n) in self.by_sm.iter().enumerate() {
+                write!(f, " sm{sm}={n}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// One row of a cycle-bucketed activity timeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimelineRow {
+    pub start_cycle: u64,
+    pub issues: u64,
+    pub l1: u64,
+    pub l1_misses: u64,
+    pub l2: u64,
+    pub dram: u64,
+    pub backups: u64,
+    pub restores: u64,
+}
+
+/// Bucket the trace into `buckets` equal cycle spans (for coarse "what was
+/// the machine doing over time" plots).
+pub fn timeline(bytes: &[u8], buckets: usize) -> Result<Vec<TimelineRow>, TraceError> {
+    let events = TraceReader::new(bytes)?.collect_events()?;
+    let buckets = buckets.max(1);
+    let Some(&(first, _)) = events.first() else {
+        return Ok(Vec::new());
+    };
+    let last = events.last().map(|&(c, _)| c).unwrap_or(first);
+    let span = (last - first + 1).max(1);
+    let width = span.div_ceil(buckets as u64).max(1);
+    let mut rows: Vec<TimelineRow> = (0..buckets)
+        .map(|i| TimelineRow { start_cycle: first + i as u64 * width, ..Default::default() })
+        .collect();
+    for (cycle, ev) in events {
+        let idx = (((cycle - first) / width) as usize).min(buckets - 1);
+        let row = &mut rows[idx];
+        match ev {
+            Event::Issue { .. } => row.issues += 1,
+            Event::L1Access { outcome, .. } => {
+                row.l1 += 1;
+                if !matches!(outcome, L1Outcome::Hit) {
+                    row.l1_misses += 1;
+                }
+            }
+            Event::L2Access { .. } => row.l2 += 1,
+            Event::DramTx { .. } => row.dram += 1,
+            Event::Backup { .. } => row.backups += 1,
+            Event::Restore { .. } => row.restores += 1,
+            _ => {}
+        }
+    }
+    Ok(rows)
+}
+
+/// Result of comparing two traces record-by-record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffOutcome {
+    /// Same mask, same record sequence.
+    Identical { events: u64 },
+    /// First divergent record: index in the stream, plus each side's record
+    /// (`None` means that trace ended early).
+    Diverged { index: u64, left: Option<(u64, Event)>, right: Option<(u64, Event)> },
+    /// Masks differ — record streams are incomparable.
+    MaskMismatch { left: u64, right: u64 },
+}
+
+impl DiffOutcome {
+    pub fn is_identical(&self) -> bool {
+        matches!(self, DiffOutcome::Identical { .. })
+    }
+}
+
+impl std::fmt::Display for DiffOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffOutcome::Identical { events } => {
+                write!(f, "identical: {events} events, zero divergence")
+            }
+            DiffOutcome::Diverged { index, left, right } => {
+                writeln!(f, "first divergence at event #{index}:")?;
+                match left {
+                    Some((c, ev)) => {
+                        writeln!(f, "  left : cycle {c}: [{}] {ev}", ev.kind().name())?
+                    }
+                    None => writeln!(f, "  left : <end of trace>")?,
+                }
+                match right {
+                    Some((c, ev)) => write!(f, "  right: cycle {c}: [{}] {ev}", ev.kind().name()),
+                    None => write!(f, "  right: <end of trace>"),
+                }
+            }
+            DiffOutcome::MaskMismatch { left, right } => write!(
+                f,
+                "event masks differ (left={}, right={}); re-capture with the same --trace-events",
+                crate::event::mask_names(*left),
+                crate::event::mask_names(*right)
+            ),
+        }
+    }
+}
+
+/// Find the first record where two traces diverge.
+pub fn diff(left: &[u8], right: &[u8]) -> Result<DiffOutcome, TraceError> {
+    let mut l = TraceReader::new(left)?;
+    let mut r = TraceReader::new(right)?;
+    if l.mask() != r.mask() {
+        return Ok(DiffOutcome::MaskMismatch { left: l.mask(), right: r.mask() });
+    }
+    let mut index = 0u64;
+    loop {
+        let a = l.next_event()?;
+        let b = r.next_event()?;
+        match (a, b) {
+            (None, None) => return Ok(DiffOutcome::Identical { events: index }),
+            (a, b) if a == b => index += 1,
+            (a, b) => return Ok(DiffOutcome::Diverged { index, left: a, right: b }),
+        }
+    }
+}
+
+/// Record filter for `grep`. `None` fields match everything.
+#[derive(Debug, Clone, Default)]
+pub struct Filter {
+    pub kind: Option<EventKind>,
+    pub sm: Option<u64>,
+    pub warp: Option<u64>,
+    pub line: Option<u64>,
+    pub from_cycle: Option<u64>,
+    pub to_cycle: Option<u64>,
+}
+
+impl Filter {
+    pub fn matches(&self, cycle: u64, ev: &Event) -> bool {
+        if let Some(k) = self.kind {
+            if ev.kind() != k {
+                return false;
+            }
+        }
+        if let Some(sm) = self.sm {
+            if ev.sm() != Some(sm) {
+                return false;
+            }
+        }
+        if let Some(w) = self.warp {
+            if ev.warp() != Some(w) {
+                return false;
+            }
+        }
+        if let Some(l) = self.line {
+            if ev.line() != Some(l) {
+                return false;
+            }
+        }
+        if let Some(from) = self.from_cycle {
+            if cycle < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.to_cycle {
+            if cycle > to {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Collect up to `limit` records matching `filter` (`limit == 0` = no cap).
+pub fn grep(bytes: &[u8], filter: &Filter, limit: usize) -> Result<Vec<(u64, Event)>, TraceError> {
+    let mut r = TraceReader::new(bytes)?;
+    let mut out = Vec::new();
+    while let Some((cycle, ev)) = r.next_event()? {
+        if filter.matches(cycle, &ev) {
+            out.push((cycle, ev));
+            if limit != 0 && out.len() >= limit {
+                break;
+            }
+        }
+    }
+    Ok(out)
+}

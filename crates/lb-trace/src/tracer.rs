@@ -1,0 +1,89 @@
+//! The capture handle threaded through simulator hot paths.
+//!
+//! `Tracer` is a cheap clonable handle over a shared `TraceWriter`. The
+//! off state (`Tracer::off()`) carries `mask == 0` and no writer, so the
+//! per-event cost on hot paths is a single branch on a local integer —
+//! zero allocation, zero indirection.
+//!
+//! The shared core is `Rc<RefCell<..>>`, not a lock: a `Gpu` (and all its
+//! SMs, which each hold a clone) is constructed, run, and dropped inside a
+//! single worker thread, so the handle never crosses threads.
+
+use std::cell::RefCell;
+use std::io;
+use std::rc::Rc;
+
+use crate::event::Event;
+use crate::writer::TraceWriter;
+
+#[derive(Clone, Default)]
+pub struct Tracer {
+    mask: u64,
+    core: Option<Rc<RefCell<TraceWriter>>>,
+}
+
+impl Tracer {
+    /// The disabled tracer: every `emit` is a single always-false branch.
+    pub fn off() -> Self {
+        Tracer { mask: 0, core: None }
+    }
+
+    /// Wrap a writer; the writer's mask is cached in the handle so `emit`
+    /// can reject unselected events without touching the `RefCell`.
+    pub fn new(writer: TraceWriter) -> Self {
+        let mask = writer.mask();
+        Tracer { mask, core: Some(Rc::new(RefCell::new(writer))) }
+    }
+
+    pub fn is_on(&self) -> bool {
+        self.mask != 0 && self.core.is_some()
+    }
+
+    /// Record `ev` at `cycle` if its kind is selected by the mask.
+    #[inline]
+    pub fn emit(&self, cycle: u64, ev: Event) {
+        if self.mask & ev.kind().bit() == 0 {
+            return;
+        }
+        if let Some(core) = &self.core {
+            core.borrow_mut().write_event(cycle, &ev);
+        }
+    }
+
+    /// Flush the underlying writer (call once after the run).
+    pub fn finish(&self) -> io::Result<()> {
+        match &self.core {
+            Some(core) => core.borrow_mut().finish(),
+            None => Ok(()),
+        }
+    }
+
+    /// Events accepted so far.
+    pub fn events(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.borrow().events())
+    }
+
+    /// Bytes encoded so far.
+    pub fn bytes(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.borrow().bytes())
+    }
+
+    /// Extract the encoded bytes of a memory-backed trace. Consumes the
+    /// writer slot; panics if other clones of this handle are still alive
+    /// or the writer is file-backed.
+    pub fn take_bytes(self) -> Option<Vec<u8>> {
+        let core = self.core?;
+        let cell =
+            Rc::try_unwrap(core).unwrap_or_else(|_| panic!("take_bytes with live Tracer clones"));
+        Some(cell.into_inner().into_bytes())
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("mask", &format_args!("{:#x}", self.mask))
+            .field("on", &self.is_on())
+            .finish()
+    }
+}

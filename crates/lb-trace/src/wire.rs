@@ -1,0 +1,34 @@
+//! Hand-rolled LEB128 varints — the only primitive in the trace format.
+
+use crate::TraceError;
+
+/// Append `v` as an unsigned LEB128 varint (1–10 bytes).
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Decode an unsigned LEB128 varint starting at `*pos`, advancing `*pos`.
+pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(TraceError::UnexpectedEof { at: *pos })?;
+        *pos += 1;
+        let payload = (byte & 0x7f) as u64;
+        if shift == 63 && payload > 1 {
+            return Err(TraceError::VarintOverflow { at: *pos - 1 });
+        }
+        if shift > 63 {
+            return Err(TraceError::VarintOverflow { at: *pos - 1 });
+        }
+        v |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}

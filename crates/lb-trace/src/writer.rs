@@ -1,0 +1,213 @@
+//! Bounded stream writer for the `LBT1` binary trace format.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic    b"LBT1"                      (4 bytes)
+//! mask     uvarint                      (event mask the trace was captured with)
+//! record*  uvarint((cycle_delta << 4) | kind_tag), then kind-specific uvarints
+//! ```
+//!
+//! Cycle deltas are relative to the previous record (the first record is
+//! relative to cycle 0), so the common case — many events in the same or
+//! adjacent cycles — costs one byte of framing. Records are buffered and
+//! flushed in 64 KiB chunks; an optional byte cap turns the writer into a
+//! bounded stream that ends with a single `Truncated` sentinel record.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::event::{Event, EventKind};
+use crate::wire::put_uvarint;
+
+pub const MAGIC: [u8; 4] = *b"LBT1";
+
+const FLUSH_THRESHOLD: usize = 64 * 1024;
+
+enum Sink {
+    Memory(Vec<u8>),
+    File(BufWriter<File>),
+}
+
+pub struct TraceWriter {
+    sink: Sink,
+    mask: u64,
+    last_cycle: u64,
+    bytes_written: u64,
+    max_bytes: Option<u64>,
+    truncated: bool,
+    events: u64,
+    buf: Vec<u8>,
+}
+
+impl TraceWriter {
+    /// In-memory writer (tests, diff-on-the-fly).
+    pub fn to_memory(mask: u64) -> Self {
+        Self::new(Sink::Memory(Vec::new()), mask)
+    }
+
+    /// File-backed writer; the header is written immediately.
+    pub fn to_file(path: &Path, mask: u64) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::new(Sink::File(BufWriter::new(file)), mask))
+    }
+
+    fn new(sink: Sink, mask: u64) -> Self {
+        let mut w = TraceWriter {
+            sink,
+            mask,
+            last_cycle: 0,
+            bytes_written: 0,
+            max_bytes: None,
+            truncated: false,
+            events: 0,
+            buf: Vec::with_capacity(FLUSH_THRESHOLD + 64),
+        };
+        w.buf.extend_from_slice(&MAGIC);
+        put_uvarint(&mut w.buf, mask);
+        w
+    }
+
+    /// Cap the trace at roughly `max_bytes`; once the encoded size would
+    /// exceed the cap, a single `Truncated` record is emitted and all later
+    /// events are dropped.
+    pub fn with_cap(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Events accepted so far (excludes the `Truncated` sentinel).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Bytes encoded so far, including any still-buffered tail.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_written + self.buf.len() as u64
+    }
+
+    /// Append one event at `cycle`. Cycles must be non-decreasing; this is
+    /// guaranteed by the simulator's phase order and debug-asserted here.
+    pub fn write_event(&mut self, cycle: u64, ev: &Event) {
+        if self.truncated {
+            return;
+        }
+        debug_assert!(cycle >= self.last_cycle, "trace cycles must be monotone");
+        let delta = cycle.saturating_sub(self.last_cycle);
+
+        let start = self.buf.len();
+        put_uvarint(&mut self.buf, (delta << 4) | ev.kind() as u64);
+        match *ev {
+            Event::Issue { sm, warp, pos } => {
+                put_uvarint(&mut self.buf, sm);
+                put_uvarint(&mut self.buf, warp);
+                put_uvarint(&mut self.buf, pos);
+            }
+            Event::L1Access { sm, warp, line, outcome } => {
+                put_uvarint(&mut self.buf, sm);
+                put_uvarint(&mut self.buf, warp);
+                put_uvarint(&mut self.buf, line);
+                put_uvarint(&mut self.buf, outcome.as_u8() as u64);
+            }
+            Event::L2Access { line, hit } => {
+                put_uvarint(&mut self.buf, line);
+                put_uvarint(&mut self.buf, hit as u64);
+            }
+            Event::Evict { sm, line, hpc, preserved } => {
+                put_uvarint(&mut self.buf, sm);
+                put_uvarint(&mut self.buf, line);
+                put_uvarint(&mut self.buf, hpc);
+                put_uvarint(&mut self.buf, preserved as u64);
+            }
+            Event::Backup { sm, cta } | Event::Restore { sm, cta } => {
+                put_uvarint(&mut self.buf, sm);
+                put_uvarint(&mut self.buf, cta);
+            }
+            Event::MshrMerge { level, sm, line } => {
+                put_uvarint(&mut self.buf, level);
+                put_uvarint(&mut self.buf, sm);
+                put_uvarint(&mut self.buf, line);
+            }
+            Event::DramTx { class, line } => {
+                put_uvarint(&mut self.buf, class);
+                put_uvarint(&mut self.buf, line);
+            }
+            Event::Window { sm, window } => {
+                put_uvarint(&mut self.buf, sm);
+                put_uvarint(&mut self.buf, window);
+            }
+            Event::Truncated => {}
+        }
+
+        if let Some(cap) = self.max_bytes {
+            if self.bytes_written + self.buf.len() as u64 > cap {
+                // Roll back the over-cap record and close with the sentinel
+                // (delta 0: the sentinel sits at the last accepted cycle).
+                self.buf.truncate(start);
+                put_uvarint(&mut self.buf, EventKind::Truncated as u64);
+                self.truncated = true;
+                return;
+            }
+        }
+
+        self.last_cycle = cycle;
+        self.events += 1;
+        if self.buf.len() >= FLUSH_THRESHOLD {
+            self.flush_buf();
+        }
+    }
+
+    fn flush_buf(&mut self) {
+        match &mut self.sink {
+            Sink::Memory(v) => {
+                v.extend_from_slice(&self.buf);
+            }
+            Sink::File(f) => {
+                // An I/O error mid-run would silently corrupt the trace; fail
+                // loudly instead — tracing is an offline diagnostic mode.
+                f.write_all(&self.buf).expect("trace write failed");
+            }
+        }
+        self.bytes_written += self.buf.len() as u64;
+        self.buf.clear();
+    }
+
+    /// Flush everything to the underlying sink.
+    pub fn finish(&mut self) -> io::Result<()> {
+        match &mut self.sink {
+            Sink::Memory(v) => {
+                v.extend_from_slice(&self.buf);
+                self.bytes_written += self.buf.len() as u64;
+                self.buf.clear();
+            }
+            Sink::File(f) => {
+                f.write_all(&self.buf)?;
+                self.bytes_written += self.buf.len() as u64;
+                self.buf.clear();
+                f.flush()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consume a memory-backed writer and return the encoded bytes.
+    /// Panics on file-backed writers.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self.sink {
+            Sink::Memory(mut v) => {
+                v.extend_from_slice(&self.buf);
+                v
+            }
+            Sink::File(_) => panic!("into_bytes on a file-backed TraceWriter"),
+        }
+    }
+}

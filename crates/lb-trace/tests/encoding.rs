@@ -1,0 +1,245 @@
+//! Property and edge-case tests for the LBT1 wire format: encode→decode
+//! identity, varint boundary values, byte-cap truncation, and the
+//! torn-file error path.
+
+use lb_trace::{
+    diff, get_uvarint, parse_mask, put_uvarint, summarize, Event, EventKind, L1Outcome, TraceError,
+    TraceReader, TraceWriter, Tracer, ALL_KINDS, MASK_ALL,
+};
+use testkit::{check_n, Rng};
+
+fn random_event(rng: &mut Rng) -> Event {
+    match rng.range_u32(0, 8) {
+        0 => Event::Issue { sm: rng.range_u64(0, 63), warp: rng.range_u64(0, 63), pos: rng.u64() },
+        1 => Event::L1Access {
+            sm: rng.range_u64(0, 63),
+            warp: rng.range_u64(0, 63),
+            line: rng.u64(),
+            outcome: L1Outcome::from_u8(rng.range_u32(0, 4) as u8).unwrap(),
+        },
+        2 => Event::L2Access { line: rng.u64(), hit: rng.bool() },
+        3 => Event::Evict {
+            sm: rng.range_u64(0, 63),
+            line: rng.u64(),
+            hpc: rng.range_u64(0, 255),
+            preserved: rng.bool(),
+        },
+        4 => Event::Backup { sm: rng.range_u64(0, 63), cta: rng.range_u64(0, 31) },
+        5 => Event::Restore { sm: rng.range_u64(0, 63), cta: rng.range_u64(0, 31) },
+        6 => Event::MshrMerge {
+            level: rng.range_u64(0, 1),
+            sm: rng.range_u64(0, 63),
+            line: rng.u64(),
+        },
+        7 => Event::DramTx { class: rng.range_u64(0, 4), line: rng.u64() },
+        _ => Event::Window { sm: rng.range_u64(0, 63), window: rng.u64() },
+    }
+}
+
+#[test]
+fn varint_boundary_values_round_trip() {
+    let cases = [
+        0u64,
+        1,
+        127,
+        128,
+        129,
+        16383,
+        16384,
+        (1 << 21) - 1,
+        1 << 21,
+        (1 << 28) - 1,
+        1 << 28,
+        (1 << 35) - 1,
+        u32::MAX as u64,
+        u64::MAX - 1,
+        u64::MAX,
+    ];
+    for &v in &cases {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, v);
+        assert!(buf.len() <= 10, "{v} encoded to {} bytes", buf.len());
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), Ok(v));
+        assert_eq!(pos, buf.len(), "trailing bytes after {v}");
+    }
+}
+
+#[test]
+fn varint_random_round_trip() {
+    check_n("varint round-trip", 2000, |rng| {
+        // Mix uniform u64s with small values (the common trace case).
+        let v = if rng.bool() { rng.u64() } else { rng.range_u64(0, 300) };
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), Ok(v));
+    });
+}
+
+#[test]
+fn varint_overflow_rejected() {
+    // 11 continuation bytes encode > 64 bits.
+    let buf = [0xffu8; 11];
+    let mut pos = 0;
+    assert!(matches!(get_uvarint(&buf, &mut pos), Err(TraceError::VarintOverflow { .. })));
+    // Chopped varint (all-continuation) hits EOF, not a panic.
+    let buf = [0x80u8, 0x80];
+    let mut pos = 0;
+    assert!(matches!(get_uvarint(&buf, &mut pos), Err(TraceError::UnexpectedEof { .. })));
+}
+
+#[test]
+fn encode_decode_identity() {
+    check_n("trace round-trip", 200, |rng| {
+        let n = rng.range_usize(0, 100);
+        let mut cycle = 0u64;
+        let mut expected = Vec::with_capacity(n);
+        let mut w = TraceWriter::to_memory(MASK_ALL);
+        for _ in 0..n {
+            cycle += rng.range_u64(0, 5000);
+            let ev = random_event(rng);
+            w.write_event(cycle, &ev);
+            expected.push((cycle, ev));
+        }
+        let bytes = w.into_bytes();
+        let r = TraceReader::new(&bytes).expect("header");
+        assert_eq!(r.mask(), MASK_ALL);
+        let got = r.collect_events().expect("decode");
+        assert_eq!(got, expected);
+    });
+}
+
+#[test]
+fn mask_filters_at_capture_time() {
+    let mask = EventKind::DramTx.bit() | EventKind::Window.bit();
+    let t = Tracer::new(TraceWriter::to_memory(mask));
+    t.emit(5, Event::Issue { sm: 0, warp: 1, pos: 2 });
+    t.emit(6, Event::DramTx { class: 1, line: 0x80 });
+    t.emit(7, Event::L2Access { line: 0x80, hit: false });
+    t.emit(9, Event::Window { sm: 0, window: 1 });
+    let bytes = t.take_bytes().unwrap();
+    let got = TraceReader::new(&bytes).unwrap().collect_events().unwrap();
+    assert_eq!(
+        got,
+        vec![(6, Event::DramTx { class: 1, line: 0x80 }), (9, Event::Window { sm: 0, window: 1 }),]
+    );
+}
+
+#[test]
+fn byte_cap_truncates_cleanly() {
+    let mut w = TraceWriter::to_memory(MASK_ALL).with_cap(64);
+    for cycle in 0..1000 {
+        w.write_event(cycle, &Event::DramTx { class: 0, line: cycle * 64 });
+    }
+    assert!(w.truncated());
+    let accepted = w.events();
+    assert!(accepted > 0 && accepted < 1000);
+    let bytes = w.into_bytes();
+    assert!(bytes.len() as u64 <= 64 + 2, "cap overshot: {} bytes", bytes.len());
+    let mut r = TraceReader::new(&bytes).unwrap();
+    let mut n = 0u64;
+    while r.next_event().unwrap().is_some() {
+        n += 1;
+    }
+    assert_eq!(n, accepted);
+    assert!(r.truncated(), "reader must surface the truncation sentinel");
+
+    let s = summarize(&bytes).unwrap();
+    assert!(s.truncated);
+    assert_eq!(s.events, accepted);
+}
+
+#[test]
+fn torn_file_is_an_error_not_a_panic() {
+    let mut w = TraceWriter::to_memory(MASK_ALL);
+    for cycle in 0..50 {
+        w.write_event(
+            cycle * 3,
+            &Event::L1Access {
+                sm: 1,
+                warp: 2,
+                line: 0xdeadbeef00 + cycle,
+                outcome: L1Outcome::MissCold,
+            },
+        );
+    }
+    let bytes = w.into_bytes();
+    // Chop at every prefix length: decoding must either succeed on a record
+    // boundary or report UnexpectedEof — never panic, never misdecode.
+    let full = TraceReader::new(&bytes).unwrap().collect_events().unwrap();
+    for cut in 0..bytes.len() {
+        let chopped = &bytes[..cut];
+        match TraceReader::new(chopped) {
+            Err(TraceError::BadMagic) | Err(TraceError::UnexpectedEof { .. }) => {}
+            Ok(r) => match r.collect_events() {
+                Ok(prefix) => assert!(prefix.len() <= full.len()),
+                Err(TraceError::UnexpectedEof { .. }) => {}
+                Err(other) => panic!("unexpected decode error at cut {cut}: {other}"),
+            },
+            Err(other) => panic!("unexpected header error at cut {cut}: {other}"),
+        }
+    }
+}
+
+#[test]
+fn empty_trace_is_valid() {
+    let bytes = TraceWriter::to_memory(MASK_ALL).into_bytes();
+    let got = TraceReader::new(&bytes).unwrap().collect_events().unwrap();
+    assert!(got.is_empty());
+    assert!(diff(&bytes, &bytes).unwrap().is_identical());
+}
+
+#[test]
+fn garbage_header_rejected() {
+    assert!(matches!(TraceReader::new(b"nope"), Err(TraceError::BadMagic)));
+    assert!(matches!(TraceReader::new(b"LB"), Err(TraceError::BadMagic)));
+    assert!(matches!(TraceReader::new(b""), Err(TraceError::BadMagic)));
+}
+
+#[test]
+fn mask_spec_parsing() {
+    assert_eq!(parse_mask("all"), Ok(MASK_ALL));
+    assert_eq!(parse_mask("0x1ff"), Ok(MASK_ALL));
+    assert_eq!(parse_mask("l1,dram"), Ok(EventKind::L1Access.bit() | EventKind::DramTx.bit()));
+    assert_eq!(
+        parse_mask(" window , issue "),
+        Ok(EventKind::Window.bit() | EventKind::Issue.bit())
+    );
+    assert!(parse_mask("l3").is_err());
+    for k in ALL_KINDS {
+        assert_eq!(parse_mask(k.name()), Ok(k.bit()), "name {} must round-trip", k.name());
+        assert_eq!(lb_trace::mask_names(k.bit()), k.name());
+    }
+    assert_eq!(lb_trace::mask_names(MASK_ALL), "all");
+}
+
+#[test]
+fn diff_reports_first_divergence() {
+    let mk = |bump: bool| {
+        let mut w = TraceWriter::to_memory(MASK_ALL);
+        for cycle in 0..20u64 {
+            let line = if bump && cycle == 7 { 0x999 } else { cycle * 64 };
+            w.write_event(cycle * 10, &Event::L2Access { line, hit: cycle % 2 == 0 });
+        }
+        w.into_bytes()
+    };
+    let a = mk(false);
+    let b = mk(true);
+    match diff(&a, &b).unwrap() {
+        lb_trace::DiffOutcome::Diverged { index, left, right } => {
+            assert_eq!(index, 7);
+            assert_eq!(left, Some((70, Event::L2Access { line: 7 * 64, hit: false })));
+            assert_eq!(right, Some((70, Event::L2Access { line: 0x999, hit: false })));
+        }
+        other => panic!("expected divergence, got {other:?}"),
+    }
+    // Prefix traces diverge at the end-of-stream.
+    let mut w = TraceWriter::to_memory(MASK_ALL);
+    w.write_event(0, &Event::L2Access { line: 0, hit: true });
+    let short = w.into_bytes();
+    match diff(&a, &short).unwrap() {
+        lb_trace::DiffOutcome::Diverged { index: 1, left: Some(_), right: None } => {}
+        other => panic!("expected early divergence, got {other:?}"),
+    }
+}

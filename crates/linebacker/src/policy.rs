@@ -211,12 +211,14 @@ impl SmPolicy for LinebackerPolicy {
         }
     }
 
-    fn on_evict(&mut self, victim: LineAddr, victim_hpc: u8, ctx: &mut PolicyCtx<'_>) {
+    fn on_evict(&mut self, victim: LineAddr, victim_hpc: u8, ctx: &mut PolicyCtx<'_>) -> bool {
         match self.phase {
             Phase::Monitoring => {
-                // Keep the tag so re-accesses count as would-be hits.
+                // Keep the tag so re-accesses count as would-be hits; the
+                // data is not preserved in this phase.
                 self.charge(ctx, self.cfg.vtt_pj);
                 self.vtt.insert(victim);
+                false
             }
             Phase::VictimCaching => {
                 if self.preserve_victim(victim_hpc) {
@@ -226,10 +228,12 @@ impl SmPolicy for LinebackerPolicy {
                         // register-to-register move of the paper).
                         ctx.regfile.access(rn, ctx.cycle, true);
                         ctx.regfile.write_contents(rn, victim.0);
+                        return true;
                     }
                 }
+                false
             }
-            Phase::Disabled => {}
+            Phase::Disabled => false,
         }
     }
 
