@@ -6,14 +6,14 @@
 #
 #   usage: ci/throughput_gate.sh [current.json] [baseline.json]
 #
-# Defaults compare BENCH_PR4.json (produced by `sanity --quick --profile`
-# in CI) against the committed BENCH_PR3.json figure. The tolerance is
+# Defaults compare BENCH_PR6.json (produced by `sanity --quick --profile`
+# in CI) against the committed BENCH_PR4.json figure. The tolerance is
 # deliberately wide (15 %) because CI machines vary; the gate exists to
 # catch order-of-magnitude scheduling regressions, not noise.
 set -eu
 
-CURRENT=${1:-BENCH_PR4.json}
-BASELINE=${2:-BENCH_PR3.json}
+CURRENT=${1:-BENCH_PR6.json}
+BASELINE=${2:-BENCH_PR4.json}
 TOLERANCE=0.85
 
 extract() {

@@ -24,9 +24,10 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut profile = false;
-    let mut profile_out = String::from("BENCH_PR4.json");
+    let mut profile_out = String::from("BENCH_PR6.json");
     let mut trace_dir: Option<String> = None;
     let mut trace_mask = gpu_sim::trace::MASK_ALL;
+    let mut partitions: Option<u32> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -71,18 +72,30 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--partitions" => {
+                let v = args.next().unwrap_or_default();
+                partitions = match v.parse::<u32>() {
+                    Ok(n) if n >= 1 && n.is_power_of_two() => Some(n),
+                    _ => {
+                        eprintln!("--partitions expects a power of two (1, 2, 4, ...), got '{v}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: lb-experiments [--scale quick|default|full] [--jobs N] \
                      [--verbose] [--out FILE] [--csv-dir DIR] [--profile] \
                      [--profile-out FILE] [--trace DIR] [--trace-events MASK] \
-                     [ids... | all]\n  \
+                     [--partitions N] [ids... | all]\n  \
                      LB_JOBS=N overrides the default worker count (all cores); \
                      --jobs beats LB_JOBS\n  --profile prints a hot-path throughput \
-                     report to stderr and writes BENCH_PR4.json\n  --trace DIR \
+                     report to stderr and writes BENCH_PR6.json\n  --trace DIR \
                      captures one .lbt event trace per simulation into DIR; \
                      --trace-events narrows the captured kinds (names like \
-                     issue,l1,dram, a 0x hex mask, or 'all')\n  ids: {}",
+                     issue,l1,dram, a 0x hex mask, or 'all')\n  --partitions N \
+                     splits the memory subsystem into N L2-slice/DRAM-channel \
+                     pairs (power of two; default 1)\n  ids: {}",
                     experiments::ALL.join(" ")
                 );
                 return;
@@ -96,6 +109,10 @@ fn main() {
 
     let mut runner = Runner::new(scale);
     runner.verbose = verbose;
+    if let Some(n) = partitions {
+        runner.set_partitions(n);
+        eprintln!("[config] memory subsystem split into {n} partitions");
+    }
     // Precedence: --jobs flag, then LB_JOBS, then available parallelism.
     let env_jobs = std::env::var("LB_JOBS").ok().and_then(|v| v.parse::<usize>().ok());
     if let Some(n) = jobs.or(env_jobs) {

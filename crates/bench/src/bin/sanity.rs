@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sanity [--quick] [--profile] [--profile-out FILE]
-//!        [--trace DIR] [--trace-events MASK] [apps...]
+//!        [--trace DIR] [--trace-events MASK] [--partitions N] [apps...]
 //! ```
 //!
 //! With `--profile`, the IPC table moves to stderr and stdout carries a
@@ -28,6 +28,7 @@ fn main() {
     let mut profile_out: Option<String> = None;
     let mut trace_dir: Option<String> = None;
     let mut trace_mask = MASK_ALL;
+    let mut partitions: Option<u32> = None;
     let mut only: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -48,10 +49,20 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--partitions" => {
+                let v = args.next().unwrap_or_default();
+                partitions = match v.parse::<u32>() {
+                    Ok(n) if n.is_power_of_two() => Some(n),
+                    _ => {
+                        eprintln!("--partitions expects a power of two (1, 2, 4, ...), got '{v}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sanity [--quick] [--profile] [--profile-out FILE] \
-                     [--trace DIR] [--trace-events MASK] [apps...]"
+                     [--trace DIR] [--trace-events MASK] [--partitions N] [apps...]"
                 );
                 return;
             }
@@ -62,11 +73,14 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create trace dir");
     }
 
-    let cfg = if quick {
+    let mut cfg = if quick {
         GpuConfig::default().with_sms(4).with_windows(5_000, 60_000)
     } else {
         GpuConfig::default().with_sms(4).with_windows(10_000, 240_000)
     };
+    if let Some(n) = partitions {
+        cfg = cfg.with_mem_partitions(n);
+    }
     let started = std::time::Instant::now();
     let mut prof = Profile::default();
     let trace = trace_dir.map(|d| (d, trace_mask));

@@ -1,10 +1,12 @@
 //! Built-in hot-path profiler: wall-clock and event accounting for every
 //! simulation the harness launches, reported by `--profile` and written to
-//! `BENCH_PR4.json` so the perf trajectory of the simulator has a recorded
+//! `BENCH_PR6.json` so the perf trajectory of the simulator has a recorded
 //! baseline. Since the component-calendar scheduler, the record includes
 //! per-component sleep fractions (how often each SM / the DRAM / the
 //! interconnect was gated) and a breakdown of what bounded each
-//! fast-forward jump.
+//! fast-forward jump; since the partitioned memory subsystem it also
+//! carries a per-partition breakdown (traffic and sleep fractions for
+//! each L2-slice/DRAM-channel pair).
 //!
 //! The workspace is std-only, so the JSON record is emitted by a small
 //! hand-rolled writer (and checked in tests by the equally small
@@ -81,6 +83,47 @@ pub struct Profile {
     pub trace_bytes: u64,
     /// Total trace events captured across those files.
     pub trace_events: u64,
+    /// Per-partition aggregation, indexed by partition id. Simulations
+    /// with fewer partitions simply do not contribute to higher indices,
+    /// so a mixed sweep (P=1 suite plus a P=8 sensitivity run) still
+    /// reports every channel it ever saw.
+    pub partitions: Vec<PartProfile>,
+}
+
+/// Aggregated per-partition counters across every simulation that had
+/// this partition id (the memory subsystem is P identical L2-slice +
+/// DRAM-channel pairs; this records how evenly traffic spread and how
+/// often each channel slept).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartProfile {
+    /// Simulations that had at least this many partitions.
+    pub sims: u64,
+    /// L2 accesses handled by this slice.
+    pub l2_accesses: u64,
+    /// DRAM services completed by this channel.
+    pub dram_services: u64,
+    /// Interconnect deliveries through this partition's queue pair.
+    pub icnt_delivered: u64,
+    /// Cycles this partition's DRAM channel was stepped.
+    pub dram_stepped: u64,
+    /// Cycles this partition's DRAM channel was asleep.
+    pub dram_slept: u64,
+    /// Queue-cycles this partition's icnt pair delivered.
+    pub icnt_stepped: u64,
+    /// Queue-cycles this partition's icnt pair slept.
+    pub icnt_slept: u64,
+}
+
+impl PartProfile {
+    /// Fraction of cycles this partition's DRAM channel was asleep.
+    pub fn dram_sleep_fraction(&self) -> f64 {
+        sleep_fraction(self.dram_stepped, self.dram_slept)
+    }
+
+    /// Fraction of queue-cycles this partition's icnt pair slept.
+    pub fn icnt_sleep_fraction(&self) -> f64 {
+        sleep_fraction(self.icnt_stepped, self.icnt_slept)
+    }
 }
 
 /// slept / (stepped + slept), in [0, 1]; 0 when nothing was counted.
@@ -120,6 +163,20 @@ impl Profile {
         self.skip_to_icnt += e.skip_to_icnt;
         self.skip_to_window += e.skip_to_window;
         self.skip_to_max += e.skip_to_max;
+        if self.partitions.len() < stats.partitions.len() {
+            self.partitions.resize(stats.partitions.len(), PartProfile::default());
+        }
+        for (agg, pc) in self.partitions.iter_mut().zip(&stats.partitions) {
+            agg.sims += 1;
+            agg.l2_accesses += pc.l2_accesses;
+            agg.dram_services += pc.dram_services;
+            agg.icnt_delivered += pc.icnt_delivered;
+            agg.dram_stepped += pc.dram_stepped_cycles;
+            agg.dram_slept += stats.cycles - pc.dram_stepped_cycles;
+            let icnt_stepped = pc.to_l2_stepped_cycles + pc.from_l2_stepped_cycles;
+            agg.icnt_stepped += icnt_stepped;
+            agg.icnt_slept += 2 * stats.cycles - icnt_stepped;
+        }
     }
 
     /// Records one written trace file (size and event count).
@@ -223,6 +280,19 @@ impl Profile {
             self.dram_sleep_fraction() * 100.0,
             self.icnt_sleep_fraction() * 100.0,
         ));
+        if self.partitions.len() > 1 {
+            for (id, p) in self.partitions.iter().enumerate() {
+                s.push_str(&format!(
+                    "[profile]   part {id}: {} L2 acc, {} DRAM svc, {} icnt, \
+                     dram sleep {:.1}%, icnt sleep {:.1}%\n",
+                    p.l2_accesses,
+                    p.dram_services,
+                    p.icnt_delivered,
+                    p.dram_sleep_fraction() * 100.0,
+                    p.icnt_sleep_fraction() * 100.0,
+                ));
+            }
+        }
         s.push_str(&format!(
             "[profile] skip bounds: {} sm, {} dram, {} icnt, {} window, {} max\n",
             self.skip_to_sm,
@@ -245,7 +315,7 @@ impl Profile {
         s
     }
 
-    /// The `BENCH_PR4.json` throughput record.
+    /// The `BENCH_PR6.json` throughput record.
     ///
     /// `label` names the producing binary, `scale` the run scale, and
     /// `suite_wall_s` the end-to-end harness wall-clock.
@@ -266,8 +336,26 @@ impl Profile {
                 )
             })
             .collect();
+        let part_entries: Vec<String> = self
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(id, p)| {
+                format!(
+                    "{{\"id\": {id}, \"sims\": {}, \"l2_accesses\": {}, \
+                     \"dram_services\": {}, \"icnt_delivered\": {}, \
+                     \"dram_sleep_fraction\": {:.6}, \"icnt_sleep_fraction\": {:.6}}}",
+                    p.sims,
+                    p.l2_accesses,
+                    p.dram_services,
+                    p.icnt_delivered,
+                    p.dram_sleep_fraction(),
+                    p.icnt_sleep_fraction(),
+                )
+            })
+            .collect();
         format!(
-            "{{\n  \"bench\": \"PR4\",\n  \"binary\": {},\n  \"scale\": {},\n  \
+            "{{\n  \"bench\": \"PR6\",\n  \"binary\": {},\n  \"scale\": {},\n  \
              \"suite_wall_s\": {:.3},\n  \"sims\": {},\n  \"sim_wall_s\": {:.3},\n  \
              \"cycles\": {},\n  \"stepped_cycles\": {},\n  \"skipped_cycles\": {},\n  \
              \"skipped_fraction\": {:.6},\n  \"cycles_per_sec\": {:.1},\n  \
@@ -279,7 +367,8 @@ impl Profile {
              \"icnt_stepped\": {}, \"icnt_slept\": {}, \"icnt_sleep_fraction\": {:.6}}},\n  \
              \"skip_bounds\": {{\"sm\": {}, \"dram\": {}, \"icnt\": {}, \
              \"window\": {}, \"max\": {}}},\n  \"trace\": {{\"files\": {}, \
-             \"bytes\": {}, \"events\": {}}},\n  \"slowest\": [{}]\n}}\n",
+             \"bytes\": {}, \"events\": {}}},\n  \"partitions\": [{}],\n  \
+             \"slowest\": [{}]\n}}\n",
             json_string(label),
             json_string(scale),
             suite_wall_s,
@@ -313,6 +402,7 @@ impl Profile {
             self.trace_files,
             self.trace_bytes,
             self.trace_events,
+            part_entries.join(", "),
             slow_entries.join(", "),
         )
     }
@@ -546,5 +636,59 @@ mod tests {
         assert_eq!(p.cycles(), 1000);
         assert_eq!(p.stepped() + p.skipped(), p.cycles());
         assert!((p.skipped_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_partition_counters_aggregate_across_sims() {
+        use gpu_sim::stats::PartitionCounters;
+        let mut p = Profile::default();
+        // One two-partition sim, one single-partition sim: partition 0
+        // accumulates from both, partition 1 from the first only.
+        let mut two = SimStats { cycles: 100, ..SimStats::default() };
+        two.partitions = vec![
+            PartitionCounters {
+                l2_accesses: 10,
+                dram_services: 4,
+                icnt_delivered: 14,
+                dram_stepped_cycles: 60,
+                to_l2_stepped_cycles: 30,
+                from_l2_stepped_cycles: 10,
+                ..PartitionCounters::default()
+            },
+            PartitionCounters {
+                l2_accesses: 6,
+                dram_services: 2,
+                icnt_delivered: 8,
+                dram_stepped_cycles: 20,
+                to_l2_stepped_cycles: 10,
+                from_l2_stepped_cycles: 10,
+                ..PartitionCounters::default()
+            },
+        ];
+        p.record("two".into(), 0.1, &two);
+        let mut one = SimStats { cycles: 50, ..SimStats::default() };
+        one.partitions = vec![PartitionCounters {
+            l2_accesses: 5,
+            dram_services: 1,
+            icnt_delivered: 6,
+            dram_stepped_cycles: 50,
+            to_l2_stepped_cycles: 25,
+            from_l2_stepped_cycles: 25,
+            ..PartitionCounters::default()
+        }];
+        p.record("one".into(), 0.1, &one);
+
+        assert_eq!(p.partitions.len(), 2);
+        assert_eq!(p.partitions[0].sims, 2);
+        assert_eq!(p.partitions[0].l2_accesses, 15);
+        assert_eq!(p.partitions[0].dram_stepped, 110);
+        assert_eq!(p.partitions[0].dram_slept, 40);
+        assert_eq!(p.partitions[1].sims, 1);
+        assert_eq!(p.partitions[1].l2_accesses, 6);
+        // Sim 1: 2*100 queue-cycles, 40 stepped; partition 1 saw 20 of 200.
+        assert!((p.partitions[1].icnt_sleep_fraction() - 0.9).abs() < 1e-12);
+        let j = p.to_json("test", "quick", 0.3);
+        assert!(validate_json(&j).is_ok(), "emitted JSON must validate: {j}");
+        assert!(j.contains("\"partitions\": [{\"id\": 0,"));
     }
 }

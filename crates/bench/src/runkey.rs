@@ -28,12 +28,16 @@ pub struct RunKey {
     /// Detailed per-load statistics (Figures 2/3; forces the paper's
     /// 50 k-cycle window definition).
     pub detailed: bool,
+    /// Optional memory-partition count override (`None` = the scale's base
+    /// config, i.e. one partition). Part of the key so memoization can
+    /// never alias runs across partition counts.
+    pub partitions: Option<u32>,
 }
 
 impl RunKey {
     /// A plain run of `app` under `arch` on the scale's base config.
     pub fn new(app: &'static str, arch: Arch) -> Self {
-        RunKey { app, arch, l1_override: None, detailed: false }
+        RunKey { app, arch, l1_override: None, detailed: false, partitions: None }
     }
 
     /// A plain run keyed by an [`AppSpec`].
@@ -53,10 +57,21 @@ impl RunKey {
         self
     }
 
+    /// Overrides the memory-partition count (power of two).
+    pub fn with_partitions(mut self, n: u32) -> Self {
+        self.partitions = Some(n);
+        self
+    }
+
     /// The architecture specification part of the key (everything except
     /// the application).
     pub fn spec(&self) -> ArchSpec {
-        ArchSpec { arch: self.arch, l1_override: self.l1_override, detailed: self.detailed }
+        ArchSpec {
+            arch: self.arch,
+            l1_override: self.l1_override,
+            detailed: self.detailed,
+            partitions: self.partitions,
+        }
     }
 }
 
@@ -75,6 +90,9 @@ impl std::fmt::Display for RunKey {
         if self.detailed {
             write!(f, "+detailed")?;
         }
+        if let Some(p) = self.partitions {
+            write!(f, "+p={p}")?;
+        }
         Ok(())
     }
 }
@@ -89,6 +107,8 @@ pub struct ArchSpec {
     pub l1_override: Option<u64>,
     /// Detailed per-load statistics.
     pub detailed: bool,
+    /// Optional memory-partition count override.
+    pub partitions: Option<u32>,
 }
 
 impl ArchSpec {
@@ -104,6 +124,9 @@ impl ArchSpec {
             cfg = cfg.with_l1_size(l1);
         }
         cfg = self.arch.transform_config(&cfg, app);
+        if let Some(p) = self.partitions {
+            cfg = cfg.with_mem_partitions(p);
+        }
         cfg.detailed_load_stats = self.detailed;
         if self.detailed {
             let max = cfg.max_cycles.max(250_000);
@@ -145,9 +168,11 @@ mod tests {
             for arch in archs {
                 for l1 in l1s {
                     for detailed in [false, true] {
-                        let key = RunKey { app, arch, l1_override: l1, detailed };
-                        assert!(seen.insert(key), "key aliased: {key}");
-                        n += 1;
+                        for partitions in [None, Some(2)] {
+                            let key = RunKey { app, arch, l1_override: l1, detailed, partitions };
+                            assert!(seen.insert(key), "key aliased: {key}");
+                            n += 1;
+                        }
                     }
                 }
             }
@@ -193,15 +218,35 @@ mod tests {
     }
 
     #[test]
+    fn partition_override_reaches_config_and_display() {
+        let base = crate::scale::Scale::Quick.config();
+        let app = workloads::app("GA").unwrap();
+        let key = RunKey::new("GA", Arch::Baseline).with_partitions(4);
+        assert_eq!(key.to_string(), "GA/Baseline+p=4");
+        assert_eq!(key.spec().config(&base, &app).n_mem_partitions, 4);
+        // Default keys stay exactly as they always displayed (memo keys and
+        // trace filenames must not change for pre-partition runs).
+        let plain = RunKey::new("GA", Arch::Baseline);
+        assert_eq!(plain.to_string(), "GA/Baseline");
+        assert_eq!(plain.spec().config(&base, &app).n_mem_partitions, 1);
+    }
+
+    #[test]
     fn spec_config_applies_l1_and_detailed_windows() {
         let base = crate::scale::Scale::Quick.config();
         let app = workloads::app("GA").unwrap();
-        let spec = ArchSpec { arch: Arch::Baseline, l1_override: Some(16 * 1024), detailed: false };
+        let spec = ArchSpec {
+            arch: Arch::Baseline,
+            l1_override: Some(16 * 1024),
+            detailed: false,
+            partitions: None,
+        };
         let cfg = spec.config(&base, &app);
         assert_eq!(cfg.l1.size_bytes, 16 * 1024);
         assert!(!cfg.detailed_load_stats);
 
-        let det = ArchSpec { arch: Arch::Baseline, l1_override: None, detailed: true };
+        let det =
+            ArchSpec { arch: Arch::Baseline, l1_override: None, detailed: true, partitions: None };
         let cfg = det.config(&base, &app);
         assert!(cfg.detailed_load_stats);
         assert_eq!(cfg.window_cycles, 50_000);

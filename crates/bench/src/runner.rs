@@ -116,6 +116,13 @@ impl Runner {
         self.trace.as_ref()
     }
 
+    /// Overrides the memory-partition count of the base configuration
+    /// (the `--partitions` knob of `lb-experiments`). Per-key overrides
+    /// via [`RunKey::with_partitions`] still take precedence.
+    pub fn set_partitions(&mut self, n: u32) {
+        self.cfg = self.cfg.clone().with_mem_partitions(n);
+    }
+
     /// The scale in use.
     pub fn scale(&self) -> Scale {
         self.scale
@@ -189,8 +196,16 @@ impl Runner {
         let stats = match &self.trace {
             None => run_kernel(cfg, kernel, &key.arch.factory()),
             Some(spec) => {
+                // Partitioned runs carry per-record partition ids in the
+                // wire format; the flag bit sits outside `parse_mask`'s
+                // reach, so it is OR'd in here, never by the user.
+                let mask = if cfg.n_mem_partitions > 1 {
+                    spec.mask | gpu_sim::trace::FLAG_PART_IDS
+                } else {
+                    spec.mask
+                };
                 let path = spec.dir.join(format!("{}.lbt", sanitize_key(&key.to_string())));
-                let writer = TraceWriter::to_file(&path, spec.mask)
+                let writer = TraceWriter::to_file(&path, mask)
                     .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
                 let tracer = Tracer::new(writer);
                 let stats = run_kernel_traced(cfg, kernel, &key.arch.factory(), tracer.clone());

@@ -1,0 +1,155 @@
+//! Conservation invariants of the partitioned memory subsystem.
+//!
+//! Partitioning redistributes traffic across P L2-slice/DRAM-channel
+//! pairs; it must never create or destroy it. For one cache-sensitive app
+//! (GE) and one streaming app (LI), run to completion at P ∈ {1, 2, 4}
+//! and assert:
+//!
+//! 1. **Accounting closes**: the per-partition counters (L2 accesses and
+//!    hits/misses, DRAM transactions and per-class bytes, interconnect
+//!    deliveries) sum exactly to the run's global scalars.
+//! 2. **Work is conserved across P**: the kernel drains, so instruction
+//!    counts and final per-load access/hit totals are demand-driven —
+//!    per-load accesses are identical at every P and per-load hits sum
+//!    exactly to the global L1-hit scalars.
+//! 3. **Steering is total and exact**: a traced run shows every L2 access
+//!    and DRAM transaction landing on the partition its line address
+//!    hashes to — no partition ever touches another's lines.
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::{run_kernel, run_kernel_traced};
+use gpu_sim::policy::baseline_factory;
+use gpu_sim::stats::SimStats;
+use gpu_sim::trace::{Event, EventKind, TraceReader, TraceWriter, Tracer, FLAG_PART_IDS};
+use workloads::AppSpec;
+
+/// One cache-sensitive and one streaming app (Table 2 classes).
+fn subject_apps() -> Vec<AppSpec> {
+    let ge = workloads::app("GE").expect("GE exists");
+    let li = workloads::app("LI").expect("LI exists");
+    assert!(!ge.has_streaming_load(), "GE is the cache-sensitive subject");
+    assert!(li.has_streaming_load(), "LI is the streaming subject");
+    vec![ge, li]
+}
+
+/// A work-bounded configuration: generous cycle cap so the fixed-iteration
+/// kernel always drains and totals are demand-driven, not cycle-driven.
+fn conservation_config(partitions: u32) -> GpuConfig {
+    GpuConfig::default().with_sms(2).with_windows(6_000, 2_000_000).with_mem_partitions(partitions)
+}
+
+fn run_to_completion(app: &AppSpec, partitions: u32) -> SimStats {
+    let cfg = conservation_config(partitions);
+    let kernel = app.kernel_with(cfg.n_sms, 30);
+    let s = run_kernel(cfg, kernel, &baseline_factory());
+    assert!(s.completed, "{} must drain at P={partitions}", app.abbrev);
+    s
+}
+
+/// Per-partition counters must sum exactly to the global scalars.
+fn assert_accounting_closes(app: &str, p: u32, s: &SimStats) {
+    assert_eq!(s.partitions.len(), p as usize, "{app} P={p}: partition vector length");
+    let sum = |f: fn(&gpu_sim::stats::PartitionCounters) -> u64| -> u64 {
+        s.partitions.iter().map(f).sum()
+    };
+    assert_eq!(sum(|c| c.l2_accesses), s.events.l2_requests, "{app} P={p}: L2 accesses leak");
+    assert_eq!(sum(|c| c.l2_hits), s.l2_hits, "{app} P={p}: L2 hits leak");
+    assert_eq!(sum(|c| c.l2_misses), s.l2_misses, "{app} P={p}: L2 misses leak");
+    assert_eq!(sum(|c| c.dram_services), s.events.dram_services, "{app} P={p}: DRAM tx leak");
+    assert_eq!(
+        sum(|c| c.icnt_delivered),
+        s.events.icnt_delivered,
+        "{app} P={p}: icnt deliveries leak"
+    );
+    for class in 0..4 {
+        let per_class: u64 = s.partitions.iter().map(|c| c.dram_bytes[class]).sum();
+        assert_eq!(per_class, s.dram_bytes[class], "{app} P={p}: DRAM byte class {class} leaks");
+    }
+}
+
+/// Sorted (load id, accesses, l1 hits, reg hits) snapshot.
+fn load_shape(s: &SimStats) -> Vec<(u32, u64, u64, u64)> {
+    let mut v: Vec<(u32, u64, u64, u64)> =
+        s.per_load.iter().map(|(&id, l)| (id, l.accesses, l.l1_hits, l.reg_hits)).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn partition_counters_sum_to_global_totals() {
+    for app in subject_apps() {
+        for p in [1u32, 2, 4] {
+            let s = run_to_completion(&app, p);
+            assert_accounting_closes(app.abbrev, p, &s);
+            if p > 1 {
+                let active = s.partitions.iter().filter(|c| c.l2_accesses > 0).count();
+                assert!(
+                    active > 1,
+                    "{} P={p}: traffic must spread across slices, got {active} active",
+                    app.abbrev
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn work_is_conserved_across_partition_counts() {
+    for app in subject_apps() {
+        let base = run_to_completion(&app, 1);
+        let base_shape = load_shape(&base);
+        let base_hits: u64 = base_shape.iter().map(|&(_, _, h, r)| h + r).sum();
+        assert_eq!(base_hits, base.l1_hits + base.reg_hits, "{}: per-load hits close", app.abbrev);
+        for p in [2u32, 4] {
+            let s = run_to_completion(&app, p);
+            assert_eq!(s.instructions, base.instructions, "{} P={p}: instructions", app.abbrev);
+            let shape = load_shape(&s);
+            // Accesses are demand-driven: identical per load at every P.
+            // Hits may move between loads (timing changes L1 interleaving)
+            // but must still sum to the global scalars.
+            for (b, n) in base_shape.iter().zip(&shape) {
+                assert_eq!(b.0, n.0, "{} P={p}: load id set", app.abbrev);
+                assert_eq!(b.1, n.1, "{} P={p}: load {} access count", app.abbrev, b.0);
+            }
+            let hits: u64 = shape.iter().map(|&(_, _, h, r)| h + r).sum();
+            assert_eq!(hits, s.l1_hits + s.reg_hits, "{} P={p}: per-load hits close", app.abbrev);
+        }
+    }
+}
+
+#[test]
+fn every_memory_event_lands_on_its_home_partition() {
+    let mask = EventKind::L2Access.bit() | EventKind::DramTx.bit() | FLAG_PART_IDS;
+    for app in subject_apps() {
+        for p in [2u32, 4] {
+            let cfg = conservation_config(p);
+            let kernel = app.kernel_with(cfg.n_sms, 8);
+            let tracer = Tracer::new(TraceWriter::to_memory(mask));
+            let s = run_kernel_traced(cfg, kernel, &baseline_factory(), tracer.clone());
+            assert!(s.completed);
+            tracer.finish().expect("memory writer cannot fail");
+            let bytes = tracer.take_bytes().expect("memory-backed tracer");
+            let mut r = TraceReader::new(&bytes).expect("trace parses");
+            let want = u64::from(p) - 1;
+            let (mut l2_seen, mut dram_seen) = (0u64, 0u64);
+            while let Some((_, ev)) = r.next_event().expect("trace decodes") {
+                match ev {
+                    Event::L2Access { part, line, .. } => {
+                        assert_eq!(part, line & want, "{} P={p}: L2 steered wrong", app.abbrev);
+                        l2_seen += 1;
+                    }
+                    Event::DramTx { part, line, .. } => {
+                        assert_eq!(part, line & want, "{} P={p}: DRAM steered wrong", app.abbrev);
+                        dram_seen += 1;
+                    }
+                    other => panic!("unexpected event kind in masked capture: {other}"),
+                }
+            }
+            assert!(
+                l2_seen > 0 && dram_seen > 0,
+                "{} P={p}: capture must be non-empty",
+                app.abbrev
+            );
+        }
+    }
+}

@@ -64,6 +64,12 @@ impl L2Cache {
         (self.hits, self.misses)
     }
 
+    /// Total lines this cache can hold (sets × ways) — for a partitioned
+    /// L2, the capacity of this slice alone.
+    pub fn capacity_lines(&self) -> u32 {
+        self.tags.n_sets() * self.tags.assoc()
+    }
+
     /// Component-calendar horizon: always `None`. The L2 (including its
     /// MSHR file) is purely reactive — it acts only when the interconnect
     /// delivers a request or a DRAM fill returns, and both of those are

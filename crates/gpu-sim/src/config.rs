@@ -64,6 +64,19 @@ pub struct GpuConfig {
     pub icnt_latency: u32,
     /// L1 cache accesses (line lookups) the LSU can start per cycle per SM.
     pub l1_ports: u32,
+    /// Interconnect delivery bandwidth in messages per cycle per direction.
+    /// `None` derives the historical default `(n_sms * 2).max(8)`, which
+    /// tracks the SM count so the interconnect never becomes the accidental
+    /// bottleneck of a scaled-down machine; set an explicit value to model
+    /// a fixed-width crossbar.
+    pub icnt_bw: Option<u32>,
+    /// Number of independent memory partitions. Each partition owns one L2
+    /// slice (capacity and MSHRs split evenly), one DRAM channel (bandwidth
+    /// and banks split evenly) and its own interconnect queue pair; lines
+    /// are steered by a power-of-two interleave on the line address. Must
+    /// be a power of two. The default of 1 reproduces the monolithic
+    /// memory side bit-exactly.
+    pub n_mem_partitions: u32,
     /// DRAM configuration.
     pub dram: DramConfig,
     /// Maximum outstanding load line-requests per warp before the scoreboard
@@ -101,6 +114,8 @@ impl Default for GpuConfig {
             l2_latency: 200,
             icnt_latency: 8,
             l1_ports: 4,
+            icnt_bw: None,
+            n_mem_partitions: 1,
             dram: DramConfig::default(),
             max_outstanding_per_warp: 6,
             window_cycles: 50_000,
@@ -141,6 +156,45 @@ impl GpuConfig {
         self.window_cycles = window_cycles;
         self.max_cycles = max_cycles;
         self
+    }
+
+    /// Returns a copy with an explicit interconnect bandwidth (messages per
+    /// cycle per direction), overriding the SM-count-derived default.
+    pub fn with_icnt_bw(mut self, per_cycle: u32) -> Self {
+        assert!(per_cycle > 0, "interconnect bandwidth must be positive");
+        self.icnt_bw = Some(per_cycle);
+        self
+    }
+
+    /// Returns a copy with a different memory-partition count. The L2
+    /// capacity/MSHRs, DRAM bandwidth and DRAM banks configured here stay
+    /// GPU-wide totals; each partition receives a 1/n slice at construction
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two that divides the L2 geometry and
+    /// DRAM bank count evenly.
+    pub fn with_mem_partitions(mut self, n: u32) -> Self {
+        assert!(n > 0 && n.is_power_of_two(), "partition count must be a power of two, got {n}");
+        assert!(
+            self.l2.size_bytes.is_multiple_of(n as u64 * self.l2.assoc as u64 * self.l2.line_bytes),
+            "L2 capacity must split into {n} whole slices"
+        );
+        assert!(self.l2.mshrs.is_multiple_of(n), "L2 MSHRs must split evenly across {n} slices");
+        assert!(
+            self.dram.banks.is_multiple_of(n),
+            "DRAM banks must split evenly across {n} channels"
+        );
+        self.n_mem_partitions = n;
+        self
+    }
+
+    /// Interconnect delivery bandwidth in messages per cycle per direction:
+    /// the explicit `icnt_bw` if set, otherwise the historical
+    /// `(n_sms * 2).max(8)` default.
+    pub fn icnt_bandwidth(&self) -> u32 {
+        self.icnt_bw.unwrap_or_else(|| (self.n_sms * 2).max(8))
     }
 
     /// Total warp registers (128 B each) in one SM's register file.
@@ -311,6 +365,40 @@ mod tests {
     #[should_panic(expected = "at least one SM")]
     fn with_sms_zero_panics() {
         let _ = GpuConfig::default().with_sms(0);
+    }
+
+    #[test]
+    fn icnt_bandwidth_default_tracks_sm_count() {
+        // The derived default is (n_sms * 2).max(8): floor of 8 for tiny
+        // machines, 2 per SM beyond that.
+        assert_eq!(GpuConfig::default().icnt_bandwidth(), 32);
+        assert_eq!(GpuConfig::default().with_sms(1).icnt_bandwidth(), 8);
+        assert_eq!(GpuConfig::default().with_sms(4).icnt_bandwidth(), 8);
+        assert_eq!(GpuConfig::default().with_sms(8).icnt_bandwidth(), 16);
+    }
+
+    #[test]
+    fn icnt_bandwidth_override_wins() {
+        let c = GpuConfig::default().with_icnt_bw(3);
+        assert_eq!(c.icnt_bandwidth(), 3);
+    }
+
+    #[test]
+    fn mem_partitions_default_is_one() {
+        assert_eq!(GpuConfig::default().n_mem_partitions, 1);
+    }
+
+    #[test]
+    fn with_mem_partitions_accepts_powers_of_two() {
+        for n in [1u32, 2, 4, 8] {
+            assert_eq!(GpuConfig::default().with_mem_partitions(n).n_mem_partitions, n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn with_mem_partitions_rejects_non_power_of_two() {
+        let _ = GpuConfig::default().with_mem_partitions(3);
     }
 
     #[test]

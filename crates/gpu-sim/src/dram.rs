@@ -56,15 +56,23 @@ const BUDGET_CAP: f64 = 8.0;
 /// FR-FCFS reorder-window depth, per queue.
 const WINDOW: usize = 64;
 
-/// Precomputed line → (bank, row) mapping. Bank index is `line % banks` and
-/// row is `line * LINE_BYTES / row_bytes`; for the power-of-two geometries
-/// every config ships (16 banks, 2 KiB rows) both reduce to a mask and a
-/// shift, which matters because the FR-FCFS window scan computes them per
-/// candidate per cycle. The fallback path keeps odd geometries bit-exact.
+/// Precomputed line → (partition, bank, row) mapping. The low `part_shift`
+/// bits of the line address select the memory partition (power-of-two
+/// interleave at line granularity, so consecutive lines stripe across
+/// partitions); bank index is `local % banks` and row is
+/// `local * LINE_BYTES / row_bytes` over the partition-local line number
+/// `line >> part_shift`. For the power-of-two geometries every config ships
+/// (16 banks, 2 KiB rows) bank and row reduce to a mask and a shift, which
+/// matters because the FR-FCFS window scan computes them per candidate per
+/// cycle. The fallback path keeps odd geometries bit-exact. With
+/// `part_shift == 0` (one partition) the mapping is the legacy monolithic
+/// one, bit for bit.
 #[derive(Debug, Clone, Copy)]
-struct AddrMap {
+pub struct AddrMap {
     banks: u64,
     row_bytes: u64,
+    /// `log2(n_mem_partitions)`: low line-address bits selecting a partition.
+    part_shift: u32,
     /// `banks - 1` when the bank count is a power of two.
     bank_mask: Option<u64>,
     /// `log2(row_bytes) - LINE_SHIFT` when `row_bytes` is a power of two
@@ -73,28 +81,46 @@ struct AddrMap {
 }
 
 impl AddrMap {
-    fn new(banks: u64, row_bytes: u64) -> Self {
+    /// Builds the mapping for a channel with `banks` banks and `row_bytes`
+    /// rows, where the low `part_shift` line-address bits select the
+    /// memory partition (0 for a monolithic memory side).
+    pub fn new(banks: u64, row_bytes: u64, part_shift: u32) -> Self {
         let bank_mask = (banks.is_power_of_two()).then(|| banks - 1);
         let row_shift = (row_bytes.is_power_of_two() && row_bytes >= LINE_BYTES)
             .then(|| row_bytes.trailing_zeros() - LINE_SHIFT);
-        AddrMap { banks, row_bytes, bank_mask, row_shift }
+        AddrMap { banks, row_bytes, part_shift, bank_mask, row_shift }
+    }
+
+    /// Memory partition owning `line` under the power-of-two interleave.
+    #[inline]
+    pub fn partition_of(&self, line: LineAddr) -> usize {
+        (line.0 & ((1u64 << self.part_shift) - 1)) as usize
+    }
+
+    /// Partition-local line number: the global line address with the
+    /// partition-select bits stripped, so each channel sees a dense space.
+    #[inline]
+    fn local(&self, line: LineAddr) -> u64 {
+        line.0 >> self.part_shift
     }
 
     #[inline]
     fn bank(&self, line: LineAddr) -> usize {
+        let local = self.local(line);
         match self.bank_mask {
-            Some(m) => (line.0 & m) as usize,
-            None => (line.0 % self.banks) as usize,
+            Some(m) => (local & m) as usize,
+            None => (local % self.banks) as usize,
         }
     }
 
     #[inline]
     fn row(&self, line: LineAddr) -> u64 {
+        let local = self.local(line);
         match self.row_shift {
-            // `line * 2^LINE_SHIFT / 2^k == line >> (k - LINE_SHIFT)` exactly:
+            // `local * 2^LINE_SHIFT / 2^k == local >> (k - LINE_SHIFT)` exactly:
             // the multiply only introduces low zero bits, so truncation agrees.
-            Some(s) => line.0 >> s,
-            None => line.0 * LINE_BYTES / self.row_bytes,
+            Some(s) => local >> s,
+            None => local * LINE_BYTES / self.row_bytes,
         }
     }
 }
@@ -140,15 +166,31 @@ pub struct Dram {
     bytes: [u64; 4],
     row_hits: u64,
     row_misses: u64,
+    /// Memory-partition id stamped on emitted `DramTx` trace events.
+    part_id: u64,
 }
 
 impl Dram {
     /// Creates the DRAM model. `lines_per_cycle` is the aggregate bandwidth
     /// expressed in 128 B lines per core cycle.
     pub fn new(cfg: DramConfig, lines_per_cycle: f64) -> Self {
+        Self::new_channel(cfg, lines_per_cycle, 0, 0)
+    }
+
+    /// Creates one DRAM channel of a partitioned memory system. `cfg` holds
+    /// the channel's own bank count; `part_shift` strips the
+    /// partition-select bits from line addresses before bank/row mapping,
+    /// and `part_id` tags this channel's `DramTx` trace events. With
+    /// `part_shift == 0` this is exactly the monolithic model.
+    pub fn new_channel(
+        cfg: DramConfig,
+        lines_per_cycle: f64,
+        part_shift: u32,
+        part_id: u64,
+    ) -> Self {
         assert!(lines_per_cycle > 0.0);
         let banks = cfg.banks as usize;
-        let map = AddrMap::new(cfg.banks as u64, cfg.row_bytes);
+        let map = AddrMap::new(cfg.banks as u64, cfg.row_bytes, part_shift);
         Dram {
             cfg,
             queue: VecDeque::new(),
@@ -163,6 +205,7 @@ impl Dram {
             bytes: [0; 4],
             row_hits: 0,
             row_misses: 0,
+            part_id,
         }
     }
 
@@ -313,7 +356,11 @@ impl Dram {
     fn start_service(&mut self, req: DramReq, bank_idx: usize, cycle: Cycle, tracer: &Tracer) {
         tracer.emit(
             cycle,
-            TraceEvent::DramTx { class: Self::class_idx(req.class) as u64, line: req.line.0 },
+            TraceEvent::DramTx {
+                part: self.part_id,
+                class: Self::class_idx(req.class) as u64,
+                line: req.line.0,
+            },
         );
         let row = self.map.row(req.line);
         let bank = &mut self.banks[bank_idx];
@@ -486,6 +533,29 @@ mod tests {
         assert_eq!(t[0], 128);
         assert_eq!(t[2], 256);
         assert_eq!(d.total_bytes(), 384);
+    }
+
+    #[test]
+    fn partition_interleave_strides_consecutive_lines() {
+        // 4 partitions: low two line-address bits pick the partition, the
+        // rest form the channel-local line number.
+        let map = AddrMap::new(16, 2048, 2);
+        for i in 0..32u64 {
+            assert_eq!(map.partition_of(LineAddr(i)), (i % 4) as usize);
+        }
+        // The channel sees a dense local space: lines 4 apart (same
+        // partition) land on consecutive banks.
+        assert_eq!(map.bank(LineAddr(0)), 0);
+        assert_eq!(map.bank(LineAddr(4)), 1);
+        assert_eq!(map.bank(LineAddr(8)), 2);
+
+        // Shift 0 is the monolithic mapping: everything in partition 0,
+        // banks straight off the global line number.
+        let mono = AddrMap::new(16, 2048, 0);
+        for i in 0..32u64 {
+            assert_eq!(mono.partition_of(LineAddr(i)), 0);
+            assert_eq!(mono.bank(LineAddr(i)), (i % 16) as usize);
+        }
     }
 
     #[test]

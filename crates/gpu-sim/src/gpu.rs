@@ -1,56 +1,52 @@
-//! Top-level GPU: CTA dispatcher, interconnect, shared L2, DRAM, and the
-//! per-cycle simulation loop.
+//! Top-level GPU: CTA dispatcher, memory partitions (interconnect + L2
+//! slices + DRAM channels), and the per-cycle simulation loop.
 
-use crate::cache::{L2Cache, MshrOutcome};
 use crate::calendar::Calendar;
 use crate::config::GpuConfig;
-use crate::dram::{Dram, DramDone, TrafficClass};
 use crate::energy::Activity;
-use crate::icnt::IcntQueue;
 use crate::kernel::KernelSpec;
-use crate::mem::{MemReq, MemReqKind};
+use crate::mem::MemReq;
+use crate::partition::MemPartition;
 use crate::policy::{PolicyFactory, SmPolicy};
 use crate::sm::Sm;
-use crate::stats::{ProfileEvents, SimStats};
+use crate::stats::{PartitionCounters, ProfileEvents, SimStats};
 use crate::types::{Cycle, Pc, SmId};
-use lb_trace::{Event as TraceEvent, Tracer};
+use lb_trace::Tracer;
 
 /// A complete simulated GPU executing one kernel.
 pub struct Gpu {
     cfg: GpuConfig,
     kernel: KernelSpec,
     sms: Vec<Sm>,
-    l2: L2Cache,
-    to_l2: IcntQueue<MemReq>,
-    from_l2: IcntQueue<MemReq>,
-    dram: Dram,
-    /// Requests whose DRAM token indexes this table.
-    dram_pending: Vec<MemReq>,
-    dram_free: Vec<usize>,
+    /// The partitioned memory side: each entry owns one L2 slice, one DRAM
+    /// channel and one interconnect queue pair. Lines are steered by the
+    /// power-of-two interleave `line & part_mask`.
+    partitions: Vec<MemPartition>,
+    /// `n_mem_partitions - 1`: low line-address bits selecting a partition.
+    part_mask: u64,
     /// CTAs of the grid not yet dispatched.
     remaining_ctas: u32,
     cycle: Cycle,
     load_pcs: Vec<Pc>,
-    l2_access_count: u64,
     scratch_msgs: Vec<MemReq>,
-    scratch_done: Vec<DramDone>,
     /// Reusable list of SM indices still accepting CTAs during a dispatch.
     dispatch_scratch: Vec<u32>,
     /// Component calendar over the SMs (indices `0..n_sms`) and the DRAM
-    /// controller (index `n_sms`); `step` touches only due components. The
-    /// interconnect queues are not in the calendar: their `next_due` is an
-    /// O(1) head peek, cheaper read directly than kept coherent here.
+    /// channels (index `n_sms + p` for partition `p`); `step` touches only
+    /// due components. The interconnect queues are not in the calendar:
+    /// their `next_due` is an O(1) head peek, cheaper read directly than
+    /// kept coherent here.
     calendar: Calendar,
-    /// Per-component stepped-cycle counters, indexed like the calendar
-    /// plus `to_l2` at `n_sms + 1` and `from_l2` at `n_sms + 2`. Slept
-    /// cycles are not counted separately: every component is either
-    /// stepped or slept each cycle, so slept == total cycles - stepped.
+    /// Per-component stepped-cycle counters: SMs at `0..n_sms`, DRAM
+    /// channels at `n_sms..n_sms + P`, each partition's `to_l2` at
+    /// `n_sms + P + p` and `from_l2` at `n_sms + 2P + p`. Slept cycles are
+    /// not counted separately: every component is either stepped or slept
+    /// each cycle, so slept == total cycles - stepped.
     comp_stepped: Vec<u64>,
     /// Hot-path profiler counters (reported via `SimStats::events`).
     stepped_cycles: u64,
     skipped_cycles: u64,
     skip_jumps: u64,
-    dram_services: u64,
     dispatch_passes: u64,
     /// Skip-engagement breakdown: what bounded each fast-forward jump.
     skip_to_sm: u64,
@@ -58,9 +54,6 @@ pub struct Gpu {
     skip_to_icnt: u64,
     skip_to_window: u64,
     skip_to_max: u64,
-    /// Event-trace capture handle shared with every SM and passed to the
-    /// DRAM controller (off by default; zero-cost when off).
-    tracer: Tracer,
 }
 
 impl Gpu {
@@ -86,36 +79,29 @@ impl Gpu {
                 sm
             })
             .collect();
-        let lines_per_cycle = cfg.dram_lines_per_cycle();
         let load_pcs = kernel.loads.iter().map(|l| l.pc).collect();
-        let icnt_bw = (cfg.n_sms * 2).max(8);
+        let n_parts = cfg.n_mem_partitions as usize;
+        let partitions =
+            (0..cfg.n_mem_partitions).map(|p| MemPartition::new(&cfg, p, tracer.clone())).collect();
         let mut gpu = Gpu {
-            l2: L2Cache::new(&cfg.l2),
-            to_l2: IcntQueue::new(cfg.icnt_latency, icnt_bw),
-            from_l2: IcntQueue::new(cfg.icnt_latency, icnt_bw),
-            dram: Dram::new(cfg.dram.clone(), lines_per_cycle),
-            dram_pending: Vec::new(),
-            dram_free: Vec::new(),
+            partitions,
+            part_mask: cfg.n_mem_partitions as u64 - 1,
             remaining_ctas: kernel.grid_ctas,
             cycle: 0,
             load_pcs,
-            l2_access_count: 0,
             scratch_msgs: Vec::new(),
-            scratch_done: Vec::new(),
             dispatch_scratch: Vec::new(),
-            calendar: Calendar::new(cfg.n_sms as usize + 1),
-            comp_stepped: vec![0; cfg.n_sms as usize + 3],
+            calendar: Calendar::new(cfg.n_sms as usize + n_parts),
+            comp_stepped: vec![0; cfg.n_sms as usize + 3 * n_parts],
             stepped_cycles: 0,
             skipped_cycles: 0,
             skip_jumps: 0,
-            dram_services: 0,
             dispatch_passes: 0,
             skip_to_sm: 0,
             skip_to_dram: 0,
             skip_to_icnt: 0,
             skip_to_window: 0,
             skip_to_max: 0,
-            tracer,
             sms,
             cfg,
             kernel,
@@ -225,19 +211,24 @@ impl Gpu {
     /// `step` via the same calendar).
     fn try_skip_idle(&mut self) {
         let cycle = self.cycle;
-        // Cheap pre-checks first: on a busy machine some component is due
+        // Cheap pre-check first: on a busy machine some component is due
         // right now and the argmin below would be wasted work every cycle.
-        if self.calendar.any_due(cycle)
-            || self.to_l2.next_due().is_some_and(|t| t <= cycle)
-            || self.from_l2.next_due().is_some_and(|t| t <= cycle)
-        {
+        if self.calendar.any_due(cycle) {
+            return;
+        }
+        // One pass over the partitions both finishes the pre-check and
+        // seeds the jump-target fold with the earliest interconnect horizon.
+        let mut icnt: Option<Cycle> = None;
+        for p in &self.partitions {
+            icnt = match (icnt, p.icnt_next_due()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        if icnt.is_some_and(|t| t <= cycle) {
             return;
         }
         let cal = self.calendar.next_event();
-        let icnt = match (self.to_l2.next_due(), self.from_l2.next_due()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
         let mut target = Cycle::MAX;
         for t in [cal.map(|(t, _)| t), icnt].into_iter().flatten() {
             target = target.min(t);
@@ -274,9 +265,7 @@ impl Gpu {
     pub fn done(&self) -> bool {
         self.remaining_ctas == 0
             && self.sms.iter().all(|s| s.drained())
-            && self.to_l2.in_flight() == 0
-            && self.from_l2.in_flight() == 0
-            && self.dram.pending() == 0
+            && self.partitions.iter().all(|p| p.drained())
     }
 
     /// Advances the whole GPU one cycle, stepping only the components whose
@@ -288,7 +277,8 @@ impl Gpu {
         let cycle = self.cycle;
         self.stepped_cycles += 1;
         let n_sms = self.sms.len();
-        let dram_comp = n_sms;
+        let n_parts = self.partitions.len();
+        let part_mask = self.part_mask;
 
         // 1. SM pipelines (in SM-id order, as the exhaustive sweep was).
         for i in 0..n_sms {
@@ -309,54 +299,69 @@ impl Gpu {
                     self.remaining_ctas -= 1;
                 }
             }
-            // Drain SM outbox into the interconnect.
+            // Drain SM outbox into the interconnect, steering each request
+            // to the partition owning its line (power-of-two interleave).
             for req in sm.outbox.drain(..) {
-                self.to_l2.push(req, cycle);
+                self.partitions[(req.line.0 & part_mask) as usize].to_l2.push(req, cycle);
             }
             let due = self.sms[i].next_due(cycle).unwrap_or(Cycle::MAX);
             self.calendar.schedule(i, due);
         }
 
-        // 2. L2 side: consume arriving requests. A request pushed to DRAM
-        //    here arrives at its `ready_at` cycle (stores this very cycle),
-        //    so pull the DRAM's due cycle forward before phase 3 reads it.
-        //    Waking at arrival rather than at the exact serviceable cycle
-        //    is safe — a tick that can't pick anything is a state no-op —
-        //    and keeps this path O(1) per request.
-        if self.to_l2.next_due().is_some_and(|t| t <= cycle) {
-            self.comp_stepped[n_sms + 1] += 1;
-            self.scratch_msgs.clear();
-            self.to_l2.pop_ready(cycle, &mut self.scratch_msgs);
-            for i in 0..self.scratch_msgs.len() {
-                let req = self.scratch_msgs[i];
-                if let Some(arrival) = self.handle_at_l2(req, cycle) {
-                    self.calendar.wake_at(dram_comp, arrival);
+        // Phases 2-4 touch disjoint fields every iteration; one split
+        // borrow up front replaces repeated `self.partitions[p]` indexing
+        // in the per-cycle loops.
+        let Gpu { partitions, calendar, comp_stepped, scratch_msgs, sms, load_pcs, .. } =
+            &mut *self;
+
+        // 2. L2 side: each partition consumes its arriving requests. A
+        //    request pushed to DRAM here arrives at its `ready_at` cycle
+        //    (stores this very cycle), so pull the channel's due cycle
+        //    forward before phase 3 reads it. Waking at arrival rather than
+        //    at the exact serviceable cycle is safe — a tick that can't
+        //    pick anything is a state no-op — and keeps this path O(1) per
+        //    request.
+        for (p, part) in partitions.iter_mut().enumerate() {
+            if part.to_l2.next_due().is_some_and(|t| t <= cycle) {
+                comp_stepped[n_sms + n_parts + p] += 1;
+                scratch_msgs.clear();
+                part.to_l2.pop_ready(cycle, scratch_msgs);
+                for &req in scratch_msgs.iter() {
+                    if let Some(arrival) = part.handle_at_l2(req, cycle) {
+                        calendar.wake_at(n_sms + p, arrival);
+                    }
                 }
             }
         }
 
-        // 3. DRAM. After every tick the controller reports its exact next
-        //    horizon (next completion, or the earliest cycle a pick can
-        //    succeed: request arrival + bank free + bandwidth-token refill);
-        //    the calendar sleeps it until then. `next_service`'s floor
-        //    early-out keeps the scan short on busy streaks.
-        if self.calendar.is_due(dram_comp, cycle) {
-            self.comp_stepped[dram_comp] += 1;
-            self.step_dram(cycle);
-            let due = self.dram.next_due(cycle).unwrap_or(Cycle::MAX);
-            self.calendar.schedule(dram_comp, due);
+        // 3. DRAM channels. After every tick a channel reports its exact
+        //    next horizon (next completion, or the earliest cycle a pick
+        //    can succeed: request arrival + bank free + bandwidth-token
+        //    refill); the calendar sleeps it until then. `next_service`'s
+        //    floor early-out keeps the scan short on busy streaks.
+        for (p, part) in partitions.iter_mut().enumerate() {
+            let comp = n_sms + p;
+            if calendar.is_due(comp, cycle) {
+                comp_stepped[comp] += 1;
+                part.step_dram(cycle);
+                let due = part.dram.next_due(cycle).unwrap_or(Cycle::MAX);
+                calendar.schedule(comp, due);
+            }
         }
 
-        // 4. Responses back to SMs; each delivery re-arms the SM's slot.
-        if self.from_l2.next_due().is_some_and(|t| t <= cycle) {
-            self.comp_stepped[n_sms + 2] += 1;
-            self.scratch_msgs.clear();
-            self.from_l2.pop_ready(cycle, &mut self.scratch_msgs);
-            for i in 0..self.scratch_msgs.len() {
-                let rsp = self.scratch_msgs[i];
-                let sm = &mut self.sms[rsp.sm.0 as usize];
-                sm.handle_response(rsp, cycle, &self.load_pcs);
-                self.calendar.wake_at(rsp.sm.0 as usize, cycle + 1);
+        // 4. Responses back to SMs (partitions in index order, so same-cycle
+        //    deliveries interleave deterministically); each delivery re-arms
+        //    the SM's slot.
+        for (p, part) in partitions.iter_mut().enumerate() {
+            if part.from_l2.next_due().is_some_and(|t| t <= cycle) {
+                comp_stepped[n_sms + 2 * n_parts + p] += 1;
+                scratch_msgs.clear();
+                part.from_l2.pop_ready(cycle, scratch_msgs);
+                for &rsp in scratch_msgs.iter() {
+                    let sm = &mut sms[rsp.sm.0 as usize];
+                    sm.handle_response(rsp, cycle, load_pcs);
+                    calendar.wake_at(rsp.sm.0 as usize, cycle + 1);
+                }
             }
         }
 
@@ -377,124 +382,29 @@ impl Gpu {
         }
     }
 
-    /// Phase 3 of `step`: one DRAM tick plus completion fan-out.
-    fn step_dram(&mut self, cycle: Cycle) {
-        self.scratch_done.clear();
-        self.dram.tick(cycle, &mut self.scratch_done, &self.tracer);
-        self.dram_services += self.scratch_done.len() as u64;
-        for i in 0..self.scratch_done.len() {
-            let d = self.scratch_done[i];
-            let req = self.dram_pending[d.token as usize];
-            self.dram_free.push(d.token as usize);
-            match req.kind {
-                MemReqKind::Read | MemReqKind::BypassRead => {
-                    self.l2.fill(req.line);
-                    self.l2_access_count += 1;
-                    // Wake all L2-MSHR waiters merged on this line.
-                    for t in self.l2.mshrs().complete(req.line) {
-                        let waiter = self.dram_pending[t as usize];
-                        self.dram_free.push(t as usize);
-                        self.from_l2.push(waiter, cycle);
-                    }
-                }
-                MemReqKind::Store => {
-                    // Store-buffer credit back to the SM (backpressure).
-                    self.from_l2.push(req, cycle);
-                }
-                MemReqKind::RegBackup { .. } => {
-                    // Completion notification back to the SM.
-                    self.from_l2.push(req, cycle);
-                }
-                MemReqKind::RegRestore { .. } => {
-                    self.from_l2.push(req, cycle);
-                }
-            }
-        }
+    /// Read-only view of one memory partition (tests, experiments).
+    pub fn partition(&self, p: u32) -> &MemPartition {
+        &self.partitions[p as usize]
     }
 
-    fn alloc_dram_slot(&mut self, req: MemReq) -> u64 {
-        if let Some(i) = self.dram_free.pop() {
-            self.dram_pending[i] = req;
-            i as u64
-        } else {
-            self.dram_pending.push(req);
-            (self.dram_pending.len() - 1) as u64
-        }
+    /// Number of memory partitions.
+    pub fn n_partitions(&self) -> u32 {
+        self.partitions.len() as u32
     }
 
-    /// Handles one request arriving at the L2; returns the DRAM arrival
-    /// cycle if the request was forwarded there (the caller wakes the DRAM
-    /// calendar slot at that cycle).
-    fn handle_at_l2(&mut self, req: MemReq, cycle: Cycle) -> Option<Cycle> {
-        match req.kind {
-            MemReqKind::Read | MemReqKind::BypassRead => {
-                self.l2_access_count += 1;
-                let hit = self.l2.access(req.line);
-                self.tracer.emit(cycle, TraceEvent::L2Access { line: req.line.0, hit });
-                if hit {
-                    // L2 hit: response after the L2 pipeline latency.
-                    self.from_l2.push(req, cycle + self.cfg.l2_latency as u64);
-                    None
-                } else {
-                    let token = self.alloc_dram_slot(req);
-                    match self.l2.mshrs().allocate(req.line, token) {
-                        MshrOutcome::NewEntry => {
-                            // The DRAM request itself carries a fresh token
-                            // so the fill can find the merged waiter list.
-                            let dram_token = self.alloc_dram_slot(req);
-                            let arrival = cycle + self.cfg.l2_latency as u64;
-                            self.dram.push(req.line, TrafficClass::DemandRead, dram_token, arrival);
-                            Some(arrival)
-                        }
-                        MshrOutcome::Merged => {
-                            self.tracer.emit(
-                                cycle,
-                                TraceEvent::MshrMerge {
-                                    level: 1,
-                                    sm: req.sm.0 as u64,
-                                    line: req.line.0,
-                                },
-                            );
-                            None
-                        }
-                        MshrOutcome::Full => {
-                            // Model back-pressure as a retried request.
-                            self.to_l2.push(req, cycle + 16);
-                            self.dram_free.push(token as usize);
-                            None
-                        }
-                    }
-                }
-            }
-            MemReqKind::Store => {
-                // Write-through, no-allocate: straight to DRAM.
-                self.l2_access_count += 1;
-                let token = self.alloc_dram_slot(req);
-                self.dram.push(req.line, TrafficClass::StoreWrite, token, cycle);
-                Some(cycle)
-            }
-            MemReqKind::RegBackup { .. } => {
-                let token = self.alloc_dram_slot(req);
-                self.dram.push(req.line, TrafficClass::RegBackup, token, cycle);
-                Some(cycle)
-            }
-            MemReqKind::RegRestore { .. } => {
-                let token = self.alloc_dram_slot(req);
-                self.dram.push(req.line, TrafficClass::RegRestore, token, cycle);
-                Some(cycle)
-            }
-        }
-    }
-
-    /// One-line snapshot of queue depths (debugging stalls).
+    /// One-line snapshot of queue depths (debugging stalls); memory-side
+    /// depths are summed over the partitions.
     pub fn debug_queues(&self) -> String {
         let sm0 = &self.sms[0];
+        let dram: usize = self.partitions.iter().map(|p| p.dram.pending()).sum();
+        let to_l2: usize = self.partitions.iter().map(|p| p.to_l2.in_flight()).sum();
+        let from_l2: usize = self.partitions.iter().map(|p| p.from_l2.in_flight()).sum();
         format!(
             "cycle={} dram={} to_l2={} from_l2={} l1_mshr(sm0)={} sm0_active={} sm0_inactive={}",
             self.cycle,
-            self.dram.pending(),
-            self.to_l2.in_flight(),
-            self.from_l2.in_flight(),
+            dram,
+            to_l2,
+            from_l2,
             sm0.l1.mshrs_ref().in_flight(),
             sm0.active_ctas(),
             sm0.inactive_ctas(),
@@ -531,41 +441,72 @@ impl Gpu {
         // produced once, here.
         total.materialize_maps();
         let n_sms = self.sms.len();
+        let n_parts = self.partitions.len();
+        let l2_requests: u64 = self.partitions.iter().map(|p| p.l2_access_count()).sum();
+        let dram_services: u64 = self.partitions.iter().map(|p| p.dram_services()).sum();
+        let icnt_delivered: u64 =
+            self.partitions.iter().map(|p| p.to_l2.delivered() + p.from_l2.delivered()).sum();
+        let dram_stepped: u64 = self.comp_stepped[n_sms..n_sms + n_parts].iter().sum();
+        let icnt_stepped: u64 =
+            self.comp_stepped[n_sms + n_parts..n_sms + 3 * n_parts].iter().sum();
         total.events = ProfileEvents {
             stepped_cycles: self.stepped_cycles,
             skipped_cycles: self.skipped_cycles,
             skip_jumps: self.skip_jumps,
-            l2_requests: self.l2_access_count,
-            dram_services: self.dram_services,
-            icnt_delivered: self.to_l2.delivered() + self.from_l2.delivered(),
+            l2_requests,
+            dram_services,
+            icnt_delivered,
             dispatch_passes: self.dispatch_passes,
             // Each component is either stepped or slept every simulated
-            // cycle, so slept counts are derived, never maintained.
+            // cycle, so slept counts are derived, never maintained. DRAM
+            // and icnt totals count every channel/queue instance, so their
+            // stepped + slept sums equal `n_parts * cycles` (resp.
+            // `2 * n_parts * cycles`).
             sm_stepped_cycles: self.comp_stepped[..n_sms].iter().sum(),
             sm_slept_cycles: n_sms as u64 * self.cycle
                 - self.comp_stepped[..n_sms].iter().sum::<u64>(),
-            dram_stepped_cycles: self.comp_stepped[n_sms],
-            dram_slept_cycles: self.cycle - self.comp_stepped[n_sms],
-            icnt_stepped_cycles: self.comp_stepped[n_sms + 1] + self.comp_stepped[n_sms + 2],
-            icnt_slept_cycles: 2 * self.cycle
-                - (self.comp_stepped[n_sms + 1] + self.comp_stepped[n_sms + 2]),
+            dram_stepped_cycles: dram_stepped,
+            dram_slept_cycles: n_parts as u64 * self.cycle - dram_stepped,
+            icnt_stepped_cycles: icnt_stepped,
+            icnt_slept_cycles: 2 * n_parts as u64 * self.cycle - icnt_stepped,
             skip_to_sm: self.skip_to_sm,
             skip_to_dram: self.skip_to_dram,
             skip_to_icnt: self.skip_to_icnt,
             skip_to_window: self.skip_to_window,
             skip_to_max: self.skip_to_max,
         };
-        let (l2h, l2m) = self.l2.hit_miss();
-        total.l2_hits = l2h;
-        total.l2_misses = l2m;
-        total.dram_bytes = self.dram.traffic_bytes();
+        // Per-partition breakdown, indexed by partition id.
+        total.partitions = (0..n_parts)
+            .map(|p| {
+                let part = &self.partitions[p];
+                let (l2_hits, l2_misses) = part.l2.hit_miss();
+                PartitionCounters {
+                    l2_accesses: part.l2_access_count(),
+                    l2_hits,
+                    l2_misses,
+                    dram_services: part.dram_services(),
+                    dram_bytes: part.dram.traffic_bytes(),
+                    icnt_delivered: part.to_l2.delivered() + part.from_l2.delivered(),
+                    dram_stepped_cycles: self.comp_stepped[n_sms + p],
+                    to_l2_stepped_cycles: self.comp_stepped[n_sms + n_parts + p],
+                    from_l2_stepped_cycles: self.comp_stepped[n_sms + 2 * n_parts + p],
+                }
+            })
+            .collect();
+        for part in &total.partitions {
+            total.l2_hits += part.l2_hits;
+            total.l2_misses += part.l2_misses;
+            for (acc, b) in total.dram_bytes.iter_mut().zip(part.dram_bytes) {
+                *acc += b;
+            }
+        }
         let activity = Activity {
             cycles: total.cycles,
             n_sms: self.cfg.n_sms,
             instructions: total.instructions,
             rf_accesses: total.rf_reads + total.rf_writes,
             l1_accesses: total.mem_accesses() + total.stores,
-            l2_accesses: self.l2_access_count,
+            l2_accesses: l2_requests,
             dram_bytes: total.dram_bytes.iter().sum(),
             policy_extra_pj: total.policy_extra_pj,
         };

@@ -36,13 +36,18 @@ impl<T> IcntQueue<T> {
     /// elapsed by `cycle`, appending them to `out`.
     pub fn pop_ready(&mut self, cycle: Cycle, out: &mut Vec<T>) {
         for _ in 0..self.per_cycle {
-            match self.queue.front() {
-                Some((ready, _)) if *ready <= cycle => {
-                    let (_, m) = self.queue.pop_front().expect("front exists");
+            // Single deque lookup per message: pop unconditionally and
+            // restore the head if its latency has not elapsed yet.
+            match self.queue.pop_front() {
+                Some((ready, m)) if ready <= cycle => {
                     self.delivered += 1;
                     out.push(m);
                 }
-                _ => break,
+                Some(entry) => {
+                    self.queue.push_front(entry);
+                    break;
+                }
+                None => break,
             }
         }
     }
@@ -120,5 +125,34 @@ mod tests {
     #[should_panic(expected = "nonzero bandwidth")]
     fn zero_bandwidth_panics() {
         let _: IcntQueue<u8> = IcntQueue::new(1, 0);
+    }
+
+    #[test]
+    fn bandwidth_limited_draining_preserves_order() {
+        // Messages pushed on different cycles drain strictly in FIFO order
+        // at the bandwidth cap, and a not-yet-ready head blocks everything
+        // behind it (no reordering around the head-of-line message).
+        let mut q: IcntQueue<u32> = IcntQueue::new(4, 3);
+        for i in 0..7u32 {
+            q.push(i, i as u64); // message i ready at cycle i + 4
+        }
+        let mut out = Vec::new();
+
+        // Cycle 5: messages 0 and 1 are ready; 2 (ready at 6) blocks the
+        // rest even though bandwidth would allow a third pop.
+        q.pop_ready(5, &mut out);
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(q.in_flight(), 5);
+
+        // Cycle 20: everything is ready, but only 3 pops per call.
+        out.clear();
+        q.pop_ready(20, &mut out);
+        assert_eq!(out, vec![2, 3, 4]);
+        out.clear();
+        q.pop_ready(20, &mut out);
+        assert_eq!(out, vec![5, 6]);
+        assert_eq!(q.delivered(), 7);
+        assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.next_ready(), None);
     }
 }

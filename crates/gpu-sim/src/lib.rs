@@ -49,6 +49,7 @@ pub mod gpu;
 pub mod icnt;
 pub mod kernel;
 pub mod mem;
+pub mod partition;
 pub mod pattern;
 pub mod policy;
 pub mod regfile;

@@ -6,8 +6,7 @@
 //! are stateless functions of `(seed, SM, warp, load, access index)` so that
 //! simulation is reproducible and warp state stays tiny.
 
-use crate::coalesce::coalesce_into;
-use crate::types::{Address, LineAddr, LoadId, SmId, LINE_BYTES};
+use crate::types::{LineAddr, LoadId, SmId, LINE_BYTES};
 
 /// Deterministic 64-bit mix (splitmix64 finalizer). Used as a stateless RNG.
 #[inline]
@@ -150,8 +149,9 @@ impl AccessPattern {
                 let base = if shared { region } else { region + private_slice(ctx.global_warp) };
                 // Different warps start at hashed offsets of the same sweep so
                 // shared working sets see inter-warp reuse without lockstep.
-                let start = if shared { mix64(ctx.seed ^ ctx.global_warp) % lines } else { 0 };
-                let idx = (start + ctx.access_index) % lines;
+                let start =
+                    if shared { fast_mod(mix64(ctx.seed ^ ctx.global_warp), lines) } else { 0 };
+                let idx = fast_mod(start + ctx.access_index, lines);
                 out.push(LineAddr(base + idx));
             }
             AccessPattern::Streaming { bytes_per_access } => {
@@ -167,8 +167,8 @@ impl AccessPattern {
                 let tile_lines = ws_lines(tile_bytes);
                 let reuse = reuse.max(1) as u64;
                 let accesses_per_tile = tile_lines * reuse;
-                let tile = ctx.access_index / accesses_per_tile;
-                let idx = ctx.access_index % tile_lines;
+                let tile = fast_div(ctx.access_index, accesses_per_tile);
+                let idx = fast_mod(ctx.access_index, tile_lines);
                 let base = if shared { region } else { region + private_slice(ctx.global_warp) };
                 out.push(LineAddr(base + tile * tile_lines + idx));
             }
@@ -180,36 +180,39 @@ impl AccessPattern {
                         ^ mix64(ctx.access_index ^ ((ctx.load.0 as u64) << 32))
                         ^ if shared { 0 } else { ctx.global_warp },
                 );
-                out.push(LineAddr(base + h % lines));
+                out.push(LineAddr(base + fast_mod(h, lines)));
             }
             AccessPattern::Divergent { ws_bytes, lines_per_access } => {
-                let lanes = self.lane_addresses(ctx, ws_bytes, lines_per_access);
-                coalesce_into(&lanes, out);
+                // A warp's 32 lanes split into `groups` address groups; every
+                // lane of one group hashes to the same line (the lane id only
+                // picks the intra-line byte), and lanes visit the groups in
+                // round-robin order. Generating one line per group in group
+                // order and deduplicating against this access's lines is
+                // therefore exactly the 32-lane coalescer output — without
+                // materializing the per-lane address vector.
+                let lines = ws_lines(ws_bytes);
+                let groups = lines_per_access.clamp(1, 32) as u64;
+                let start = out.len();
+                'groups: for group in 0..groups {
+                    let h =
+                        mix64(ctx.seed ^ mix64(ctx.access_index ^ (group << 40) ^ ctx.global_warp));
+                    let line = LineAddr(region + fast_mod(h, lines));
+                    for seen in &out[start..] {
+                        if *seen == line {
+                            continue 'groups;
+                        }
+                    }
+                    out.push(line);
+                }
             }
             AccessPattern::SparseStream { period } => {
                 let period = period.max(1) as u64;
-                if ctx.access_index.is_multiple_of(period) {
+                if fast_mod(ctx.access_index, period) == 0 {
                     let base = region + private_slice(ctx.global_warp);
-                    out.push(LineAddr(base + ctx.access_index / period));
+                    out.push(LineAddr(base + fast_div(ctx.access_index, period)));
                 }
             }
         }
-    }
-
-    /// Generates the 32 per-lane byte addresses of a divergent access.
-    /// Public so the coalescer path is independently testable.
-    fn lane_addresses(&self, ctx: AccessCtx, ws_bytes: u64, lines_per_access: u32) -> Vec<Address> {
-        let lines = ws_lines(ws_bytes);
-        let region = region_base(ctx.load, ctx.sm);
-        let groups = lines_per_access.clamp(1, 32) as u64;
-        (0..32u64)
-            .map(|lane| {
-                let group = lane % groups;
-                let h = mix64(ctx.seed ^ mix64(ctx.access_index ^ (group << 40) ^ ctx.global_warp));
-                let line = region + h % lines;
-                Address((line << crate::types::LINE_SHIFT) + (lane % 32) * 4)
-            })
-            .collect()
     }
 }
 
@@ -235,6 +238,30 @@ fn private_slice(global_warp: u64) -> u64 {
 #[inline]
 fn ws_lines(ws_bytes: u64) -> u64 {
     (ws_bytes / LINE_BYTES).max(1)
+}
+
+/// `x % m` with a bitmask fast path for power-of-two `m` (the common case:
+/// working sets are power-of-two KB). Exact for every input; the hot loop
+/// issues a load/store pattern per instruction, and a 64-bit `div` costs
+/// tens of cycles where the mask costs one.
+#[inline]
+fn fast_mod(x: u64, m: u64) -> u64 {
+    if m.is_power_of_two() {
+        x & (m - 1)
+    } else {
+        x % m
+    }
+}
+
+/// `x / d` with a shift fast path for power-of-two `d`. Exact counterpart
+/// of [`fast_mod`].
+#[inline]
+fn fast_div(x: u64, d: u64) -> u64 {
+    if d.is_power_of_two() {
+        x >> d.trailing_zeros()
+    } else {
+        x / d
+    }
 }
 
 #[inline]
@@ -328,6 +355,35 @@ mod tests {
         assert!(lines.len() > 1, "divergent access should span multiple lines");
         let set: std::collections::HashSet<_> = lines.iter().collect();
         assert_eq!(set.len(), lines.len(), "coalesced output has no duplicates");
+    }
+
+    /// The group-direct divergent generator must reproduce the reference
+    /// path it replaced: hash all 32 lane addresses (lane -> group by
+    /// round-robin, lane id picks the intra-line byte) and run them through
+    /// the hardware coalescer model.
+    #[test]
+    fn divergent_matches_lane_coalescer_reference() {
+        use crate::coalesce::coalesce;
+        use crate::types::Address;
+        for (ws_bytes, lpa) in [(1u64 << 20, 8u32), (48 * 1024, 4), (1 << 14, 32), (128, 1)] {
+            let p = AccessPattern::Divergent { ws_bytes, lines_per_access: lpa };
+            for (warp, idx) in [(0u64, 0u64), (3, 7), (11, 123)] {
+                let c = ctx(warp, idx);
+                let lines = ws_lines(ws_bytes);
+                let region = region_base(c.load, c.sm);
+                let groups = lpa.clamp(1, 32) as u64;
+                let lanes: Vec<Address> = (0..32u64)
+                    .map(|lane| {
+                        let group = lane % groups;
+                        let h =
+                            mix64(c.seed ^ mix64(c.access_index ^ (group << 40) ^ c.global_warp));
+                        let line = region + h % lines;
+                        Address((line << crate::types::LINE_SHIFT) + (lane % 32) * 4)
+                    })
+                    .collect();
+                assert_eq!(gen(&p, warp, idx), coalesce(&lanes), "ws={ws_bytes} lpa={lpa}");
+            }
+        }
     }
 
     #[test]

@@ -196,7 +196,14 @@ impl RegFile {
             self.bank_use.iter_mut().for_each(|u| *u = 0);
             self.bank_cycle = cycle;
         }
-        let bank = (reg.0 % self.banks) as usize;
+        // Banks are a power of two in every real configuration; the mask
+        // avoids a hardware divide on a path hit three times per issued
+        // instruction (identical result either way).
+        let bank = if self.banks.is_power_of_two() {
+            (reg.0 & (self.banks - 1)) as usize
+        } else {
+            (reg.0 % self.banks) as usize
+        };
         let prior = self.bank_use[bank];
         self.bank_use[bank] = prior.saturating_add(1);
         if write {

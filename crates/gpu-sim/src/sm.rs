@@ -223,9 +223,13 @@ impl Sm {
         self.resident_ctas() - self.active_ctas()
     }
 
-    /// All warps retired and no CTAs resident.
+    /// All warps retired and no CTAs resident. Called once per run-loop
+    /// iteration, so the slot scan short-circuits on the first resident
+    /// CTA instead of counting them all.
     pub fn drained(&self) -> bool {
-        self.resident_ctas() == 0 && self.lsu_queue.is_empty() && self.completions.is_empty()
+        self.ctas.iter().all(|c| c.is_none())
+            && self.lsu_queue.is_empty()
+            && self.completions.is_empty()
     }
 
     /// Tries to launch one CTA of `kernel`; returns false when occupancy
@@ -704,9 +708,17 @@ impl Sm {
         let span = kernel.regs_per_warp().max(1);
         let rot = w.body_pos;
         let mut extra_delay = 0u32;
-        for (k, write) in [(0u32, false), (1, false), (2, true)] {
-            let reg = RegNum(base + (rot.wrapping_mul(3).wrapping_add(k)) % span);
+        // One divide seeds the rotation; the two follow-up operands wrap by
+        // subtraction (`r + 1 < 2 * span` always), replacing three hardware
+        // divides per instruction with one.
+        let mut r = rot.wrapping_mul(3) % span;
+        for write in [false, false, true] {
+            let reg = RegNum(base + r);
             extra_delay += self.regfile.access(reg, cycle, write);
+            r += 1;
+            if r >= span {
+                r -= span;
+            }
         }
 
         match inst.kind {

@@ -139,6 +139,39 @@ pub struct ProfileEvents {
     pub skip_to_max: u64,
 }
 
+/// Counters of one memory partition (L2 slice + DRAM channel + icnt queue
+/// pair), reported per partition so imbalance across the address interleave
+/// is observable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionCounters {
+    /// L2 slice accesses (lookups + fills).
+    pub l2_accesses: u64,
+    /// L2 slice tag hits.
+    pub l2_hits: u64,
+    /// L2 slice tag misses.
+    pub l2_misses: u64,
+    /// DRAM transactions completed by this channel.
+    pub dram_services: u64,
+    /// Channel bytes per traffic class
+    /// (demand-read, store-write, reg-backup, reg-restore).
+    pub dram_bytes: [u64; 4],
+    /// Messages delivered by this partition's two interconnect queues.
+    pub icnt_delivered: u64,
+    /// Cycles this partition's DRAM channel was stepped (not slept).
+    pub dram_stepped_cycles: u64,
+    /// Cycles this partition's request queue was stepped.
+    pub to_l2_stepped_cycles: u64,
+    /// Cycles this partition's response queue was stepped.
+    pub from_l2_stepped_cycles: u64,
+}
+
+impl PartitionCounters {
+    /// Total bytes moved by this channel over all traffic classes.
+    pub fn dram_total_bytes(&self) -> u64 {
+        self.dram_bytes.iter().sum()
+    }
+}
+
 /// Aggregate statistics of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct SimStats {
@@ -197,6 +230,9 @@ pub struct SimStats {
     pub load_detail_dense: Vec<LoadWindowDetail>,
     /// Hot-path profiler event counters (whole-GPU; filled at run end).
     pub events: ProfileEvents,
+    /// Per-memory-partition counters, indexed by partition id (length
+    /// `n_mem_partitions`; filled at run end).
+    pub partitions: Vec<PartitionCounters>,
     /// Total energy in mJ (filled at run end).
     pub energy_mj: f64,
     /// Whether the kernel fully drained before `max_cycles`.

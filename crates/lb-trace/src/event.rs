@@ -95,6 +95,13 @@ pub const MASK_ALL: u64 = (1 << 0)
     | (1 << 7)
     | (1 << 8);
 
+/// Header-mask flag (not an event kind): when set, `L2Access` and `DramTx`
+/// records carry a trailing memory-partition id field. Writers set it only
+/// for multi-partition captures, so single-partition traces stay
+/// byte-identical to the pre-partition format and old readers keep working
+/// on them. Lives outside `MASK_ALL` so user mask specs cannot toggle it.
+pub const FLAG_PART_IDS: u64 = 1 << 9;
+
 impl EventKind {
     pub fn from_tag(tag: u8) -> Option<Self> {
         Some(match tag {
@@ -201,8 +208,9 @@ pub enum Event {
     Issue { sm: u64, warp: u64, pos: u64 },
     /// LSU finished an L1 lookup for `line` with `outcome`.
     L1Access { sm: u64, warp: u64, line: u64, outcome: L1Outcome },
-    /// Shared L2 lookup for `line`; `hit` is the tag-array result.
-    L2Access { line: u64, hit: bool },
+    /// L2 lookup for `line` in partition `part`; `hit` is the tag-array
+    /// result (`part` is 0 on a single-partition machine).
+    L2Access { part: u64, line: u64, hit: bool },
     /// L1 fill on SM `sm` evicted `line` (hit-counter `hpc`); `preserved`
     /// means the policy kept the victim in register-file victim space.
     Evict { sm: u64, line: u64, hpc: u64, preserved: bool },
@@ -212,8 +220,9 @@ pub enum Event {
     Restore { sm: u64, cta: u64 },
     /// A miss merged into an existing MSHR entry (`level` 0 = L1, 1 = L2).
     MshrMerge { level: u64, sm: u64, line: u64 },
-    /// DRAM started servicing a transaction (`class` = request-class tag).
-    DramTx { class: u64, line: u64 },
+    /// DRAM channel of partition `part` started servicing a transaction
+    /// (`class` = request-class tag).
+    DramTx { part: u64, class: u64, line: u64 },
     /// SM `sm` crossed sampling-window boundary number `window`.
     Window { sm: u64, window: u64 },
     /// Writer hit its byte cap; everything after this point was dropped.
@@ -280,8 +289,12 @@ impl std::fmt::Display for Event {
             Event::L1Access { sm, warp, line, outcome } => {
                 write!(f, "l1 sm={sm} warp={warp} line={line:#x} outcome={}", outcome.name())
             }
-            Event::L2Access { line, hit } => {
-                write!(f, "l2 line={line:#x} {}", if hit { "hit" } else { "miss" })
+            Event::L2Access { part, line, hit } => {
+                write!(f, "l2 ")?;
+                if part != 0 {
+                    write!(f, "part={part} ")?;
+                }
+                write!(f, "line={line:#x} {}", if hit { "hit" } else { "miss" })
             }
             Event::Evict { sm, line, hpc, preserved } => {
                 write!(
@@ -299,7 +312,13 @@ impl std::fmt::Display for Event {
                     if level == 0 { "L1" } else { "L2" }
                 )
             }
-            Event::DramTx { class, line } => write!(f, "dram class={class} line={line:#x}"),
+            Event::DramTx { part, class, line } => {
+                write!(f, "dram ")?;
+                if part != 0 {
+                    write!(f, "part={part} ")?;
+                }
+                write!(f, "class={class} line={line:#x}")
+            }
             Event::Window { sm, window } => write!(f, "window sm={sm} index={window}"),
             Event::Truncated => write!(f, "truncated"),
         }

@@ -14,7 +14,7 @@
 //!
 //! let t = Tracer::new(TraceWriter::to_memory(MASK_ALL));
 //! t.emit(10, Event::Issue { sm: 0, warp: 3, pos: 7 });
-//! t.emit(12, Event::DramTx { class: 0, line: 0x40 });
+//! t.emit(12, Event::DramTx { part: 0, class: 0, line: 0x40 });
 //! let bytes = t.take_bytes().unwrap();
 //! assert!(diff(&bytes, &bytes).unwrap().is_identical());
 //! ```
@@ -26,7 +26,9 @@ mod tracer;
 mod wire;
 mod writer;
 
-pub use event::{mask_names, parse_mask, Event, EventKind, L1Outcome, ALL_KINDS, MASK_ALL};
+pub use event::{
+    mask_names, parse_mask, Event, EventKind, L1Outcome, ALL_KINDS, FLAG_PART_IDS, MASK_ALL,
+};
 pub use reader::{read_file, TraceError, TraceReader};
 pub use tools::{diff, grep, summarize, timeline, DiffOutcome, Filter, Summary, TimelineRow};
 pub use tracer::Tracer;

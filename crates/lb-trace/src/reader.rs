@@ -4,7 +4,7 @@
 
 use std::path::Path;
 
-use crate::event::{Event, EventKind, L1Outcome};
+use crate::event::{Event, EventKind, L1Outcome, FLAG_PART_IDS};
 use crate::wire::get_uvarint;
 use crate::writer::MAGIC;
 
@@ -76,6 +76,17 @@ impl<'a> TraceReader<'a> {
         self.truncated
     }
 
+    /// Trailing partition-id field of `L2Access`/`DramTx` records, present
+    /// only when the header mask carries `FLAG_PART_IDS` (multi-partition
+    /// captures); pre-partition traces decode as partition 0.
+    fn read_part(&mut self) -> Result<u64, TraceError> {
+        if self.mask & FLAG_PART_IDS != 0 {
+            get_uvarint(self.data, &mut self.pos)
+        } else {
+            Ok(0)
+        }
+    }
+
     /// Decode the next record, or `Ok(None)` at a clean end of stream
     /// (including the `Truncated` sentinel).
     pub fn next_event(&mut self) -> Result<Option<(u64, Event)>, TraceError> {
@@ -110,7 +121,8 @@ impl<'a> TraceReader<'a> {
             EventKind::L2Access => {
                 let line = get_uvarint(self.data, &mut self.pos)?;
                 let hit = get_uvarint(self.data, &mut self.pos)? != 0;
-                Event::L2Access { line, hit }
+                let part = self.read_part()?;
+                Event::L2Access { part, line, hit }
             }
             EventKind::Evict => {
                 let sm = get_uvarint(self.data, &mut self.pos)?;
@@ -138,7 +150,8 @@ impl<'a> TraceReader<'a> {
             EventKind::DramTx => {
                 let class = get_uvarint(self.data, &mut self.pos)?;
                 let line = get_uvarint(self.data, &mut self.pos)?;
-                Event::DramTx { class, line }
+                let part = self.read_part()?;
+                Event::DramTx { part, class, line }
             }
             EventKind::Window => {
                 let sm = get_uvarint(self.data, &mut self.pos)?;

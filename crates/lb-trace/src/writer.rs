@@ -18,7 +18,7 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
-use crate::event::{Event, EventKind};
+use crate::event::{Event, EventKind, FLAG_PART_IDS};
 use crate::wire::put_uvarint;
 
 pub const MAGIC: [u8; 4] = *b"LBT1";
@@ -118,9 +118,14 @@ impl TraceWriter {
                 put_uvarint(&mut self.buf, line);
                 put_uvarint(&mut self.buf, outcome.as_u8() as u64);
             }
-            Event::L2Access { line, hit } => {
+            Event::L2Access { part, line, hit } => {
                 put_uvarint(&mut self.buf, line);
                 put_uvarint(&mut self.buf, hit as u64);
+                // Partition id goes last and only under the flag, keeping
+                // single-partition traces byte-identical to the old format.
+                if self.mask & FLAG_PART_IDS != 0 {
+                    put_uvarint(&mut self.buf, part);
+                }
             }
             Event::Evict { sm, line, hpc, preserved } => {
                 put_uvarint(&mut self.buf, sm);
@@ -137,9 +142,12 @@ impl TraceWriter {
                 put_uvarint(&mut self.buf, sm);
                 put_uvarint(&mut self.buf, line);
             }
-            Event::DramTx { class, line } => {
+            Event::DramTx { part, class, line } => {
                 put_uvarint(&mut self.buf, class);
                 put_uvarint(&mut self.buf, line);
+                if self.mask & FLAG_PART_IDS != 0 {
+                    put_uvarint(&mut self.buf, part);
+                }
             }
             Event::Window { sm, window } => {
                 put_uvarint(&mut self.buf, sm);
