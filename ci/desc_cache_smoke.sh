@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Decoded access-descriptor cache smoke test.
+#
+# The cache is a pure speed optimization: replaying an interned descriptor
+# must generate exactly the line addresses `gen_lines` would. This script
+# proves it end to end at quick scale:
+#
+#   1. transparency - `--no-desc-cache` experiment output is byte-identical
+#                     to the default cache-on run, across both harness
+#                     binaries (rendered tables AND the sanity IPC table);
+#   2. engagement   - the cache-on profile reports a non-trivial hit rate,
+#                     so the identity above is not vacuous.
+#
+#   usage: ci/desc_cache_smoke.sh [lb-experiments-binary] [sanity-binary]
+set -eu
+
+LBX=${1:-target/release/lb-experiments}
+SANITY=${2:-target/release/sanity}
+
+T=$(mktemp -d)
+trap 'rm -rf "$T"' EXIT
+
+echo "desc_cache_smoke: lb-experiments cache-on vs --no-desc-cache (must be byte-identical)"
+"$LBX" --scale quick --jobs 1 --out "$T/on.txt" fig01 table2 2> /dev/null
+"$LBX" --scale quick --jobs 1 --no-desc-cache --out "$T/off.txt" fig01 table2 2> /dev/null
+cmp "$T/on.txt" "$T/off.txt" || {
+    echo "desc_cache_smoke: FAIL - descriptor replay changed experiment output" >&2
+    exit 1
+}
+
+echo "desc_cache_smoke: sanity cache-on vs --no-desc-cache (must be byte-identical)"
+"$SANITY" --quick GA MC > "$T/sanity_on.txt"
+"$SANITY" --quick --no-desc-cache GA MC > "$T/sanity_off.txt"
+cmp "$T/sanity_on.txt" "$T/sanity_off.txt" || {
+    echo "desc_cache_smoke: FAIL - descriptor replay changed the sanity table" >&2
+    exit 1
+}
+
+echo "desc_cache_smoke: cache-on profile reports hits (identity must not be vacuous)"
+"$SANITY" --quick --profile GA > "$T/profile.json" 2> /dev/null
+# Key-based, whitespace-tolerant extraction (same approach as
+# ci/throughput_gate.sh): the desc_cache block is the only place a
+# "hits" key appears, so formatting changes in the JSON writer cannot
+# silently turn the engagement check into a false exit 2.
+hits=$(grep -o '"hits": *[0-9]*' "$T/profile.json" | head -1 | grep -o '[0-9]*$')
+[ -n "$hits" ] || { echo "desc_cache_smoke: no desc_cache block in profile" >&2; exit 2; }
+[ "$hits" -gt 0 ] || {
+    echo "desc_cache_smoke: FAIL - cache-on run recorded zero hits" >&2
+    exit 1
+}
+echo "desc_cache_smoke: $hits hits recorded"
+
+echo "desc_cache_smoke: OK"

@@ -24,10 +24,11 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut profile = false;
-    let mut profile_out = String::from("BENCH_PR6.json");
+    let mut profile_out = String::from("BENCH_PR7.json");
     let mut trace_dir: Option<String> = None;
     let mut trace_mask = gpu_sim::trace::MASK_ALL;
     let mut partitions: Option<u32> = None;
+    let mut desc_cache = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -82,20 +83,23 @@ fn main() {
                     }
                 };
             }
+            "--no-desc-cache" => desc_cache = false,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: lb-experiments [--scale quick|default|full] [--jobs N] \
                      [--verbose] [--out FILE] [--csv-dir DIR] [--profile] \
                      [--profile-out FILE] [--trace DIR] [--trace-events MASK] \
-                     [--partitions N] [ids... | all]\n  \
+                     [--partitions N] [--no-desc-cache] [ids... | all]\n  \
                      LB_JOBS=N overrides the default worker count (all cores); \
                      --jobs beats LB_JOBS\n  --profile prints a hot-path throughput \
-                     report to stderr and writes BENCH_PR6.json\n  --trace DIR \
+                     report to stderr and writes BENCH_PR7.json\n  --trace DIR \
                      captures one .lbt event trace per simulation into DIR; \
                      --trace-events narrows the captured kinds (names like \
                      issue,l1,dram, a 0x hex mask, or 'all')\n  --partitions N \
                      splits the memory subsystem into N L2-slice/DRAM-channel \
-                     pairs (power of two; default 1)\n  ids: {}",
+                     pairs (power of two; default 1)\n  --no-desc-cache disables \
+                     the decoded access-descriptor cache (slower, byte-identical \
+                     output; a verification escape hatch)\n  ids: {}",
                     experiments::ALL.join(" ")
                 );
                 return;
@@ -112,6 +116,10 @@ fn main() {
     if let Some(n) = partitions {
         runner.set_partitions(n);
         eprintln!("[config] memory subsystem split into {n} partitions");
+    }
+    if !desc_cache {
+        runner.set_desc_cache(false);
+        eprintln!("[config] descriptor cache disabled (verification mode)");
     }
     // Precedence: --jobs flag, then LB_JOBS, then available parallelism.
     let env_jobs = std::env::var("LB_JOBS").ok().and_then(|v| v.parse::<usize>().ok());
@@ -213,4 +221,6 @@ fn main() {
         std::fs::write(&profile_out, &json).expect("write profile json");
         eprintln!("[profile] wrote {profile_out}");
     }
+    // No-op unless LB_PHASE_TIMERS=1 (diagnostics; see gpu_sim::phase_timer).
+    gpu_sim::phase_timer::report();
 }

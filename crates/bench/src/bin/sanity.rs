@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! sanity [--quick] [--profile] [--profile-out FILE]
-//!        [--trace DIR] [--trace-events MASK] [--partitions N] [apps...]
+//!        [--trace DIR] [--trace-events MASK] [--partitions N]
+//!        [--no-desc-cache] [apps...]
 //! ```
 //!
 //! With `--profile`, the IPC table moves to stderr and stdout carries a
@@ -29,6 +30,7 @@ fn main() {
     let mut trace_dir: Option<String> = None;
     let mut trace_mask = MASK_ALL;
     let mut partitions: Option<u32> = None;
+    let mut desc_cache = true;
     let mut only: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -59,10 +61,12 @@ fn main() {
                     }
                 };
             }
+            "--no-desc-cache" => desc_cache = false,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sanity [--quick] [--profile] [--profile-out FILE] \
-                     [--trace DIR] [--trace-events MASK] [--partitions N] [apps...]"
+                     [--trace DIR] [--trace-events MASK] [--partitions N] \
+                     [--no-desc-cache] [apps...]"
                 );
                 return;
             }
@@ -80,6 +84,9 @@ fn main() {
     };
     if let Some(n) = partitions {
         cfg = cfg.with_mem_partitions(n);
+    }
+    if !desc_cache {
+        cfg = cfg.with_desc_cache(false);
     }
     let started = std::time::Instant::now();
     let mut prof = Profile::default();

@@ -3,9 +3,7 @@
 //! monitoring-window length, and the IPC variation bounds. These quantify
 //! the sensitivity of the Table 3 choices.
 
-use gpu_sim::gpu::run_kernel;
 use gpu_sim::stats::geometric_mean;
-use linebacker::{linebacker_factory, LbConfig};
 use workloads::{all_apps, Sensitivity};
 
 use crate::arch::Arch;
@@ -51,18 +49,18 @@ pub fn run(r: &Runner) -> Table {
         t.row(vec!["hit_threshold".into(), format!("{th:.2}"), f3(geometric_mean(&ratios))]);
     }
 
-    // 2) Monitoring-window length (scales the GpuConfig window; both LB and
-    //    its Best-SWL reference would shift, so normalize to the *same*
-    //    window's baseline instead).
+    // 2) Monitoring-window length (both LB and its Best-SWL reference would
+    //    shift, so normalize to the *same* window's baseline instead). Runs
+    //    through the runner like every other sweep: the window override is
+    //    part of the RunKey, the 1.0x centre point collapses to the plain
+    //    keys the rest of the suite has already simulated, and the off-
+    //    centre points are memoized, profiled, and counted like any run.
     for &f in &WINDOW_FACTORS {
+        let pct = hundredths(f);
         let mut ratios = Vec::new();
         for a in &apps {
-            let base_cfg = r.config().clone();
-            let w = (base_cfg.window_cycles as f64 * f) as u64;
-            let cfg = base_cfg.with_windows(w.max(1_000), r.config().max_cycles);
-            let k = a.kernel(cfg.n_sms);
-            let base = run_kernel(cfg.clone(), k.clone(), &gpu_sim::policy::baseline_factory());
-            let lb = run_kernel(cfg, k, &linebacker_factory(LbConfig::default()));
+            let base = r.run_key(RunKey::for_app(a, Arch::Baseline).with_window_pct(pct));
+            let lb = r.run_key(RunKey::for_app(a, Arch::Linebacker).with_window_pct(pct));
             ratios.push(lb.ipc() / base.ipc().max(1e-9));
         }
         t.row(vec![
@@ -87,15 +85,20 @@ pub fn run(r: &Runner) -> Table {
     t
 }
 
-/// The plannable simulations [`run`] needs. The window-factor sweep
-/// modifies the global `GpuConfig` window length, which is outside the
-/// [`RunKey`] space; those runs execute serially during rendering.
+/// The plannable simulations [`run`] needs, window-factor sweep included:
+/// the window length is carried in the [`RunKey`] (`with_window_pct`), so
+/// every ablation point participates in planning, deduplication, and the
+/// profiler; the 1.0x centre point collapses to the suite's plain keys.
 pub fn runs(r: &Runner) -> Vec<RunKey> {
     let mut keys = Vec::new();
     for app in sensitive_apps() {
         keys.extend(r.best_swl_plan(&app));
         for &th in &THRESHOLDS {
             keys.push(RunKey::for_app(&app, Arch::LbThreshold(hundredths(th))));
+        }
+        for &f in &WINDOW_FACTORS {
+            keys.push(RunKey::for_app(&app, Arch::Baseline).with_window_pct(hundredths(f)));
+            keys.push(RunKey::for_app(&app, Arch::Linebacker).with_window_pct(hundredths(f)));
         }
         for &bnd in &BOUNDS {
             keys.push(RunKey::for_app(&app, Arch::LbIpcBound(hundredths(bnd))));

@@ -1,12 +1,14 @@
 //! Built-in hot-path profiler: wall-clock and event accounting for every
 //! simulation the harness launches, reported by `--profile` and written to
-//! `BENCH_PR6.json` so the perf trajectory of the simulator has a recorded
+//! `BENCH_PR7.json` so the perf trajectory of the simulator has a recorded
 //! baseline. Since the component-calendar scheduler, the record includes
 //! per-component sleep fractions (how often each SM / the DRAM / the
 //! interconnect was gated) and a breakdown of what bounded each
 //! fast-forward jump; since the partitioned memory subsystem it also
 //! carries a per-partition breakdown (traffic and sleep fractions for
-//! each L2-slice/DRAM-channel pair).
+//! each L2-slice/DRAM-channel pair); since the decoded access-descriptor
+//! cache it also reports the cache's hit rate (per run and aggregated)
+//! and splits stepped SM cycles into LSU-busy and issue-scan phases.
 //!
 //! The workspace is std-only, so the JSON record is emitted by a small
 //! hand-rolled writer (and checked in tests by the equally small
@@ -27,6 +29,10 @@ pub struct SimRecord {
     pub stepped: u64,
     /// Cycles fast-forwarded by the idle-cycle skipper.
     pub skipped: u64,
+    /// Descriptor-cache hits in this simulation (0 when disabled).
+    pub desc_hits: u64,
+    /// Descriptor-cache misses (decodes) in this simulation.
+    pub desc_misses: u64,
 }
 
 impl SimRecord {
@@ -36,6 +42,17 @@ impl SimRecord {
             0.0
         } else {
             self.skipped as f64 / self.cycles as f64
+        }
+    }
+
+    /// Descriptor-cache hit rate in [0, 1]; 0 when the run had no cached
+    /// accesses (cache disabled or load-free kernel).
+    pub fn desc_hit_rate(&self) -> f64 {
+        let total = self.desc_hits + self.desc_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.desc_hits as f64 / total as f64
         }
     }
 }
@@ -77,6 +94,18 @@ pub struct Profile {
     pub skip_to_window: u64,
     /// Fast-forward jumps capped at the cycle limit.
     pub skip_to_max: u64,
+    /// Descriptor-cache hits (replays) summed over all simulations.
+    pub desc_hits: u64,
+    /// Descriptor-cache misses (first-execution decodes).
+    pub desc_misses: u64,
+    /// Descriptor-table entries populated, summed over simulations.
+    pub desc_entries: u64,
+    /// Bytes held by the descriptor tables, summed over simulations.
+    pub desc_bytes: u64,
+    /// Stepped SM cycles in which the LSU pipe had queued work.
+    pub sm_lsu_busy: u64,
+    /// Stepped SM cycles that entered the issue candidate scan.
+    pub sm_issue_scan: u64,
     /// Trace files written (when `--trace` is active).
     pub trace_files: u64,
     /// Total encoded trace bytes across those files.
@@ -146,6 +175,8 @@ impl Profile {
             cycles: stats.cycles,
             stepped: e.stepped_cycles,
             skipped: e.skipped_cycles,
+            desc_hits: e.desc_hits,
+            desc_misses: e.desc_misses,
         });
         self.skip_jumps += e.skip_jumps;
         self.l2_requests += e.l2_requests;
@@ -163,6 +194,12 @@ impl Profile {
         self.skip_to_icnt += e.skip_to_icnt;
         self.skip_to_window += e.skip_to_window;
         self.skip_to_max += e.skip_to_max;
+        self.desc_hits += e.desc_hits;
+        self.desc_misses += e.desc_misses;
+        self.desc_entries += e.desc_entries;
+        self.desc_bytes += e.desc_bytes;
+        self.sm_lsu_busy += e.sm_lsu_busy_cycles;
+        self.sm_issue_scan += e.sm_issue_scan_cycles;
         if self.partitions.len() < stats.partitions.len() {
             self.partitions.resize(stats.partitions.len(), PartProfile::default());
         }
@@ -200,6 +237,17 @@ impl Profile {
     /// Fraction of interconnect queue-cycles with no delivery work.
     pub fn icnt_sleep_fraction(&self) -> f64 {
         sleep_fraction(self.icnt_stepped, self.icnt_slept)
+    }
+
+    /// Aggregate descriptor-cache hit rate across all simulations, in
+    /// [0, 1]; 0 when no access went through the cache.
+    pub fn desc_hit_rate(&self) -> f64 {
+        let total = self.desc_hits + self.desc_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.desc_hits as f64 / total as f64
+        }
     }
 
     /// Number of recorded simulations.
@@ -280,6 +328,20 @@ impl Profile {
             self.dram_sleep_fraction() * 100.0,
             self.icnt_sleep_fraction() * 100.0,
         ));
+        s.push_str(&format!(
+            "[profile] desc cache: {} hits, {} misses ({:.2}% hit rate), \
+             {} entries, {} bytes\n",
+            self.desc_hits,
+            self.desc_misses,
+            self.desc_hit_rate() * 100.0,
+            self.desc_entries,
+            self.desc_bytes,
+        ));
+        s.push_str(&format!(
+            "[profile] SM phases: {} lsu-busy cycles, {} issue-scan cycles \
+             (of {} stepped SM-cycles)\n",
+            self.sm_lsu_busy, self.sm_issue_scan, self.sm_stepped,
+        ));
         if self.partitions.len() > 1 {
             for (id, p) in self.partitions.iter().enumerate() {
                 s.push_str(&format!(
@@ -305,17 +367,19 @@ impl Profile {
         slowest.sort_by(|a, b| b.wall_s.total_cmp(&a.wall_s));
         for r in slowest.iter().take(5) {
             s.push_str(&format!(
-                "[profile]   slow: {} {:.2}s {} cycles ({:.1}% skipped)\n",
+                "[profile]   slow: {} {:.2}s {} cycles ({:.1}% skipped, \
+                 {:.1}% desc hits)\n",
                 r.key,
                 r.wall_s,
                 r.cycles,
                 r.skipped_fraction() * 100.0,
+                r.desc_hit_rate() * 100.0,
             ));
         }
         s
     }
 
-    /// The `BENCH_PR6.json` throughput record.
+    /// The `BENCH_PR7.json` throughput record.
     ///
     /// `label` names the producing binary, `scale` the run scale, and
     /// `suite_wall_s` the end-to-end harness wall-clock.
@@ -328,11 +392,12 @@ impl Profile {
             .map(|r| {
                 format!(
                     "{{\"key\": {}, \"wall_s\": {:.3}, \"cycles\": {}, \
-                     \"skipped_fraction\": {:.6}}}",
+                     \"skipped_fraction\": {:.6}, \"desc_hit_rate\": {:.6}}}",
                     json_string(&r.key),
                     r.wall_s,
                     r.cycles,
                     r.skipped_fraction(),
+                    r.desc_hit_rate(),
                 )
             })
             .collect();
@@ -355,7 +420,7 @@ impl Profile {
             })
             .collect();
         format!(
-            "{{\n  \"bench\": \"PR6\",\n  \"binary\": {},\n  \"scale\": {},\n  \
+            "{{\n  \"bench\": \"PR7\",\n  \"binary\": {},\n  \"scale\": {},\n  \
              \"suite_wall_s\": {:.3},\n  \"sims\": {},\n  \"sim_wall_s\": {:.3},\n  \
              \"cycles\": {},\n  \"stepped_cycles\": {},\n  \"skipped_cycles\": {},\n  \
              \"skipped_fraction\": {:.6},\n  \"cycles_per_sec\": {:.1},\n  \
@@ -365,6 +430,9 @@ impl Profile {
              \"sm_stepped\": {}, \"sm_slept\": {}, \"sm_sleep_fraction\": {:.6}, \
              \"dram_stepped\": {}, \"dram_slept\": {}, \"dram_sleep_fraction\": {:.6}, \
              \"icnt_stepped\": {}, \"icnt_slept\": {}, \"icnt_sleep_fraction\": {:.6}}},\n  \
+             \"sm_phases\": {{\"lsu_busy_cycles\": {}, \"issue_scan_cycles\": {}}},\n  \
+             \"desc_cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \
+             \"hit_rate\": {:.6}, \"bytes\": {}}},\n  \
              \"skip_bounds\": {{\"sm\": {}, \"dram\": {}, \"icnt\": {}, \
              \"window\": {}, \"max\": {}}},\n  \"trace\": {{\"files\": {}, \
              \"bytes\": {}, \"events\": {}}},\n  \"partitions\": [{}],\n  \
@@ -394,6 +462,13 @@ impl Profile {
             self.icnt_stepped,
             self.icnt_slept,
             self.icnt_sleep_fraction(),
+            self.sm_lsu_busy,
+            self.sm_issue_scan,
+            self.desc_entries,
+            self.desc_hits,
+            self.desc_misses,
+            self.desc_hit_rate(),
+            self.desc_bytes,
             self.skip_to_sm,
             self.skip_to_dram,
             self.skip_to_icnt,
@@ -630,12 +705,22 @@ mod tests {
         stats.events.stepped_cycles = 600;
         stats.events.skipped_cycles = 400;
         stats.events.skip_jumps = 7;
+        stats.events.desc_hits = 30;
+        stats.events.desc_misses = 10;
+        stats.events.desc_entries = 10;
+        stats.events.desc_bytes = 480;
+        stats.events.sm_lsu_busy_cycles = 200;
+        stats.events.sm_issue_scan_cycles = 450;
         p.record("app=GA arch=base".into(), 0.25, &stats);
         let j = p.to_json("test", "quick", 0.3);
         assert!(validate_json(&j).is_ok(), "emitted JSON must validate: {j}");
         assert_eq!(p.cycles(), 1000);
         assert_eq!(p.stepped() + p.skipped(), p.cycles());
         assert!((p.skipped_fraction() - 0.4).abs() < 1e-12);
+        assert!((p.desc_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((p.records[0].desc_hit_rate() - 0.75).abs() < 1e-12);
+        assert!(j.contains("\"desc_cache\": {\"entries\": 10, \"hits\": 30, \"misses\": 10"));
+        assert!(j.contains("\"sm_phases\": {\"lsu_busy_cycles\": 200, \"issue_scan_cycles\": 450}"));
     }
 
     #[test]

@@ -32,12 +32,17 @@ pub struct RunKey {
     /// config, i.e. one partition). Part of the key so memoization can
     /// never alias runs across partition counts.
     pub partitions: Option<u32>,
+    /// Optional monitoring-window length override, as a percentage of the
+    /// scale's window (ablation sweep). `None` = the scale's window; the
+    /// builder collapses 100% to `None` so the sweep's identity point
+    /// shares memoized runs with every other figure.
+    pub window_pct: Option<u32>,
 }
 
 impl RunKey {
     /// A plain run of `app` under `arch` on the scale's base config.
     pub fn new(app: &'static str, arch: Arch) -> Self {
-        RunKey { app, arch, l1_override: None, detailed: false, partitions: None }
+        RunKey { app, arch, l1_override: None, detailed: false, partitions: None, window_pct: None }
     }
 
     /// A plain run keyed by an [`AppSpec`].
@@ -63,6 +68,15 @@ impl RunKey {
         self
     }
 
+    /// Overrides the monitoring-window length as a percentage of the
+    /// scale's window. 100% is the identity transform and deliberately
+    /// collapses to the plain key, so the ablation sweep's centre point
+    /// memo-shares with the rest of the suite instead of re-simulating.
+    pub fn with_window_pct(mut self, pct: u32) -> Self {
+        self.window_pct = if pct == 100 { None } else { Some(pct) };
+        self
+    }
+
     /// The architecture specification part of the key (everything except
     /// the application).
     pub fn spec(&self) -> ArchSpec {
@@ -71,6 +85,7 @@ impl RunKey {
             l1_override: self.l1_override,
             detailed: self.detailed,
             partitions: self.partitions,
+            window_pct: self.window_pct,
         }
     }
 }
@@ -93,6 +108,9 @@ impl std::fmt::Display for RunKey {
         if let Some(p) = self.partitions {
             write!(f, "+p={p}")?;
         }
+        if let Some(w) = self.window_pct {
+            write!(f, "+win={w}%")?;
+        }
         Ok(())
     }
 }
@@ -109,6 +127,8 @@ pub struct ArchSpec {
     pub detailed: bool,
     /// Optional memory-partition count override.
     pub partitions: Option<u32>,
+    /// Optional monitoring-window length override (% of the scale window).
+    pub window_pct: Option<u32>,
 }
 
 impl ArchSpec {
@@ -126,6 +146,11 @@ impl ArchSpec {
         cfg = self.arch.transform_config(&cfg, app);
         if let Some(p) = self.partitions {
             cfg = cfg.with_mem_partitions(p);
+        }
+        if let Some(pct) = self.window_pct {
+            let w = (cfg.window_cycles as f64 * (pct as f64 / 100.0)) as u64;
+            let max = cfg.max_cycles;
+            cfg = cfg.with_windows(w.max(1_000), max);
         }
         cfg.detailed_load_stats = self.detailed;
         if self.detailed {
@@ -169,9 +194,18 @@ mod tests {
                 for l1 in l1s {
                     for detailed in [false, true] {
                         for partitions in [None, Some(2)] {
-                            let key = RunKey { app, arch, l1_override: l1, detailed, partitions };
-                            assert!(seen.insert(key), "key aliased: {key}");
-                            n += 1;
+                            for window_pct in [None, Some(50)] {
+                                let key = RunKey {
+                                    app,
+                                    arch,
+                                    l1_override: l1,
+                                    detailed,
+                                    partitions,
+                                    window_pct,
+                                };
+                                assert!(seen.insert(key), "key aliased: {key}");
+                                n += 1;
+                            }
                         }
                     }
                 }
@@ -232,6 +266,22 @@ mod tests {
     }
 
     #[test]
+    fn window_override_reaches_config_and_identity_point_collapses() {
+        let base = crate::scale::Scale::Quick.config();
+        let app = workloads::app("GA").unwrap();
+        let half = RunKey::new("GA", Arch::Linebacker).with_window_pct(50);
+        assert_eq!(half.to_string(), "GA/LB+win=50%");
+        let cfg = half.spec().config(&base, &app);
+        assert_eq!(cfg.window_cycles, ((base.window_cycles as f64 * 0.5) as u64).max(1_000));
+        assert_eq!(cfg.max_cycles, base.max_cycles);
+        // 100% is the identity: it must collapse to the plain key so the
+        // memo shares the run with every figure that uses the base window.
+        let ident = RunKey::new("GA", Arch::Linebacker).with_window_pct(100);
+        assert_eq!(ident, RunKey::new("GA", Arch::Linebacker));
+        assert_eq!(ident.to_string(), "GA/LB");
+    }
+
+    #[test]
     fn spec_config_applies_l1_and_detailed_windows() {
         let base = crate::scale::Scale::Quick.config();
         let app = workloads::app("GA").unwrap();
@@ -240,13 +290,19 @@ mod tests {
             l1_override: Some(16 * 1024),
             detailed: false,
             partitions: None,
+            window_pct: None,
         };
         let cfg = spec.config(&base, &app);
         assert_eq!(cfg.l1.size_bytes, 16 * 1024);
         assert!(!cfg.detailed_load_stats);
 
-        let det =
-            ArchSpec { arch: Arch::Baseline, l1_override: None, detailed: true, partitions: None };
+        let det = ArchSpec {
+            arch: Arch::Baseline,
+            l1_override: None,
+            detailed: true,
+            partitions: None,
+            window_pct: None,
+        };
         let cfg = det.config(&base, &app);
         assert!(cfg.detailed_load_stats);
         assert_eq!(cfg.window_cycles, 50_000);

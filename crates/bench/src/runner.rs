@@ -123,6 +123,13 @@ impl Runner {
         self.cfg = self.cfg.clone().with_mem_partitions(n);
     }
 
+    /// Enables or disables the decoded access-descriptor cache (the
+    /// `--no-desc-cache` escape hatch of the harness binaries). Output is
+    /// byte-identical either way; the cache is purely a speed optimization.
+    pub fn set_desc_cache(&mut self, on: bool) {
+        self.cfg = self.cfg.clone().with_desc_cache(on);
+    }
+
     /// The scale in use.
     pub fn scale(&self) -> Scale {
         self.scale

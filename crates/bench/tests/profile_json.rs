@@ -31,12 +31,14 @@ fn sanity_profile_emits_valid_json() {
     let stdout = String::from_utf8(out.stdout).expect("stdout must be UTF-8");
     validate_json(&stdout).unwrap_or_else(|at| panic!("invalid JSON at byte {at}: {stdout}"));
 
-    assert!(stdout.contains("\"bench\": \"PR6\""), "document must identify the bench format");
+    assert!(stdout.contains("\"bench\": \"PR7\""), "document must identify the bench format");
     assert!(stdout.contains("\"scale\": \"sanity-quick\""));
     assert!(stdout.contains("\"component_sleep\""), "must carry per-component sleep stats");
     assert!(stdout.contains("\"skip_bounds\""), "must carry the skip-engagement breakdown");
     assert!(stdout.contains("\"trace\""), "must carry the trace-capture accounting block");
     assert!(stdout.contains("\"partitions\": [{\"id\": 0,"), "must carry per-partition stats");
+    assert!(stdout.contains("\"desc_cache\""), "must carry the descriptor-cache block");
+    assert!(stdout.contains("\"sm_phases\""), "must carry per-phase SM cycle attribution");
 }
 
 #[test]
@@ -66,4 +68,16 @@ fn sanity_profile_counters_are_consistent() {
     let dram_stepped = field(&stdout, "dram_stepped");
     let dram_slept = field(&stdout, "dram_slept");
     assert_eq!(dram_stepped + dram_slept, cycles, "per-DRAM cycle accounting must close");
+
+    // The descriptor cache is on by default: after every warp's first
+    // execution of each static load, accesses replay from the table, so
+    // hits must dominate misses across the suite.
+    let desc_hits = field(&stdout, "hits");
+    let desc_misses = field(&stdout, "misses");
+    assert!(desc_hits > 0.0, "default run must replay from the descriptor cache");
+    assert!(desc_misses > 0.0, "first executions must decode");
+    assert!(
+        desc_hits > desc_misses,
+        "steady-state replays must outnumber decodes ({desc_hits} vs {desc_misses})"
+    );
 }

@@ -1,11 +1,10 @@
 //! Per-SM L1 data cache: tag array + MSHRs + miss classification + the
 //! per-line hashed-PC field Linebacker adds (§4, Figure 7).
 
-use std::collections::HashSet;
-
 use crate::cache::mshr::MshrFile;
 use crate::cache::tag_array::{Evicted, TagArray};
 use crate::config::CacheConfig;
+use crate::fastmap::FastSet;
 use crate::types::{LineAddr, MissClass};
 
 /// Per-line metadata stored alongside the tag.
@@ -33,7 +32,7 @@ pub struct L1Cache {
     mshrs: MshrFile,
     /// Lines ever resident — distinguishes cold from capacity/conflict
     /// misses per the paper's §2.2 definition.
-    ever_resident: HashSet<LineAddr>,
+    ever_resident: FastSet<LineAddr>,
 }
 
 impl L1Cache {
@@ -42,7 +41,7 @@ impl L1Cache {
         L1Cache {
             tags: TagArray::new(cfg.n_sets(), cfg.assoc),
             mshrs: MshrFile::new(cfg.mshrs),
-            ever_resident: HashSet::new(),
+            ever_resident: FastSet::default(),
         }
     }
 

@@ -1,7 +1,6 @@
 //! Miss-Status Holding Registers: merge concurrent misses to the same line.
 
-use std::collections::HashMap;
-
+use crate::fastmap::FastMap;
 use crate::types::LineAddr;
 
 /// A waiter blocked on an outstanding fill: `(sm-local warp id, load id)` is
@@ -22,10 +21,17 @@ pub enum MshrOutcome {
 }
 
 /// A fixed-capacity MSHR file.
+///
+/// Steady-state it performs no heap allocation: the per-entry waiter
+/// vectors retired by [`MshrFile::complete_into`] are pooled and reused by
+/// later [`MshrFile::allocate`] calls (the pool is bounded by `capacity`,
+/// since at most that many entries ever hold a vector at once).
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<LineAddr, Vec<WaiterToken>>,
+    entries: FastMap<LineAddr, Vec<WaiterToken>>,
+    /// Retired (empty, capacity-retaining) waiter vectors.
+    pool: Vec<Vec<WaiterToken>>,
     merges: u64,
     stalls: u64,
 }
@@ -33,12 +39,9 @@ pub struct MshrFile {
 impl MshrFile {
     /// Creates a file with `capacity` entries.
     pub fn new(capacity: u32) -> Self {
-        MshrFile {
-            capacity: capacity as usize,
-            entries: HashMap::with_capacity(capacity as usize),
-            merges: 0,
-            stalls: 0,
-        }
+        let mut entries = FastMap::default();
+        entries.reserve(capacity as usize);
+        MshrFile { capacity: capacity as usize, entries, pool: Vec::new(), merges: 0, stalls: 0 }
     }
 
     /// Records a miss on `line` from `waiter`.
@@ -52,14 +55,30 @@ impl MshrFile {
             self.stalls += 1;
             return MshrOutcome::Full;
         }
-        self.entries.insert(line, vec![waiter]);
+        let mut waiters = self.pool.pop().unwrap_or_default();
+        waiters.push(waiter);
+        self.entries.insert(line, waiters);
         MshrOutcome::NewEntry
     }
 
+    /// Completes the fill of `line`, moving all merged waiters (in merge
+    /// order) into `out`, which is cleared first. `out` stays empty if no
+    /// entry existed (e.g. a prefetch).
+    pub fn complete_into(&mut self, line: LineAddr, out: &mut Vec<WaiterToken>) {
+        out.clear();
+        if let Some(mut waiters) = self.entries.remove(&line) {
+            out.append(&mut waiters);
+            self.pool.push(waiters);
+        }
+    }
+
     /// Completes the fill of `line`, returning all merged waiters.
-    /// Returns an empty vector if no entry existed (e.g. a prefetch).
+    /// Convenience wrapper over [`MshrFile::complete_into`] for tests and
+    /// benchmarks; the hot paths use the allocation-free form.
     pub fn complete(&mut self, line: LineAddr) -> Vec<WaiterToken> {
-        self.entries.remove(&line).unwrap_or_default()
+        let mut out = Vec::new();
+        self.complete_into(line, &mut out);
+        out
     }
 
     /// Is a fill for `line` already outstanding?

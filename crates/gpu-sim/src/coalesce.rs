@@ -13,16 +13,28 @@ use crate::types::{Address, LineAddr};
 /// follows lane order, which keeps replacement behaviour deterministic.
 pub fn coalesce_into(lanes: &[Address], out: &mut Vec<LineAddr>) {
     let start = out.len();
-    'lanes: for a in lanes {
-        let line = a.line();
-        // Linear scan: a warp emits at most 32 lines, so this beats hashing.
-        for seen in &out[start..] {
-            if *seen == line {
-                continue 'lanes;
-            }
-        }
-        out.push(line);
+    for a in lanes {
+        push_line_dedup(out, start, a.line());
     }
+}
+
+/// The coalescer's merge rule on one line: append `line` to `out` unless it
+/// already appears in `out[start..]` (the lines of the *current* access).
+/// Returns whether the line was new.
+///
+/// Factored out so the group-direct divergent generator and the decoded
+/// descriptor replay ([`crate::pattern::LineDesc`]) share one definition
+/// with the lane coalescer instead of re-implementing the dedup scan.
+#[inline]
+pub fn push_line_dedup(out: &mut Vec<LineAddr>, start: usize, line: LineAddr) -> bool {
+    // Linear scan: a warp emits at most 32 lines, so this beats hashing.
+    for seen in &out[start..] {
+        if *seen == line {
+            return false;
+        }
+    }
+    out.push(line);
+    true
 }
 
 /// Convenience wrapper returning a fresh vector.
@@ -66,6 +78,15 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(coalesce(&[]).is_empty());
+    }
+
+    #[test]
+    fn push_line_dedup_scopes_to_current_access() {
+        let mut out = vec![LineAddr(7)];
+        // `start` marks the current access: the pre-existing entry is invisible.
+        assert!(push_line_dedup(&mut out, 1, LineAddr(7)));
+        assert!(!push_line_dedup(&mut out, 1, LineAddr(7)));
+        assert_eq!(out, vec![LineAddr(7), LineAddr(7)]);
     }
 
     #[test]

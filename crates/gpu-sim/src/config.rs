@@ -91,6 +91,18 @@ pub struct GpuConfig {
     /// Enable expensive per-load working-set/streaming statistics
     /// (needed for reproducing Figures 2 and 3 only).
     pub detailed_load_stats: bool,
+    /// Enable the per-SM decoded access-descriptor cache: the first
+    /// execution of a (warp slot, static load) pair decodes the pattern's
+    /// per-warp constants into a [`crate::pattern::LineDesc`] and later
+    /// executions replay it, skipping address generation and coalescing.
+    /// Replay is exact, so this is a pure speed knob — simulated results
+    /// are byte-identical either way (`--no-desc-cache` is the escape
+    /// hatch that proves it).
+    pub desc_cache: bool,
+    /// Hard cap on descriptor-table entries per SM
+    /// (`warp slots x static loads`); a kernel exceeding it simply runs
+    /// uncached, which cannot change simulated results.
+    pub desc_cache_max_entries: u32,
     /// Energy model parameters.
     pub energy: crate::energy::EnergyConfig,
 }
@@ -121,6 +133,8 @@ impl Default for GpuConfig {
             window_cycles: 50_000,
             max_cycles: 400_000,
             detailed_load_stats: false,
+            desc_cache: true,
+            desc_cache_max_entries: 64 * 1024,
             energy: crate::energy::EnergyConfig::default(),
         }
     }
@@ -187,6 +201,14 @@ impl GpuConfig {
             "DRAM banks must split evenly across {n} channels"
         );
         self.n_mem_partitions = n;
+        self
+    }
+
+    /// Returns a copy with the decoded access-descriptor cache enabled or
+    /// disabled (the `--no-desc-cache` escape hatch). Purely a simulator
+    /// speed knob: simulated results are identical either way.
+    pub fn with_desc_cache(mut self, enabled: bool) -> Self {
+        self.desc_cache = enabled;
         self
     }
 
@@ -324,6 +346,17 @@ mod tests {
         assert_eq!(c.dram.t_cl, 12);
         assert_eq!(c.dram.t_wr, 12);
         assert_eq!(c.dram.t_ras, 28);
+        // Simulator-engineering knobs (not Table 1): descriptor cache on by
+        // default, sized far above any real kernel's slot x load product.
+        assert!(c.desc_cache);
+        assert_eq!(c.desc_cache_max_entries, 64 * 1024);
+    }
+
+    #[test]
+    fn desc_cache_escape_hatch() {
+        let c = GpuConfig::default().with_desc_cache(false);
+        assert!(!c.desc_cache);
+        assert!(GpuConfig::default().with_desc_cache(true).desc_cache);
     }
 
     #[test]

@@ -300,25 +300,32 @@ impl Dram {
             break;
         }
 
-        // Collect completions. The swap-remove scan order is deliberate:
-        // it is the canonical completion order the golden digests lock
-        // (changing it reorders same-cycle L2 fills and responses).
-        let mut i = 0;
-        while i < self.in_service.len() {
-            if self.in_service[i].0 <= cycle {
-                let (_, d) = self.in_service.swap_remove(i);
-                done.push(d);
-            } else {
-                i += 1;
+        // Collect completions, but only when the finish-heap minimum says
+        // something is actually due — most busy cycles complete nothing,
+        // and the O(1) peek spares them the `in_service` scan (which finds
+        // nothing exactly when the heap minimum is in the future). The
+        // swap-remove scan order is deliberate: it is the canonical
+        // completion order the golden digests lock (changing it reorders
+        // same-cycle L2 fills and responses).
+        if self.finish_heap.peek().is_some_and(|&Reverse(t)| t <= cycle) {
+            let mut i = 0;
+            while i < self.in_service.len() {
+                if self.in_service[i].0 <= cycle {
+                    let (_, d) = self.in_service.swap_remove(i);
+                    done.push(d);
+                } else {
+                    i += 1;
+                }
             }
-        }
-        // Every entry with finish <= cycle was just collected, so popping
-        // the same prefix keeps the heap in sync with `in_service`.
-        while let Some(&Reverse(t)) = self.finish_heap.peek() {
-            if t > cycle {
-                break;
+            // Every entry with finish <= cycle was just collected, so
+            // popping the same prefix keeps the heap in sync with
+            // `in_service`.
+            while let Some(&Reverse(t)) = self.finish_heap.peek() {
+                if t > cycle {
+                    break;
+                }
+                self.finish_heap.pop();
             }
-            self.finish_heap.pop();
         }
     }
 

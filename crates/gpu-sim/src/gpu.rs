@@ -7,10 +7,11 @@ use crate::energy::Activity;
 use crate::kernel::KernelSpec;
 use crate::mem::MemReq;
 use crate::partition::MemPartition;
+use crate::phase_timer;
 use crate::policy::{PolicyFactory, SmPolicy};
 use crate::sm::Sm;
 use crate::stats::{PartitionCounters, ProfileEvents, SimStats};
-use crate::types::{Cycle, Pc, SmId};
+use crate::types::{Cycle, SmId};
 use lb_trace::Tracer;
 
 /// A complete simulated GPU executing one kernel.
@@ -27,7 +28,11 @@ pub struct Gpu {
     /// CTAs of the grid not yet dispatched.
     remaining_ctas: u32,
     cycle: Cycle,
-    load_pcs: Vec<Pc>,
+    /// The next window-boundary cycle (`k * window_cycles`); advanced by one
+    /// window each time it fires so the per-cycle boundary test is a compare
+    /// instead of a division. Jumps never cross it: `try_skip_idle` caps
+    /// every fast-forward at `next_window - 1`.
+    next_window: Cycle,
     scratch_msgs: Vec<MemReq>,
     /// Reusable list of SM indices still accepting CTAs during a dispatch.
     dispatch_scratch: Vec<u32>,
@@ -79,7 +84,6 @@ impl Gpu {
                 sm
             })
             .collect();
-        let load_pcs = kernel.loads.iter().map(|l| l.pc).collect();
         let n_parts = cfg.n_mem_partitions as usize;
         let partitions =
             (0..cfg.n_mem_partitions).map(|p| MemPartition::new(&cfg, p, tracer.clone())).collect();
@@ -88,7 +92,7 @@ impl Gpu {
             part_mask: cfg.n_mem_partitions as u64 - 1,
             remaining_ctas: kernel.grid_ctas,
             cycle: 0,
-            load_pcs,
+            next_window: cfg.window_cycles,
             scratch_msgs: Vec::new(),
             dispatch_scratch: Vec::new(),
             calendar: Calendar::new(cfg.n_sms as usize + n_parts),
@@ -235,7 +239,7 @@ impl Gpu {
         }
         // The last cycle of the current window must still be stepped so its
         // `end_window` fires on schedule; `max_cycles` ends the run loop.
-        let window_last = (cycle / self.cfg.window_cycles + 1) * self.cfg.window_cycles - 1;
+        let window_last = self.next_window - 1;
         let target = target.min(window_last).min(self.cfg.max_cycles);
         if target <= cycle {
             return;
@@ -311,8 +315,7 @@ impl Gpu {
         // Phases 2-4 touch disjoint fields every iteration; one split
         // borrow up front replaces repeated `self.partitions[p]` indexing
         // in the per-cycle loops.
-        let Gpu { partitions, calendar, comp_stepped, scratch_msgs, sms, load_pcs, .. } =
-            &mut *self;
+        let Gpu { partitions, calendar, comp_stepped, scratch_msgs, sms, .. } = &mut *self;
 
         // 2. L2 side: each partition consumes its arriving requests. A
         //    request pushed to DRAM here arrives at its `ready_at` cycle
@@ -321,6 +324,7 @@ impl Gpu {
         //    at the exact serviceable cycle is safe — a tick that can't
         //    pick anything is a state no-op — and keeps this path O(1) per
         //    request.
+        let probe = phase_timer::start();
         for (p, part) in partitions.iter_mut().enumerate() {
             if part.to_l2.next_due().is_some_and(|t| t <= cycle) {
                 comp_stepped[n_sms + n_parts + p] += 1;
@@ -333,12 +337,14 @@ impl Gpu {
                 }
             }
         }
+        phase_timer::stop(probe, phase_timer::L2_INGRESS);
 
         // 3. DRAM channels. After every tick a channel reports its exact
         //    next horizon (next completion, or the earliest cycle a pick
         //    can succeed: request arrival + bank free + bandwidth-token
         //    refill); the calendar sleeps it until then. `next_service`'s
         //    floor early-out keeps the scan short on busy streaks.
+        let probe = phase_timer::start();
         for (p, part) in partitions.iter_mut().enumerate() {
             let comp = n_sms + p;
             if calendar.is_due(comp, cycle) {
@@ -348,10 +354,12 @@ impl Gpu {
                 calendar.schedule(comp, due);
             }
         }
+        phase_timer::stop(probe, phase_timer::DRAM);
 
         // 4. Responses back to SMs (partitions in index order, so same-cycle
         //    deliveries interleave deterministically); each delivery re-arms
         //    the SM's slot.
+        let probe = phase_timer::start();
         for (p, part) in partitions.iter_mut().enumerate() {
             if part.from_l2.next_due().is_some_and(|t| t <= cycle) {
                 comp_stepped[n_sms + 2 * n_parts + p] += 1;
@@ -359,11 +367,12 @@ impl Gpu {
                 part.from_l2.pop_ready(cycle, scratch_msgs);
                 for &rsp in scratch_msgs.iter() {
                     let sm = &mut sms[rsp.sm.0 as usize];
-                    sm.handle_response(rsp, cycle, load_pcs);
+                    sm.handle_response(rsp, cycle);
                     calendar.wake_at(rsp.sm.0 as usize, cycle + 1);
                 }
             }
         }
+        phase_timer::stop(probe, phase_timer::L2_EGRESS);
 
         self.cycle += 1;
 
@@ -371,7 +380,8 @@ impl Gpu {
         //    enforcement, and refill of freed CTA capacity. Every SM runs
         //    `end_window` (it samples stats and can change CTA status), so
         //    every SM must be stepped at the boundary cycle.
-        if self.cycle.is_multiple_of(self.cfg.window_cycles) {
+        if self.cycle == self.next_window {
+            self.next_window += self.cfg.window_cycles;
             for sm in &mut self.sms {
                 sm.end_window(self.cycle, &self.cfg);
             }
@@ -415,9 +425,23 @@ impl Gpu {
     pub fn collect_stats(&mut self) -> SimStats {
         let mut total =
             SimStats { cycles: self.cycle, completed: self.done(), ..SimStats::default() };
+        // Front-end counters owned by the SMs (descriptor cache, per-phase
+        // cycle attribution); summed here, carried into the merged events.
+        let mut desc_hits = 0u64;
+        let mut desc_misses = 0u64;
+        let mut desc_entries = 0u64;
+        let mut desc_bytes = 0u64;
+        let mut sm_lsu_busy_cycles = 0u64;
+        let mut sm_issue_scan_cycles = 0u64;
         for sm in &mut self.sms {
             sm.finalize_stats();
             let s = &sm.stats;
+            desc_hits += s.events.desc_hits;
+            desc_misses += s.events.desc_misses;
+            desc_entries += s.events.desc_entries;
+            desc_bytes += s.events.desc_bytes;
+            sm_lsu_busy_cycles += s.events.sm_lsu_busy_cycles;
+            sm_issue_scan_cycles += s.events.sm_issue_scan_cycles;
             total.instructions += s.instructions;
             total.l1_hits += s.l1_hits;
             total.miss_cold += s.miss_cold;
@@ -474,6 +498,12 @@ impl Gpu {
             skip_to_icnt: self.skip_to_icnt,
             skip_to_window: self.skip_to_window,
             skip_to_max: self.skip_to_max,
+            desc_hits,
+            desc_misses,
+            desc_entries,
+            desc_bytes,
+            sm_lsu_busy_cycles,
+            sm_issue_scan_cycles,
         };
         // Per-partition breakdown, indexed by partition id.
         total.partitions = (0..n_parts)

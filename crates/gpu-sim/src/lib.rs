@@ -45,12 +45,14 @@ pub mod config;
 pub mod cta;
 pub mod dram;
 pub mod energy;
+pub mod fastmap;
 pub mod gpu;
 pub mod icnt;
 pub mod kernel;
 pub mod mem;
 pub mod partition;
 pub mod pattern;
+pub mod phase_timer;
 pub mod policy;
 pub mod regfile;
 pub mod scheduler;

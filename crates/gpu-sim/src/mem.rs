@@ -32,6 +32,9 @@ pub struct MemReq {
     pub sm: SmId,
     /// Issuing warp (SM-local index; meaningless for CTA register traffic).
     pub warp: u32,
+    /// Residency generation of `warp` at issue — the stale-response filter
+    /// for warp-completing kinds (0 for traffic that completes no warp).
+    pub gen: u32,
     /// Static load (meaningless for CTA register traffic).
     pub load: LoadId,
     /// Requested line.

@@ -44,6 +44,8 @@ pub struct MemPartition {
     dram_free: Vec<usize>,
     /// Completion scratch for `step_dram` (reused across ticks).
     scratch_done: Vec<DramDone>,
+    /// MSHR-waiter scratch for `step_dram` (reused across ticks).
+    scratch_waiters: Vec<u64>,
     /// L2 accesses (lookups + fills) serviced by this slice.
     l2_access_count: u64,
     /// DRAM transactions completed by this channel.
@@ -82,6 +84,7 @@ impl MemPartition {
             dram_pending: Vec::new(),
             dram_free: Vec::new(),
             scratch_done: Vec::new(),
+            scratch_waiters: Vec::new(),
             l2_access_count: 0,
             dram_services: 0,
             l2_latency: cfg.l2_latency as u64,
@@ -180,11 +183,14 @@ impl MemPartition {
                     self.l2.fill(req.line);
                     self.l2_access_count += 1;
                     // Wake all L2-MSHR waiters merged on this line.
-                    for t in self.l2.mshrs().complete(req.line) {
+                    let mut waiters = std::mem::take(&mut self.scratch_waiters);
+                    self.l2.mshrs().complete_into(req.line, &mut waiters);
+                    for &t in &waiters {
                         let waiter = self.dram_pending[t as usize];
                         self.dram_free.push(t as usize);
                         self.from_l2.push(waiter, cycle);
                     }
+                    self.scratch_waiters = waiters;
                 }
                 MemReqKind::Store
                 | MemReqKind::RegBackup { .. }

@@ -193,16 +193,11 @@ impl AccessPattern {
                 let lines = ws_lines(ws_bytes);
                 let groups = lines_per_access.clamp(1, 32) as u64;
                 let start = out.len();
-                'groups: for group in 0..groups {
+                for group in 0..groups {
                     let h =
                         mix64(ctx.seed ^ mix64(ctx.access_index ^ (group << 40) ^ ctx.global_warp));
                     let line = LineAddr(region + fast_mod(h, lines));
-                    for seen in &out[start..] {
-                        if *seen == line {
-                            continue 'groups;
-                        }
-                    }
-                    out.push(line);
+                    crate::coalesce::push_line_dedup(out, start, line);
                 }
             }
             AccessPattern::SparseStream { period } => {
@@ -210,6 +205,188 @@ impl AccessPattern {
                 if fast_mod(ctx.access_index, period) == 0 {
                     let base = region + private_slice(ctx.global_warp);
                     out.push(LineAddr(base + fast_div(ctx.access_index, period)));
+                }
+            }
+        }
+    }
+
+    /// Decodes this pattern's per-(warp, load) constants into a [`LineDesc`],
+    /// so repeated dynamic executions replay with only the
+    /// `access_index`-dependent arithmetic. `decode(d).replay(i, out)` pushes
+    /// exactly the lines of `gen_lines` with `access_index == i` — see
+    /// [`LineDesc`] for the per-variant argument.
+    pub fn decode(&self, d: DecodeCtx) -> LineDesc {
+        let region = region_base(d.load, d.sm);
+        match *self {
+            AccessPattern::ReuseWorkingSet { ws_bytes, shared } => {
+                let lines = ws_lines(ws_bytes);
+                let base = if shared { region } else { region + private_slice(d.global_warp) };
+                let start = if shared { fast_mod(mix64(d.seed ^ d.global_warp), lines) } else { 0 };
+                LineDesc::Cyclic { base, start, lines }
+            }
+            AccessPattern::Streaming { bytes_per_access } => LineDesc::Stream {
+                base: region + private_slice(d.global_warp),
+                n: lines_per_access(bytes_per_access),
+            },
+            AccessPattern::Tiled { tile_bytes, reuse, shared } => {
+                let tile_lines = ws_lines(tile_bytes);
+                let base = if shared { region } else { region + private_slice(d.global_warp) };
+                LineDesc::Tile { base, tile_lines, per_tile: tile_lines * reuse.max(1) as u64 }
+            }
+            AccessPattern::RandomInSet { ws_bytes, shared } => LineDesc::Hash {
+                base: if shared { region } else { region + private_slice(d.global_warp) },
+                lines: ws_lines(ws_bytes),
+                key: d.seed ^ if shared { 0 } else { d.global_warp },
+                loadbits: (d.load.0 as u64) << 32,
+            },
+            AccessPattern::Divergent { ws_bytes, lines_per_access } => LineDesc::Div {
+                region,
+                lines: ws_lines(ws_bytes),
+                seed: d.seed,
+                warp: d.global_warp,
+                groups: lines_per_access.clamp(1, 32) as u64,
+            },
+            AccessPattern::SparseStream { period } => LineDesc::Sparse {
+                base: region + private_slice(d.global_warp),
+                period: period.max(1) as u64,
+            },
+        }
+    }
+}
+
+/// Identifies one (warp, static-load) *decode context*: everything an
+/// [`AccessCtx`] carries except the iteration-dependent `access_index`.
+/// All addresses a warp's load can ever touch are a function of these four
+/// fields plus the access index, which is what makes the decoded-descriptor
+/// cache exact.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeCtx {
+    /// Global seed for the whole simulation.
+    pub seed: u64,
+    /// SM executing the access.
+    pub sm: SmId,
+    /// Globally unique warp number (across CTAs).
+    pub global_warp: u64,
+    /// The static load being executed.
+    pub load: LoadId,
+}
+
+/// A decoded access descriptor: the per-(warp, load) constants of
+/// [`AccessPattern::gen_lines`] folded into closed form, so per-iteration
+/// replay applies only the `access_index`-dependent offset.
+///
+/// Replay is *exact*, not approximate:
+/// - arithmetic patterns (`Cyclic`, `Stream`, `Tile`, `Sparse`) pre-add
+///   `region_base` + `private_slice` and pre-hash the shared-sweep start,
+///   leaving pure offset math per access;
+/// - `Hash` folds the index-independent XOR operands — XOR is associative
+///   and commutative, so `seed ^ mix64(i ^ loadbits) ^ warp` becomes
+///   `key ^ mix64(i ^ loadbits)` with `key = seed ^ warp`;
+/// - `Div` necessarily re-hashes per group (the hash input mixes the access
+///   index with the group id) but skips `region_base`/`ws_lines` and shares
+///   the coalescer dedup rule via [`crate::coalesce::push_line_dedup`].
+///
+/// The equivalence with `gen_lines` is locked per variant by the
+/// `decoded_replay_matches_gen_lines` test and re-checked on every cache
+/// miss by a debug assertion in the SM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LineDesc {
+    /// [`AccessPattern::ReuseWorkingSet`]: cyclic sweep of `lines` lines from
+    /// `base`, entered at a (pre-hashed) `start` offset.
+    Cyclic {
+        /// First line of the (possibly per-warp) region.
+        base: u64,
+        /// Hashed sweep entry offset (0 for private working sets).
+        start: u64,
+        /// Working-set size in lines.
+        lines: u64,
+    },
+    /// [`AccessPattern::Streaming`]: `n` fresh lines per access.
+    Stream {
+        /// First line of the warp's private region.
+        base: u64,
+        /// Lines consumed per dynamic access.
+        n: u64,
+    },
+    /// [`AccessPattern::Tiled`]: sweep a `tile_lines` tile, advance every
+    /// `per_tile` accesses.
+    Tile {
+        /// First line of the (possibly per-warp) region.
+        base: u64,
+        /// Tile size in lines.
+        tile_lines: u64,
+        /// Dynamic accesses per tile (`tile_lines * reuse`).
+        per_tile: u64,
+    },
+    /// [`AccessPattern::RandomInSet`]: hashed line within the working set.
+    Hash {
+        /// First line of the (possibly per-warp) region.
+        base: u64,
+        /// Working-set size in lines.
+        lines: u64,
+        /// Pre-folded outer-hash key (`seed`, XOR warp if private).
+        key: u64,
+        /// Pre-shifted load-id salt for the inner hash.
+        loadbits: u64,
+    },
+    /// [`AccessPattern::Divergent`]: per-group hash + coalescer dedup.
+    Div {
+        /// First line of the shared region.
+        region: u64,
+        /// Working-set size in lines.
+        lines: u64,
+        /// Global seed (outer-hash key).
+        seed: u64,
+        /// Global warp number (inner-hash salt).
+        warp: u64,
+        /// Address groups per access (1..=32).
+        groups: u64,
+    },
+    /// [`AccessPattern::SparseStream`]: one fresh line every `period` accesses.
+    Sparse {
+        /// First line of the warp's private region.
+        base: u64,
+        /// Access period between emitted lines (>= 1).
+        period: u64,
+    },
+}
+
+impl LineDesc {
+    /// Replays the descriptor for one dynamic access, appending exactly the
+    /// lines [`AccessPattern::gen_lines`] would generate for the same
+    /// context and `access_index`.
+    #[inline]
+    pub fn replay(&self, access_index: u64, out: &mut Vec<LineAddr>) {
+        match *self {
+            LineDesc::Cyclic { base, start, lines } => {
+                out.push(LineAddr(base + fast_mod(start + access_index, lines)));
+            }
+            LineDesc::Stream { base, n } => {
+                let first = access_index * n;
+                for k in 0..n {
+                    out.push(LineAddr(base + first + k));
+                }
+            }
+            LineDesc::Tile { base, tile_lines, per_tile } => {
+                let tile = fast_div(access_index, per_tile);
+                let idx = fast_mod(access_index, tile_lines);
+                out.push(LineAddr(base + tile * tile_lines + idx));
+            }
+            LineDesc::Hash { base, lines, key, loadbits } => {
+                let h = mix64(key ^ mix64(access_index ^ loadbits));
+                out.push(LineAddr(base + fast_mod(h, lines)));
+            }
+            LineDesc::Div { region, lines, seed, warp, groups } => {
+                let start = out.len();
+                for group in 0..groups {
+                    let h = mix64(seed ^ mix64(access_index ^ (group << 40) ^ warp));
+                    let line = LineAddr(region + fast_mod(h, lines));
+                    crate::coalesce::push_line_dedup(out, start, line);
+                }
+            }
+            LineDesc::Sparse { base, period } => {
+                if fast_mod(access_index, period) == 0 {
+                    out.push(LineAddr(base + fast_div(access_index, period)));
                 }
             }
         }
@@ -400,6 +577,58 @@ mod tests {
     fn determinism() {
         let p = AccessPattern::RandomInSet { ws_bytes: 1 << 16, shared: false };
         assert_eq!(gen(&p, 5, 99), gen(&p, 5, 99));
+    }
+
+    /// The descriptor cache's correctness argument: for every pattern
+    /// variant (shared and private, power-of-two and odd sizes), every warp
+    /// and every access index, `decode` + `replay` pushes exactly the lines
+    /// `gen_lines` generates. This is what makes caching descriptors
+    /// output-invariant rather than an approximation.
+    #[test]
+    fn decoded_replay_matches_gen_lines() {
+        let patterns = [
+            AccessPattern::ReuseWorkingSet { ws_bytes: 16 * LINE_BYTES, shared: false },
+            AccessPattern::ReuseWorkingSet { ws_bytes: 16 * 1024, shared: true },
+            AccessPattern::ReuseWorkingSet { ws_bytes: 3 * LINE_BYTES, shared: true },
+            AccessPattern::Streaming { bytes_per_access: LINE_BYTES },
+            AccessPattern::Streaming { bytes_per_access: 4 * LINE_BYTES },
+            AccessPattern::Tiled { tile_bytes: 2 * LINE_BYTES, reuse: 3, shared: true },
+            AccessPattern::Tiled { tile_bytes: 8 * LINE_BYTES, reuse: 1, shared: false },
+            AccessPattern::RandomInSet { ws_bytes: 1 << 16, shared: true },
+            AccessPattern::RandomInSet { ws_bytes: 48 * 1024, shared: false },
+            AccessPattern::Divergent { ws_bytes: 1 << 14, lines_per_access: 8 },
+            AccessPattern::Divergent { ws_bytes: 128, lines_per_access: 32 },
+            AccessPattern::SparseStream { period: 6 },
+            AccessPattern::SparseStream { period: 1 },
+        ];
+        for p in &patterns {
+            for (seed, sm, load) in [(7u64, 0u32, 0u32), (0x5eed, 3, 2)] {
+                for warp in [0u64, 1, 13, 65_537] {
+                    let d = p.decode(DecodeCtx {
+                        seed,
+                        sm: SmId(sm),
+                        global_warp: warp,
+                        load: LoadId(load),
+                    });
+                    for idx in (0..40).chain([997, 12_345]) {
+                        let mut reference = vec![LineAddr(0xdead)];
+                        p.gen_lines(
+                            AccessCtx {
+                                seed,
+                                sm: SmId(sm),
+                                global_warp: warp,
+                                load: LoadId(load),
+                                access_index: idx,
+                            },
+                            &mut reference,
+                        );
+                        let mut replayed = vec![LineAddr(0xdead)];
+                        d.replay(idx, &mut replayed);
+                        assert_eq!(replayed, reference, "{p:?} warp={warp} idx={idx}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Opt-in wall-clock phase attribution for the simulator's inner loop.
+//!
+//! The container this project runs in blocks sampling profilers (perf and
+//! gprofng both collect zero samples), so the only way to see where a
+//! simulated second actually goes is to meter it ourselves. With
+//! `LB_PHASE_TIMERS=1` in the environment, `Sm::tick` and `Gpu::step`
+//! attribute their wall time to coarse phases in global counters, and
+//! [`report`] prints the totals to stderr at the end of a run. Without the
+//! variable the instrumentation is a single always-false branch per phase.
+//!
+//! The meter double-counts nesting by design (SM sub-phases are also part
+//! of the step total) and each probe pair costs ~50 ns, so the output ranks
+//! phases rather than measuring them exactly — use the per-phase call
+//! counts it prints to discount probe overhead.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Metered phases, in report order.
+pub const NAMES: [&str; 7] =
+    ["sm_drain", "sm_lsu", "sm_issue", "sm_execute", "l2_ingress", "dram", "l2_egress"];
+
+/// [`NAMES`] index: `Sm::drain_completions`.
+pub const SM_DRAIN: usize = 0;
+/// [`NAMES`] index: `Sm::process_lsu`.
+pub const SM_LSU: usize = 1;
+/// [`NAMES`] index: `Sm::issue` (includes `SM_EXECUTE` time).
+pub const SM_ISSUE: usize = 2;
+/// [`NAMES`] index: `Sm::execute_inst` (nested inside `SM_ISSUE`).
+pub const SM_EXECUTE: usize = 3;
+/// [`NAMES`] index: the L2-ingress phase of `Gpu::step`.
+pub const L2_INGRESS: usize = 4;
+/// [`NAMES`] index: the DRAM-tick phase of `Gpu::step`.
+pub const DRAM: usize = 5;
+/// [`NAMES`] index: the response-delivery phase of `Gpu::step`.
+pub const L2_EGRESS: usize = 6;
+
+static NANOS: [AtomicU64; NAMES.len()] = [const { AtomicU64::new(0) }; NAMES.len()];
+static CALLS: [AtomicU64; NAMES.len()] = [const { AtomicU64::new(0) }; NAMES.len()];
+
+/// Metered event counters (no timing — one relaxed increment when on).
+pub const COUNTER_NAMES: [&str; 5] =
+    ["classify_calls", "scan_lsu_full", "pick_was_current", "cand_walks", "comp_pushes"];
+
+/// [`COUNTER_NAMES`] index: `Sm::classify` invocations.
+pub const CLASSIFY_CALLS: usize = 0;
+/// [`COUNTER_NAMES`] index: issue scans entered with a full LSU queue.
+pub const SCAN_LSU_FULL: usize = 1;
+/// [`COUNTER_NAMES`] index: picks satisfied by the greedily-held warp.
+pub const PICK_WAS_CURRENT: usize = 2;
+/// [`COUNTER_NAMES`] index: candidate-list walks started.
+pub const CAND_WALKS: usize = 3;
+/// [`COUNTER_NAMES`] index: completion-heap pushes.
+pub const COMP_PUSHES: usize = 4;
+
+static COUNTS: [AtomicU64; COUNTER_NAMES.len()] =
+    [const { AtomicU64::new(0) }; COUNTER_NAMES.len()];
+
+/// Bumps event counter `c` when the meter is on (one branch otherwise).
+#[inline]
+pub fn bump(c: usize) {
+    if enabled() {
+        COUNTS[c].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("LB_PHASE_TIMERS").is_some())
+}
+
+/// Starts a probe; `None` (the common case) costs one predictable branch.
+#[inline]
+pub fn start() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Stops a probe started by [`start`], crediting `phase`.
+#[inline]
+pub fn stop(probe: Option<Instant>, phase: usize) {
+    if let Some(t) = probe {
+        NANOS[phase].fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        CALLS[phase].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Prints accumulated phase totals to stderr (no-op when the meter is off).
+pub fn report() {
+    if !enabled() {
+        return;
+    }
+    eprintln!("[phase-timers] wall time by simulator phase (probe pairs inflate each call):");
+    for (i, name) in NAMES.iter().enumerate() {
+        let ns = NANOS[i].load(Ordering::Relaxed);
+        let calls = CALLS[i].load(Ordering::Relaxed);
+        let per = ns.checked_div(calls).unwrap_or(0);
+        eprintln!(
+            "[phase-timers]   {name:<10} {:>9.3} s  {calls:>12} calls  {per:>6} ns/call",
+            ns as f64 / 1e9
+        );
+    }
+    for (i, name) in COUNTER_NAMES.iter().enumerate() {
+        eprintln!("[phase-timers]   {name:<18} {:>14}", COUNTS[i].load(Ordering::Relaxed));
+    }
+}

@@ -219,6 +219,31 @@ impl RegFile {
         }
     }
 
+    /// The operand traffic of one issued instruction: two reads and one
+    /// write on the warp's registers, rotated by the instruction's body
+    /// position so consecutive instructions stress different banks.
+    /// `base` is the warp's first register (precomputed at CTA launch),
+    /// `span` its register count (>= 1). Returns the summed bank-conflict
+    /// delay.
+    ///
+    /// One divide seeds the rotation; the two follow-up operands wrap by
+    /// subtraction (`r + 1 < 2 * span` always), replacing three hardware
+    /// divides per instruction with one — and keeping the exact access
+    /// sequence the SM's issue stage used to produce inline.
+    pub fn access_operands(&mut self, base: u32, span: u32, rot3: u32, cycle: Cycle) -> u32 {
+        let mut extra = 0u32;
+        debug_assert!(rot3 < span, "caller passes a pre-reduced rotation");
+        let mut r = rot3;
+        for write in [false, false, true] {
+            extra += self.access(RegNum(base + r), cycle, write);
+            r += 1;
+            if r >= span {
+                r -= span;
+            }
+        }
+        extra
+    }
+
     /// Reads the synthetic contents of a register (for backup).
     pub fn read_contents(&self, reg: RegNum) -> u64 {
         self.contents[reg.0 as usize]
@@ -325,6 +350,31 @@ mod tests {
         assert_eq!(r.access(RegNum(0), 5, true), 0);
         assert_eq!(r.access(RegNum(32), 5, true), 1);
         assert_eq!(r.access(RegNum(64), 5, true), 2);
+    }
+
+    /// `access_operands` must reproduce the inline rotation it replaced:
+    /// same registers, same read/write split, same conflict delays. The
+    /// `(pos * 3) % span` reduction itself now happens once per kernel in
+    /// `Sm::try_launch_cta`, so the bench seeds it the same way here.
+    #[test]
+    fn access_operands_matches_inline_rotation() {
+        let (base, span) = (100u32, 24u32);
+        for rot in [0u32, 1, 7, 23, 24, 1000] {
+            let mut a = rf();
+            let mut b = rf();
+            let batched = a.access_operands(base, span, rot.wrapping_mul(3) % span, 42);
+            let mut inline_extra = 0u32;
+            let mut r = rot.wrapping_mul(3) % span;
+            for write in [false, false, true] {
+                inline_extra += b.access(RegNum(base + r), 42, write);
+                r += 1;
+                if r >= span {
+                    r -= span;
+                }
+            }
+            assert_eq!(batched, inline_extra, "rot={rot}");
+            assert_eq!(a.stats(), b.stats(), "rot={rot}");
+        }
     }
 
     #[test]

@@ -84,6 +84,77 @@ impl GtoScheduler {
     }
 }
 
+/// One scheduler's candidate list: `(age, warp slot)` pairs kept sorted
+/// ascending — GTO's fallback order — holding every warp that *may* be
+/// issueable. The SM's lazy issue walk scans it front-to-back, pruning
+/// entries it proves event-blocked; unblocking events re-insert.
+///
+/// Lives next to [`GtoScheduler`] because the pair is the scheduling state
+/// of one scheduler: the greedy hold plus the age-ordered fallback queue.
+/// The dense `(u64, u32)` rows (no warp-struct pointers) are what lets the
+/// walk stay cache-resident after the SoA warp-state split.
+#[derive(Debug, Clone, Default)]
+pub struct CandList {
+    entries: Vec<(u64, u32)>,
+}
+
+impl CandList {
+    /// Creates an empty list with room for `cap` warps.
+    pub fn with_capacity(cap: usize) -> Self {
+        CandList { entries: Vec::with_capacity(cap) }
+    }
+
+    /// Inserts a warp in age order; a no-op when already listed.
+    #[inline]
+    pub fn insert(&mut self, age: u64, slot: u32) {
+        let key = (age, slot);
+        if let Err(pos) = self.entries.binary_search(&key) {
+            self.entries.insert(pos, key);
+        }
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Appends without keeping order; callers pair it with [`CandList::sort`]
+    /// when rebuilding the list wholesale.
+    #[inline]
+    pub fn push_unsorted(&mut self, age: u64, slot: u32) {
+        self.entries.push((age, slot));
+    }
+
+    /// Restores age order after a wholesale rebuild.
+    pub fn sort(&mut self) {
+        self.entries.sort_unstable();
+    }
+
+    /// Number of listed warps.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no warp is listed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `(age, warp slot)` pair at walk position `k`.
+    #[inline]
+    pub fn get(&self, k: usize) -> (u64, u32) {
+        self.entries[k]
+    }
+
+    /// Removes the entry at walk position `k` (proven event-blocked or
+    /// parked in the timer wheel).
+    #[inline]
+    pub fn remove(&mut self, k: usize) {
+        self.entries.remove(k);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +216,35 @@ mod tests {
         let mut s = GtoScheduler::new();
         let ready = [(7u32, 5u64), (3, 5)];
         assert_eq!(s.pick(&pairs(&ready)), Some(WarpId(3)));
+    }
+
+    #[test]
+    fn cand_list_keeps_age_order_and_dedups() {
+        let mut c = CandList::with_capacity(4);
+        c.insert(30, 3);
+        c.insert(10, 1);
+        c.insert(20, 2);
+        c.insert(10, 1); // duplicate: no-op
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), (10, 1));
+        assert_eq!(c.get(1), (20, 2));
+        assert_eq!(c.get(2), (30, 3));
+        c.remove(1);
+        assert_eq!(c.get(1), (30, 3));
+    }
+
+    #[test]
+    fn cand_list_rebuild_matches_incremental_order() {
+        let mut inc = CandList::default();
+        let mut bulk = CandList::default();
+        for &(age, slot) in &[(5u64, 9u32), (1, 4), (5, 2), (3, 7)] {
+            inc.insert(age, slot);
+            bulk.push_unsorted(age, slot);
+        }
+        bulk.sort();
+        assert_eq!(inc.len(), bulk.len());
+        for k in 0..inc.len() {
+            assert_eq!(inc.get(k), bulk.get(k));
+        }
     }
 }

@@ -9,23 +9,31 @@ use crate::config::GpuConfig;
 use crate::cta::{CtaState, CtaStatus};
 use crate::kernel::{InstKind, KernelSpec};
 use crate::mem::{MemReq, MemReqKind};
-use crate::pattern::AccessCtx;
+use crate::pattern::{AccessCtx, DecodeCtx, LineDesc};
+use crate::phase_timer;
 use crate::policy::{MissService, PolicyCtx, PreAccess, SmPolicy, WindowInfo};
 use crate::regfile::RegFile;
-use crate::scheduler::GtoScheduler;
+use crate::scheduler::{CandList, GtoScheduler};
 use crate::stats::{RfSpaceSample, SimStats};
 use crate::types::{
     hashed_pc5, CtaId, Cycle, LineAddr, LoadId, MissClass, Pc, RegNum, SmId, WarpId,
 };
-use crate::warp::WarpState;
+use crate::warp::{WarpSlab, META_DEP, META_LOAD, META_READY, META_STORE};
 use lb_trace::{Event as TraceEvent, L1Outcome as TraceL1Outcome, Tracer};
 
 /// A line request waiting for an L1 port.
 #[derive(Debug, Clone, Copy)]
 struct LsuReq {
     warp: u32,
+    /// Warp-slot residency generation at issue; completions deliver only
+    /// while it still matches (the slot may recycle underneath a queued
+    /// request whose warp retired without waiting on it).
+    gen: u32,
     load: LoadId,
     pc: Pc,
+    /// The load's hashed PC (precomputed once per static load at kernel
+    /// init instead of re-folded per queued line).
+    hpc: u8,
     line: LineAddr,
 }
 
@@ -42,6 +50,11 @@ const STORE_BUFFER_CAP: u32 = 64;
 /// lists and the exact slot re-lists it); the rare longer latency stays a
 /// candidate and is re-examined instead.
 const WAKE_RING: u64 = 256;
+
+/// Completion-ring span in cycles (power of two). Must exceed every local
+/// completion delay (`l1_hit_latency`, plus the victim-probe penalty on a
+/// register-file hit); longer delays spill to `comp_overflow`.
+const COMP_RING: usize = 64;
 
 /// Issue eligibility of one warp this cycle, as seen by the lazy GTO walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,20 +90,21 @@ pub struct Sm {
     pub stats: SimStats,
     /// The architecture policy driving this SM.
     pub policy: Box<dyn SmPolicy>,
-    warps: Vec<Option<WarpState>>,
-    /// Per-scheduler candidate lists of `(age, warp slot)` sorted
-    /// ascending — GTO's fallback order — holding every warp that may be
-    /// issueable. The issue walk takes the greedily-held warp if it is
-    /// eligible, else the first eligible candidate; candidates proven
-    /// event-blocked on the way (retired, CTA not schedulable, waiting on
-    /// a dependency or the outstanding-load cap) are removed, and warps
-    /// blocked only on a known `next_ready` park in the timer wheel.
-    /// Every unblocking event re-inserts: a load completion re-arms its
-    /// warp, a restore finishing re-arms its CTA's warps, and CTA launch /
-    /// reap / limit changes / window ends conservatively rebuild all
-    /// lists. Warps held back by LSU back-pressure or store credits stay
-    /// listed — those gates clear without any warp event firing.
-    cands: Vec<Vec<(u64, u32)>>,
+    /// All warp state, as struct-of-arrays columns indexed by warp slot.
+    warps: WarpSlab,
+    /// Per-scheduler candidate lists — GTO's age-sorted fallback order —
+    /// holding every warp that may be issueable. The issue walk takes the
+    /// greedily-held warp if it is eligible, else the first eligible
+    /// candidate; candidates proven event-blocked on the way (retired, CTA
+    /// not schedulable, waiting on a dependency or the outstanding-load
+    /// cap) are removed, and warps blocked only on a known `next_ready`
+    /// park in the timer wheel. Every unblocking event re-inserts: a load
+    /// completion re-arms its warp, a restore finishing re-arms its CTA's
+    /// warps, and CTA launch / reap / limit changes / window ends
+    /// conservatively rebuild all lists. Warps held back by LSU
+    /// back-pressure or store credits stay listed — those gates clear
+    /// without any warp event firing.
+    cands: Vec<CandList>,
     /// Timer wheel for warps blocked only on a known `next_ready`: slot
     /// `(t % WAKE_RING) * words..` holds the bitmask of warp slots to
     /// re-list at cycle `t`. The issue walk fires the current slot before
@@ -104,8 +118,29 @@ pub struct Sm {
     ctas: Vec<Option<CtaState>>,
     schedulers: Vec<GtoScheduler>,
     lsu_queue: VecDeque<LsuReq>,
-    /// Locally-completing accesses: (finish cycle, warp, load).
-    completions: BinaryHeap<Reverse<(Cycle, u32, u32)>>,
+    /// Locally-completing accesses, bucketed by finish cycle: ring slot
+    /// `t & (COMP_RING - 1)` holds the `(tagged warp, load)` pairs finishing
+    /// at cycle `t`, where the tagged warp packs the slot's residency
+    /// generation in bits 31..16 and the warp slot in bits 15..0 (the same
+    /// layout the MSHR waiter tokens carry in their upper word). Local latencies are small constants (an L1 hit, or a hit
+    /// plus the victim-probe penalty), so every push lands within
+    /// `COMP_RING` cycles of `comp_head` and the heap this replaces paid
+    /// its ordering cost for nothing; `comp_overflow` catches configs with
+    /// outsized latencies. Slot vectors keep their capacity across reuse.
+    comp_ring: Vec<Vec<(u32, u32)>>,
+    /// Occupancy bitmask over `comp_ring` (bit `s` set iff slot `s` holds
+    /// entries); makes the earliest-completion lookup a rotate + ctz.
+    comp_mask: u64,
+    /// Earliest cycle not yet drained; after `drain_completions(cycle)`
+    /// this is `cycle + 1`, which pins every ring entry into the window
+    /// `[comp_head, comp_head + COMP_RING)` (pushes only happen later in
+    /// the same tick, with bounded delays). Entries sharing a slot
+    /// therefore always share the same finish cycle.
+    comp_head: Cycle,
+    /// Completions whose delay exceeds the ring span (none with the
+    /// default config; correctness backstop, drained by cycle like the
+    /// ring).
+    comp_overflow: BinaryHeap<Reverse<(Cycle, u32, u32)>>,
     /// Outgoing requests for the shared memory system (drained by the GPU).
     pub outbox: Vec<MemReq>,
     /// Current active-CTA limit imposed by the policy.
@@ -122,6 +157,8 @@ pub struct Sm {
     window_index: u32,
     /// Scratch buffer for pattern generation.
     line_buf: Vec<LineAddr>,
+    /// Scratch buffer for MSHR waiter draining (fill completion).
+    waiter_buf: Vec<u64>,
     /// Issue-scan sleep horizon: while `cycle < issue_sleep_until` and no
     /// wake event arrived, the ready sets are provably empty and `issue`
     /// returns without scanning the warps.
@@ -129,9 +166,43 @@ pub struct Sm {
     /// Set by any event that can change warp eligibility (completion
     /// drain, memory response, CTA launch/reap/limit change, window end).
     issue_wake: bool,
+    /// A warp retired or a CTA returned to `Active` since the last reap:
+    /// only then can `is_complete() && Active` newly hold for some CTA, so
+    /// `reap_completed_ctas` skips its slot scan otherwise.
+    reap_pending: bool,
     /// Outstanding store lines in flight toward DRAM.
     stores_in_flight: u32,
     seed: u64,
+    /// Decoded access-descriptor table: `warp slot * desc_stride + load`
+    /// holds the interned [`LineDesc`] of that (warp, load) pair, or `None`
+    /// until its first execution. A CTA launch clears the rows of the slots
+    /// it occupies (slot reuse changes the global warp number, so stale
+    /// descriptors must never survive a relaunch).
+    desc_table: Vec<Option<LineDesc>>,
+    /// Loads per warp slot in `desc_table`; 0 while the cache is disabled
+    /// (`--no-desc-cache`, a load-free kernel, or the sizing cap).
+    desc_stride: usize,
+    /// Precomputed operand rotation per body position:
+    /// `(pos * 3) % regs_per_warp`. The issue stage reads it once per
+    /// instruction instead of paying a hardware divide (the divisor is a
+    /// runtime kernel parameter, so the compiler cannot strength-reduce
+    /// it).
+    rot3: Vec<u32>,
+    /// `schedulers_per_sm - 1` when the count is a power of two (the
+    /// common configuration), else 0 with [`Sm::sched_of`] falling back to
+    /// a real modulo. Warp-to-scheduler mapping runs on every wake event.
+    sched_mask: Option<u32>,
+    /// Descriptor-cache hits (replays) this run.
+    desc_hits: u64,
+    /// Descriptor-cache misses (decode + intern) this run.
+    desc_misses: u64,
+    /// Per-load hashed PC, precomputed at kernel init.
+    load_hpc: Vec<u8>,
+    /// Stepped SM-cycles whose LSU phase had queued work (per-phase cycle
+    /// attribution for the profiler).
+    lsu_busy_cycles: u64,
+    /// Stepped SM-cycles whose issue phase ran a real candidate scan.
+    issue_scan_cycles: u64,
     /// Event-trace capture handle (shared with the GPU; off by default).
     tracer: Tracer,
 }
@@ -145,16 +216,19 @@ impl Sm {
             regfile: RegFile::new(cfg.warp_regs_per_sm(), cfg.regfile_banks, cfg.max_ctas_per_sm),
             stats: SimStats::default(),
             policy,
-            warps: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
+            warps: WarpSlab::new(cfg.max_warps_per_sm as usize),
             cands: (0..cfg.schedulers_per_sm)
-                .map(|_| Vec::with_capacity(cfg.max_warps_per_sm as usize))
+                .map(|_| CandList::with_capacity(cfg.max_warps_per_sm as usize))
                 .collect(),
             wake_ring: vec![0; WAKE_RING as usize * cfg.max_warps_per_sm.div_ceil(64) as usize],
             ring_timers: 0,
             ctas: (0..cfg.max_ctas_per_sm).map(|_| None).collect(),
             schedulers: (0..cfg.schedulers_per_sm).map(|_| GtoScheduler::new()).collect(),
             lsu_queue: VecDeque::new(),
-            completions: BinaryHeap::new(),
+            comp_ring: vec![Vec::new(); COMP_RING],
+            comp_mask: 0,
+            comp_head: 0,
+            comp_overflow: BinaryHeap::new(),
             outbox: Vec::new(),
             cta_limit: None,
             launch_seq: 0,
@@ -164,10 +238,21 @@ impl Sm {
             window_start_insts: 0,
             window_index: 0,
             line_buf: Vec::with_capacity(32),
+            waiter_buf: Vec::with_capacity(32),
             issue_sleep_until: 0,
             issue_wake: true,
+            reap_pending: false,
             stores_in_flight: 0,
             seed,
+            desc_table: Vec::new(),
+            desc_stride: 0,
+            rot3: Vec::new(),
+            sched_mask: cfg.schedulers_per_sm.is_power_of_two().then(|| cfg.schedulers_per_sm - 1),
+            desc_hits: 0,
+            desc_misses: 0,
+            load_hpc: Vec::new(),
+            lsu_busy_cycles: 0,
+            issue_scan_cycles: 0,
             tracer: Tracer::off(),
         }
     }
@@ -177,17 +262,26 @@ impl Sm {
         self.tracer = tracer;
     }
 
+    /// Scheduler owning warp slot `wi` (`wi % schedulers_per_sm`, with the
+    /// divide strength-reduced for power-of-two scheduler counts).
+    #[inline]
+    fn sched_of(&self, wi: usize) -> usize {
+        match self.sched_mask {
+            Some(m) => wi & m as usize,
+            None => wi % self.schedulers.len(),
+        }
+    }
+
     /// Re-lists one warp as a scheduling candidate (no-op for vacated
     /// slots or warps already listed). Called on events that can unblock
     /// exactly this warp, i.e. its own load completions and timer expiry.
     #[inline]
     fn wake_warp(&mut self, wi: usize) {
-        let Some(w) = self.warps[wi].as_ref() else { return };
-        let key = (w.age, w.id.0);
-        let v = &mut self.cands[(w.id.0 as usize) % self.schedulers.len()];
-        if let Err(pos) = v.binary_search(&key) {
-            v.insert(pos, key);
+        if !self.warps.is_occupied(wi) {
+            return;
         }
+        let s = self.sched_of(wi);
+        self.cands[s].insert(self.warps.age(wi), wi as u32);
     }
 
     /// Conservatively re-lists every resident warp. Called on CTA-level
@@ -198,13 +292,13 @@ impl Sm {
             v.clear();
         }
         let n_scheds = self.schedulers.len();
-        for slot in &self.warps {
-            if let Some(w) = slot.as_ref() {
-                self.cands[(w.id.0 as usize) % n_scheds].push((w.age, w.id.0));
+        for slot in 0..self.warps.len() {
+            if self.warps.is_occupied(slot) {
+                self.cands[slot % n_scheds].push_unsorted(self.warps.age(slot), slot as u32);
             }
         }
         for v in &mut self.cands {
-            v.sort_unstable();
+            v.sort();
         }
     }
 
@@ -229,12 +323,26 @@ impl Sm {
     pub fn drained(&self) -> bool {
         self.ctas.iter().all(|c| c.is_none())
             && self.lsu_queue.is_empty()
-            && self.completions.is_empty()
+            && self.comp_mask == 0
+            && self.comp_overflow.is_empty()
     }
 
     /// Tries to launch one CTA of `kernel`; returns false when occupancy
     /// limits (slots, warps, threads, registers, shared memory) forbid it.
     pub fn try_launch_cta(&mut self, kernel: &KernelSpec, cfg: &GpuConfig) -> bool {
+        if self.launch_seq == 0 {
+            // One SM runs one kernel: size the kernel-derived tables once,
+            // before the first CTA can issue anything.
+            self.warps.ensure_loads(kernel.loads.len());
+            self.load_hpc = kernel.loads.iter().map(|l| hashed_pc5(l.pc)).collect();
+            let span = kernel.regs_per_warp().max(1);
+            self.rot3 = (0..kernel.body.len() as u32).map(|p| (p * 3) % span).collect();
+            let entries = self.warps.len() * kernel.loads.len();
+            if cfg.desc_cache && entries > 0 && entries <= cfg.desc_cache_max_entries as usize {
+                self.desc_stride = kernel.loads.len();
+                self.desc_table = vec![None; entries];
+            }
+        }
         let warps_per_cta = kernel.warps_per_cta;
         let resident: u32 = self.resident_ctas();
         if resident >= cfg.max_ctas_per_sm {
@@ -271,13 +379,25 @@ impl Sm {
             let wid = warp_base + i;
             let gw = self.warp_seq;
             self.warp_seq += 1;
-            self.warps[wid as usize] = Some(WarpState::new(
-                WarpId(wid),
+            // Operand base: the warp's first register, precomputed here so
+            // the issue stage does one column read instead of re-deriving
+            // it per instruction.
+            let op_base =
+                first_reg.0 + (wid % kernel.warps_per_cta.max(1)) * kernel.regs_per_warp();
+            self.warps.launch(
+                wid as usize,
                 CtaId(slot),
                 gw,
-                kernel.loads.len(),
                 seq * 1000 + i as u64,
-            ));
+                op_base,
+                kernel,
+            );
+            // Slot reuse changes the global warp number: stale descriptors
+            // of the previous tenant must never replay.
+            if self.desc_stride != 0 {
+                let lo = wid as usize * self.desc_stride;
+                self.desc_table[lo..lo + self.desc_stride].fill(None);
+            }
             warp_ids.push(wid);
         }
         for wid in warp_base..warp_base + warps_per_cta {
@@ -303,7 +423,7 @@ impl Sm {
         let n = self.warps.len() as u32;
         let mut run = 0u32;
         for i in 0..n {
-            if self.warps[i as usize].is_none() {
+            if !self.warps.is_occupied(i as usize) {
                 run += 1;
                 if run == count {
                     return Some(i + 1 - count);
@@ -317,29 +437,90 @@ impl Sm {
 
     /// Advances this SM one cycle. Emits memory requests into `outbox`.
     pub fn tick(&mut self, cycle: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) {
+        let probe = phase_timer::start();
         self.drain_completions(cycle);
+        phase_timer::stop(probe, phase_timer::SM_DRAIN);
+        let probe = phase_timer::start();
         self.process_lsu(cycle, cfg);
+        phase_timer::stop(probe, phase_timer::SM_LSU);
+        let probe = phase_timer::start();
         self.issue(cycle, kernel, cfg);
+        phase_timer::stop(probe, phase_timer::SM_ISSUE);
     }
 
     fn drain_completions(&mut self, cycle: Cycle) {
-        while let Some(Reverse((t, warp, load))) = self.completions.peek().copied() {
+        while self.comp_mask != 0 {
+            let base = (self.comp_head & (COMP_RING as u64 - 1)) as u32;
+            let d = self.comp_mask.rotate_right(base).trailing_zeros() as u64;
+            let t = self.comp_head + d;
             if t > cycle {
                 break;
             }
-            self.completions.pop();
-            self.issue_wake = true;
-            if let Some(w) = self.warps[warp as usize].as_mut() {
-                w.complete_one(LoadId(load));
+            let slot = (t & (COMP_RING as u64 - 1)) as usize;
+            self.comp_mask &= !(1u64 << slot);
+            let mut batch = std::mem::take(&mut self.comp_ring[slot]);
+            for (warp_tag, load) in batch.drain(..) {
+                self.complete(warp_tag, load);
             }
-            self.wake_warp(warp as usize);
+            self.comp_ring[slot] = batch;
+            self.comp_head = t + 1;
+        }
+        self.comp_head = self.comp_head.max(cycle + 1);
+        // Same-cycle completions commute (counter decrements plus deduped
+        // sorted candidate inserts), so draining any overflow after the
+        // ring preserves the retired heap's output exactly.
+        while let Some(&Reverse((t, warp_tag, load))) = self.comp_overflow.peek() {
+            if t > cycle {
+                break;
+            }
+            self.comp_overflow.pop();
+            self.complete(warp_tag, load);
+        }
+    }
+
+    /// Delivers one completion to `warp_tag` (generation in the upper
+    /// half, warp slot in the lower): credit the load and wake the warp —
+    /// unless the slot was recycled since issue (generation mismatch), in
+    /// which case the completion is stale and dropped rather than credited
+    /// to the slot's new resident.
+    #[inline]
+    fn complete(&mut self, warp_tag: u32, load: u32) {
+        self.issue_wake = true;
+        let warp = (warp_tag & 0xffff) as usize;
+        if self.warps.generation(warp) != warp_tag >> 16 {
+            return;
+        }
+        if self.warps.is_occupied(warp) {
+            self.warps.complete_one(warp, LoadId(load));
+        }
+        self.wake_warp(warp);
+    }
+
+    /// Parks a local completion for cycle `t` (ring slot when the delay
+    /// fits, overflow heap otherwise). `process_lsu` runs after the drain,
+    /// so `comp_head` is already `cycle + 1` here; clamping keeps a
+    /// zero-latency config on the heap's schedule (delivery next tick).
+    #[inline]
+    fn push_completion(&mut self, t: Cycle, warp_tag: u32, load: u32) {
+        phase_timer::bump(phase_timer::COMP_PUSHES);
+        let t = t.max(self.comp_head);
+        if t - self.comp_head < COMP_RING as u64 {
+            let slot = (t & (COMP_RING as u64 - 1)) as usize;
+            self.comp_ring[slot].push((warp_tag, load));
+            self.comp_mask |= 1u64 << slot;
+        } else {
+            self.comp_overflow.push(Reverse((t, warp_tag, load)));
         }
     }
 
     fn process_lsu(&mut self, cycle: Cycle, cfg: &GpuConfig) {
+        if self.lsu_queue.is_empty() {
+            return;
+        }
+        self.lsu_busy_cycles += 1;
         for _ in 0..cfg.l1_ports {
             let Some(req) = self.lsu_queue.pop_front() else { break };
-            let hpc = hashed_pc5(req.pc);
+            let hpc = req.hpc;
             let mut ctx = PolicyCtx {
                 cycle,
                 sm: self.id,
@@ -362,6 +543,7 @@ impl Sm {
                 self.outbox.push(MemReq {
                     sm: self.id,
                     warp: req.warp,
+                    gen: req.gen,
                     load: req.load,
                     line: req.line,
                     kind: MemReqKind::BypassRead,
@@ -387,11 +569,11 @@ impl Sm {
                             outcome: TraceL1Outcome::Hit,
                         },
                     );
-                    self.completions.push(Reverse((
+                    self.push_completion(
                         cycle + cfg.l1_hit_latency as u64,
-                        req.warp,
+                        req.gen << 16 | req.warp,
                         req.load.0,
-                    )));
+                    );
                 }
                 L1Lookup::Miss(class) => {
                     let mut ctx = PolicyCtx {
@@ -416,14 +598,20 @@ impl Sm {
                                     outcome: TraceL1Outcome::RegHit,
                                 },
                             );
-                            self.completions.push(Reverse((
+                            self.push_completion(
                                 cycle + (cfg.l1_hit_latency + extra_latency) as u64,
-                                req.warp,
+                                req.gen << 16 | req.warp,
                                 req.load.0,
-                            )));
+                            );
                         }
                         MissService::ToL2 => {
-                            let token = (req.warp as u64) << 32 | req.load.0 as u64;
+                            // Waiter-token layout: generation in bits
+                            // 63..48, warp slot in 47..32, load in 31..0
+                            // (slots and generations are both 16-bit).
+                            debug_assert!(req.warp < 1 << 16);
+                            let token = (req.gen as u64) << 48
+                                | (req.warp as u64) << 32
+                                | req.load.0 as u64;
                             let miss_outcome = match class {
                                 MissClass::Cold => TraceL1Outcome::MissCold,
                                 MissClass::CapacityConflict => TraceL1Outcome::MissCapacity,
@@ -471,6 +659,7 @@ impl Sm {
                                     self.outbox.push(MemReq {
                                         sm: self.id,
                                         warp: req.warp,
+                                        gen: req.gen,
                                         load: req.load,
                                         line: req.line,
                                         kind: MemReqKind::Read,
@@ -501,6 +690,7 @@ impl Sm {
             return;
         }
         self.issue_wake = false;
+        self.issue_scan_cycles += 1;
 
         // Fire due warp timers: re-list warps whose `next_ready` is now.
         let nw = self.wake_ring.len() / WAKE_RING as usize;
@@ -523,6 +713,9 @@ impl Sm {
         }
 
         let lsu_full = self.lsu_queue.len() >= LSU_QUEUE_CAP;
+        if lsu_full {
+            phase_timer::bump(phase_timer::SCAN_LSU_FULL);
+        }
         let mut gated_by_lsu = false;
         let mut timed_wake: Option<Cycle> = None;
         let mut issued_any = false;
@@ -541,17 +734,28 @@ impl Sm {
         for s in 0..self.schedulers.len() {
             let mut pick: Option<WarpId> = None;
             if let Some(cur) = self.schedulers[s].current() {
-                match self.classify(cur.0 as usize, cycle, kernel, cfg, lsu_full) {
-                    WarpClass::Eligible => pick = Some(cur),
-                    WarpClass::GatedLsu => gated_by_lsu = true,
-                    _ => {}
+                // Timer fast-out: a warp whose `next_ready` lies ahead can
+                // only classify as `Blocked`/`Time*` (never `Eligible` or
+                // `GatedLsu`, both of which require an expired timer), and
+                // the current-warp check ignores that distinction — so one
+                // column read replaces the full classify. Exact.
+                if self.warps.next_ready(cur.0 as usize) <= cycle {
+                    match self.classify(cur.0 as usize, cycle, cfg, lsu_full) {
+                        WarpClass::Eligible => {
+                            phase_timer::bump(phase_timer::PICK_WAS_CURRENT);
+                            pick = Some(cur)
+                        }
+                        WarpClass::GatedLsu => gated_by_lsu = true,
+                        _ => {}
+                    }
                 }
             }
             if pick.is_none() {
+                phase_timer::bump(phase_timer::CAND_WALKS);
                 let mut k = 0;
                 while k < self.cands[s].len() {
-                    let (_, wid) = self.cands[s][k];
-                    match self.classify(wid as usize, cycle, kernel, cfg, lsu_full) {
+                    let (_, wid) = self.cands[s].get(k);
+                    match self.classify(wid as usize, cycle, cfg, lsu_full) {
                         WarpClass::Eligible => {
                             pick = Some(WarpId(wid));
                             break;
@@ -583,7 +787,9 @@ impl Sm {
             if let Some(wid) = pick {
                 self.schedulers[s].note_pick(wid);
                 issued_any = true;
+                let probe = phase_timer::start();
                 self.execute_inst(wid, cycle, kernel, cfg);
+                phase_timer::stop(probe, phase_timer::SM_EXECUTE);
             }
         }
 
@@ -613,41 +819,46 @@ impl Sm {
 
     /// Classifies one warp slot's issue eligibility this cycle (pure; the
     /// caller does the candidate-list / timer-wheel bookkeeping).
+    ///
+    /// Single pass over the slab's packed `meta` word plus (at most) the
+    /// scoreboard and timer columns. The word carries liveness, CTA
+    /// schedulability and the current instruction's shape — maintained at
+    /// the state transitions, so the per-candidate cost is three dependent
+    /// loads instead of re-deriving the same facts from five columns, the
+    /// CTA table and the kernel body. A warp blocked on a dependency or
+    /// the outstanding-load cap is `Blocked` regardless of its latency
+    /// timer (a load completion wakes it); a warp blocked *only* on its
+    /// timer is `Time*`-parked. This is exactly the split the former
+    /// double `can_issue` probe (now, then again at `next_ready`)
+    /// computed.
     #[inline]
-    fn classify(
-        &self,
-        wi: usize,
-        cycle: Cycle,
-        kernel: &KernelSpec,
-        cfg: &GpuConfig,
-        lsu_full: bool,
-    ) -> WarpClass {
-        let Some(w) = self.warps[wi].as_ref() else { return WarpClass::Blocked };
-        if w.done {
+    fn classify(&self, wi: usize, cycle: Cycle, cfg: &GpuConfig, lsu_full: bool) -> WarpClass {
+        phase_timer::bump(phase_timer::CLASSIFY_CALLS);
+        let meta = self.warps.meta(wi);
+        // Dead slot, retired warp, or CTA not `Active`: all encode as a
+        // missing READY bit (launch sets both, retire/free/deactivate
+        // clear their half).
+        if meta & META_READY != META_READY {
             return WarpClass::Blocked;
         }
-        let cta_ok = self.ctas[w.cta.0 as usize].as_ref().map(|c| c.schedulable()).unwrap_or(false);
-        if !cta_ok {
+        if meta & META_DEP != 0 && self.warps.outstanding(wi, LoadId(meta >> 16)) > 0 {
             return WarpClass::Blocked;
         }
-        if !w.can_issue(kernel, cycle, cfg.max_outstanding_per_warp) {
-            // A warp blocked purely on its latency becomes ready at
-            // `next_ready`; warps blocked on dependencies or the load cap
-            // wake via completion events instead.
-            if w.next_ready > cycle
-                && w.can_issue(kernel, w.next_ready, cfg.max_outstanding_per_warp)
-            {
-                if w.next_ready - cycle < WAKE_RING {
-                    return WarpClass::TimeNear(w.next_ready);
-                }
-                return WarpClass::TimeFar(w.next_ready);
+        let is_load = meta & META_LOAD != 0;
+        if is_load && self.warps.total_outstanding(wi) >= cfg.max_outstanding_per_warp {
+            return WarpClass::Blocked;
+        }
+        let nr = self.warps.next_ready(wi);
+        if nr > cycle {
+            // Blocked purely on latency: ready again at `next_ready`.
+            if nr - cycle < WAKE_RING {
+                return WarpClass::TimeNear(nr);
             }
-            return WarpClass::Blocked;
+            return WarpClass::TimeFar(nr);
         }
         // Back-pressure: loads/stores need LSU space; stores need a credit.
-        let inst = &kernel.body[w.body_pos as usize];
-        let is_store = matches!(inst.kind, InstKind::Store { .. });
-        if lsu_full && (is_store || matches!(inst.kind, InstKind::Load { .. })) {
+        let is_store = meta & META_STORE != 0;
+        if lsu_full && (is_store || is_load) {
             return WarpClass::GatedLsu;
         }
         if is_store && self.stores_in_flight >= STORE_BUFFER_CAP {
@@ -682,8 +893,14 @@ impl Sm {
             return Some(cycle + 1);
         }
         let mut next: Option<Cycle> = None;
-        if let Some(Reverse((t, _, _))) = self.completions.peek().copied() {
-            next = Some(t.max(cycle + 1));
+        if self.comp_mask != 0 {
+            let base = (self.comp_head & (COMP_RING as u64 - 1)) as u32;
+            let d = self.comp_mask.rotate_right(base).trailing_zeros() as u64;
+            next = Some((self.comp_head + d).max(cycle + 1));
+        }
+        if let Some(&Reverse((t, ..))) = self.comp_overflow.peek() {
+            let t = t.max(cycle + 1);
+            next = Some(next.map_or(t, |n| n.min(t)));
         }
         if self.issue_sleep_until != Cycle::MAX {
             let t = self.issue_sleep_until.max(cycle + 1);
@@ -693,79 +910,49 @@ impl Sm {
     }
 
     fn execute_inst(&mut self, wid: WarpId, cycle: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) {
-        let w = self.warps[wid.0 as usize].as_mut().expect("picked warp exists");
-        let cta = self.ctas[w.cta.0 as usize].as_ref().expect("warp's CTA exists");
-        let inst = &kernel.body[w.body_pos as usize];
+        let slot = wid.0 as usize;
+        let body_pos = self.warps.body_pos(slot);
+        let inst = &kernel.body[body_pos as usize];
         self.stats.instructions += 1;
         self.tracer.emit(
             cycle,
-            TraceEvent::Issue { sm: self.id.0 as u64, warp: wid.0 as u64, pos: w.body_pos as u64 },
+            TraceEvent::Issue { sm: self.id.0 as u64, warp: wid.0 as u64, pos: body_pos as u64 },
         );
 
-        // Operand traffic: two reads and one write on the warp's registers.
-        let warp_local = wid.0 % kernel.warps_per_cta.max(1);
-        let base = cta.first_reg.0 + warp_local * kernel.regs_per_warp();
-        let span = kernel.regs_per_warp().max(1);
-        let rot = w.body_pos;
-        let mut extra_delay = 0u32;
-        // One divide seeds the rotation; the two follow-up operands wrap by
-        // subtraction (`r + 1 < 2 * span` always), replacing three hardware
-        // divides per instruction with one.
-        let mut r = rot.wrapping_mul(3) % span;
-        for write in [false, false, true] {
-            let reg = RegNum(base + r);
-            extra_delay += self.regfile.access(reg, cycle, write);
-            r += 1;
-            if r >= span {
-                r -= span;
-            }
-        }
+        // Operand traffic: two reads and one write on the warp's registers,
+        // rotated by the body position. The base register is a precomputed
+        // slab column (set at CTA launch), not re-derived per instruction.
+        let extra_delay = self.regfile.access_operands(
+            self.warps.op_base(slot),
+            kernel.regs_per_warp().max(1),
+            self.rot3[body_pos as usize],
+            cycle,
+        );
 
         match inst.kind {
             InstKind::Alu { latency } => {
-                w.next_ready = cycle + latency.max(1) as u64 + extra_delay as u64;
+                self.warps.set_next_ready(slot, cycle + latency.max(1) as u64 + extra_delay as u64);
             }
             InstKind::Load { load } => {
-                let idx = w.next_access_index(load);
-                let spec = kernel.load(load);
-                self.line_buf.clear();
-                spec.pattern.gen_lines(
-                    AccessCtx {
-                        seed: self.seed,
-                        sm: self.id,
-                        global_warp: w.global_warp,
-                        load,
-                        access_index: idx,
-                    },
-                    &mut self.line_buf,
-                );
+                let idx = self.warps.next_access_index(slot, load);
+                self.gen_access_lines(slot, load, idx, kernel);
                 let n = self.line_buf.len() as u32;
-                w.add_outstanding(load, n);
-                w.next_ready = cycle + 1 + extra_delay as u64;
-                let warp_idx = wid.0;
+                self.warps.add_outstanding(slot, load, n);
+                self.warps.set_next_ready(slot, cycle + 1 + extra_delay as u64);
+                let pc = kernel.load(load).pc;
+                let hpc = self.load_hpc[load.0 as usize];
+                let gen = self.warps.generation(slot);
                 for &line in &self.line_buf {
                     if cfg.detailed_load_stats {
                         self.stats.record_line_touch(load, line.0);
                     }
-                    self.lsu_queue.push_back(LsuReq { warp: warp_idx, load, pc: spec.pc, line });
+                    self.lsu_queue.push_back(LsuReq { warp: wid.0, gen, load, pc, hpc, line });
                 }
             }
             InstKind::Store { load } => {
-                let idx = w.next_access_index(load);
-                let spec = kernel.load(load);
-                self.line_buf.clear();
-                spec.pattern.gen_lines(
-                    AccessCtx {
-                        seed: self.seed,
-                        sm: self.id,
-                        global_warp: w.global_warp,
-                        load,
-                        access_index: idx,
-                    },
-                    &mut self.line_buf,
-                );
-                w.next_ready = cycle + 1 + extra_delay as u64;
-                let warp_idx = wid.0;
+                let idx = self.warps.next_access_index(slot, load);
+                self.gen_access_lines(slot, load, idx, kernel);
+                self.warps.set_next_ready(slot, cycle + 1 + extra_delay as u64);
                 // Write-evict (hit) / write-no-allocate (miss): invalidate L1
                 // copy, notify the policy so victim copies are invalidated
                 // too, and send the store through to memory.
@@ -783,7 +970,8 @@ impl Sm {
                     self.policy.on_store(line, &mut ctx);
                     self.outbox.push(MemReq {
                         sm: self.id,
-                        warp: warp_idx,
+                        warp: wid.0,
+                        gen: 0,
                         load,
                         line,
                         kind: MemReqKind::Store,
@@ -793,34 +981,99 @@ impl Sm {
         }
 
         // Advance the warp past this instruction and retire if finished.
-        let w = self.warps[wid.0 as usize].as_mut().expect("warp exists");
-        w.advance(kernel);
-        if w.done {
-            let cta_id = w.cta;
+        self.warps.advance(slot, kernel);
+        if self.warps.done(slot) {
+            let cta_id = self.warps.cta(slot);
             self.schedulers[(wid.0 % cfg.schedulers_per_sm) as usize].release(wid);
             let cta = self.ctas[cta_id.0 as usize].as_mut().expect("CTA exists");
             cta.warps_done += 1;
+            self.reap_pending = true;
         }
     }
 
-    /// Handles a response from the shared memory system.
+    /// Generates the coalesced line addresses of one dynamic access of
+    /// `load` into `line_buf` — the single entry point shared by the Load
+    /// and Store arms of [`Sm::execute_inst`], so the cached and uncached
+    /// paths cannot drift.
     ///
-    /// `load_pc` maps a static load id to its PC (precomputed from the
-    /// kernel), used to tag the L1 fill with the fetching load's hashed PC.
-    pub fn handle_response(&mut self, req: MemReq, cycle: Cycle, load_pc: &[Pc]) {
+    /// With the descriptor cache enabled, the first execution of a
+    /// (warp slot, load) pair decodes the pattern's per-warp constants into
+    /// a [`LineDesc`] and interns it; every later execution replays the
+    /// descriptor with only the access index applied. Replay is exact (see
+    /// `pattern::decoded_replay_matches_gen_lines`), and a debug assertion
+    /// re-checks it against `gen_lines` on every miss.
+    fn gen_access_lines(&mut self, slot: usize, load: LoadId, idx: u64, kernel: &KernelSpec) {
+        self.line_buf.clear();
+        if self.desc_stride != 0 {
+            let cell = slot * self.desc_stride + load.0 as usize;
+            let desc = match self.desc_table[cell] {
+                Some(d) => {
+                    self.desc_hits += 1;
+                    d
+                }
+                None => {
+                    self.desc_misses += 1;
+                    let d = kernel.load(load).pattern.decode(DecodeCtx {
+                        seed: self.seed,
+                        sm: self.id,
+                        global_warp: self.warps.global_warp(slot),
+                        load,
+                    });
+                    self.desc_table[cell] = Some(d);
+                    d
+                }
+            };
+            desc.replay(idx, &mut self.line_buf);
+            #[cfg(debug_assertions)]
+            {
+                let mut reference = Vec::new();
+                kernel.load(load).pattern.gen_lines(
+                    AccessCtx {
+                        seed: self.seed,
+                        sm: self.id,
+                        global_warp: self.warps.global_warp(slot),
+                        load,
+                        access_index: idx,
+                    },
+                    &mut reference,
+                );
+                debug_assert_eq!(
+                    self.line_buf, reference,
+                    "descriptor replay diverged from gen_lines (slot {slot}, load {load:?})"
+                );
+            }
+            return;
+        }
+        kernel.load(load).pattern.gen_lines(
+            AccessCtx {
+                seed: self.seed,
+                sm: self.id,
+                global_warp: self.warps.global_warp(slot),
+                load,
+                access_index: idx,
+            },
+            &mut self.line_buf,
+        );
+    }
+
+    /// Handles a response from the shared memory system. The L1 fill is
+    /// tagged with the fetching load's hashed PC (precomputed per static
+    /// load at kernel init).
+    pub fn handle_response(&mut self, req: MemReq, cycle: Cycle) {
         // Any response can change warp eligibility (load completion, store
         // credit return, backup/restore progress toggling CTA status).
         self.issue_wake = true;
         match req.kind {
             MemReqKind::Read => {
-                // Fill L1; evicted victim goes to the policy.
-                let waiters = self.l1.mshrs().complete(req.line);
+                // Fill L1; evicted victim goes to the policy. The waiter
+                // list is drained into a reusable scratch buffer (taken out
+                // of `self` for the duration so `wake_warp` below can
+                // borrow freely).
+                let mut waiters = std::mem::take(&mut self.waiter_buf);
+                self.l1.mshrs().complete_into(req.line, &mut waiters);
                 let fill_hpc = waiters
                     .first()
-                    .map(|&t| {
-                        let load = (t & 0xffff_ffff) as u32;
-                        hashed_pc5(load_pc[load as usize])
-                    })
+                    .map(|&t| self.load_hpc[(t & 0xffff_ffff) as usize])
                     .unwrap_or(0);
                 let evicted = self.l1.fill(req.line, fill_hpc);
                 if let Some(ev) = evicted {
@@ -843,20 +1096,14 @@ impl Sm {
                         },
                     );
                 }
-                for t in waiters {
-                    let warp = (t >> 32) as u32;
-                    let load = (t & 0xffff_ffff) as u32;
-                    if let Some(w) = self.warps[warp as usize].as_mut() {
-                        w.complete_one(LoadId(load));
-                    }
-                    self.wake_warp(warp as usize);
+                for &t in &waiters {
+                    // The token's upper word is exactly the tagged warp.
+                    self.complete((t >> 32) as u32, (t & 0xffff_ffff) as u32);
                 }
+                self.waiter_buf = waiters;
             }
             MemReqKind::BypassRead => {
-                if let Some(w) = self.warps[req.warp as usize].as_mut() {
-                    w.complete_one(req.load);
-                }
-                self.wake_warp(req.warp as usize);
+                self.complete(req.gen << 16 | req.warp, req.load.0);
             }
             MemReqKind::Store => {
                 self.stores_in_flight = self.stores_in_flight.saturating_sub(1);
@@ -983,6 +1230,7 @@ impl Sm {
             self.outbox.push(MemReq {
                 sm: self.id,
                 warp: 0,
+                gen: 0,
                 load: LoadId(0),
                 line,
                 kind: MemReqKind::RegBackup { cta },
@@ -991,6 +1239,12 @@ impl Sm {
         self.backup_cursor += count as u64;
         if let Some(c) = self.ctas[slot].as_mut() {
             c.status = CtaStatus::BackingUp { remaining: count };
+            // The CTA's warps occupy one contiguous ascending block.
+            let lo = *c.warps.first().expect("CTA has warps");
+            let hi = *c.warps.last().expect("CTA has warps");
+            for wi in lo..=hi {
+                self.warps.set_cta_ok(wi as usize, false);
+            }
         }
     }
 
@@ -1017,6 +1271,7 @@ impl Sm {
             self.outbox.push(MemReq {
                 sm: self.id,
                 warp: 0,
+                gen: 0,
                 load: LoadId(0),
                 line,
                 kind: MemReqKind::RegRestore { cta },
@@ -1061,6 +1316,7 @@ impl Sm {
             *remaining -= 1;
             if *remaining == 0 {
                 c.status = CtaStatus::Active;
+                self.reap_pending = true;
                 // The CTA's warps occupy one contiguous ascending block.
                 let lo = *c.warps.first().expect("CTA has warps");
                 let hi = *c.warps.last().expect("CTA has warps");
@@ -1075,6 +1331,7 @@ impl Sm {
                 }
                 // The CTA is schedulable again: re-list its warps.
                 for wi in lo..=hi {
+                    self.warps.set_cta_ok(wi as usize, true);
                     self.wake_warp(wi as usize);
                 }
             }
@@ -1083,6 +1340,10 @@ impl Sm {
 
     /// Reaps completed CTAs; returns how many were freed (the GPU refills).
     pub fn reap_completed_ctas(&mut self, cycle: Cycle) -> u32 {
+        if !self.reap_pending {
+            return 0;
+        }
+        self.reap_pending = false;
         let mut freed = 0;
         for slot in 0..self.ctas.len() {
             let complete = self.ctas[slot]
@@ -1094,7 +1355,7 @@ impl Sm {
             }
             let cta = self.ctas[slot].take().expect("checked above");
             for wid in &cta.warps {
-                self.warps[*wid as usize] = None;
+                self.warps.free(*wid as usize);
             }
             self.regfile.free_cta(cta.id);
             let mut ctx = PolicyCtx {
@@ -1150,6 +1411,14 @@ impl Sm {
         self.stats.rf_writes = writes;
         self.stats.rf_bank_conflicts = conflicts;
         self.stats.monitor_periods = self.policy.monitor_periods();
+        self.stats.events.desc_hits = self.desc_hits;
+        self.stats.events.desc_misses = self.desc_misses;
+        self.stats.events.desc_entries =
+            self.desc_table.iter().filter(|d| d.is_some()).count() as u64;
+        self.stats.events.desc_bytes =
+            (self.desc_table.len() * std::mem::size_of::<Option<LineDesc>>()) as u64;
+        self.stats.events.sm_lsu_busy_cycles = self.lsu_busy_cycles;
+        self.stats.events.sm_issue_scan_cycles = self.issue_scan_cycles;
     }
 }
 
@@ -1229,7 +1498,6 @@ mod tests {
         let cfg = small_cfg();
         let k = kernel();
         let mut sm = sm();
-        let pcs: Vec<Pc> = k.loads.iter().map(|l| l.pc).collect();
         assert!(sm.try_launch_cta(&k, &cfg));
         for c in 0..2000 {
             sm.tick(c, &k, &cfg);
@@ -1237,12 +1505,47 @@ mod tests {
             let reqs: Vec<_> = sm.outbox.drain(..).collect();
             for r in reqs {
                 if matches!(r.kind, MemReqKind::Read | MemReqKind::BypassRead) {
-                    sm.handle_response(r, c, &pcs);
+                    sm.handle_response(r, c);
                 }
             }
         }
         assert!(sm.stats.instructions > 100, "issued {}", sm.stats.instructions);
         assert!(sm.stats.mem_accesses() > 0);
+    }
+
+    /// The descriptor cache must be a pure speed knob: identical counters
+    /// with it on (default) and off, hits recorded only when enabled.
+    #[test]
+    fn desc_cache_is_output_invariant() {
+        let run = |cfg: GpuConfig| {
+            let k = kernel();
+            let mut sm = Sm::new(SmId(0), &cfg, Box::new(NullPolicy), 42);
+            assert!(sm.try_launch_cta(&k, &cfg));
+            for c in 0..3000 {
+                sm.tick(c, &k, &cfg);
+                let reqs: Vec<_> = sm.outbox.drain(..).collect();
+                for r in reqs {
+                    if matches!(r.kind, MemReqKind::Read | MemReqKind::BypassRead) {
+                        sm.handle_response(r, c);
+                    }
+                }
+            }
+            sm.finalize_stats();
+            sm.stats
+        };
+        let on = run(small_cfg());
+        let off = run(small_cfg().with_desc_cache(false));
+        assert_eq!(on.instructions, off.instructions);
+        assert_eq!(on.l1_hits, off.l1_hits);
+        assert_eq!(on.miss_cold, off.miss_cold);
+        assert_eq!(on.miss_2c, off.miss_2c);
+        assert_eq!(on.rf_reads, off.rf_reads);
+        assert!(on.events.desc_hits > 0, "cached run must replay descriptors");
+        assert!(on.events.desc_misses > 0, "first executions decode");
+        assert_eq!(off.events.desc_hits, 0);
+        assert_eq!(off.events.desc_misses, 0);
+        assert_eq!(off.events.desc_entries, 0);
+        assert_eq!(off.events.desc_bytes, 0);
     }
 
     #[test]
@@ -1270,7 +1573,6 @@ mod tests {
         let cfg = small_cfg();
         let k = kernel();
         let mut sm = sm();
-        let pcs: Vec<Pc> = k.loads.iter().map(|l| l.pc).collect();
         for _ in 0..4 {
             assert!(sm.try_launch_cta(&k, &cfg));
         }
@@ -1290,7 +1592,7 @@ mod tests {
         }
         // Complete the backups.
         for r in reqs {
-            sm.handle_response(r, 10, &pcs);
+            sm.handle_response(r, 10);
         }
         assert_eq!(sm.inactive_ctas(), 2);
         assert!(sm.regfile.is_backed_up(CtaId(2)));
@@ -1302,7 +1604,6 @@ mod tests {
         let cfg = small_cfg();
         let k = kernel();
         let mut sm = sm();
-        let pcs: Vec<Pc> = k.loads.iter().map(|l| l.pc).collect();
         for _ in 0..4 {
             sm.try_launch_cta(&k, &cfg);
         }
@@ -1313,7 +1614,7 @@ mod tests {
         sm.set_cta_limit(Some(3), 0);
         let reqs: Vec<_> = sm.outbox.drain(..).collect();
         for r in reqs {
-            sm.handle_response(r, 5, &pcs);
+            sm.handle_response(r, 5);
         }
         assert!(sm.regfile.is_backed_up(CtaId(3)));
         // Clobber the register contents (as victim caching would).
@@ -1325,7 +1626,7 @@ mod tests {
         let reqs: Vec<_> = sm.outbox.drain(..).collect();
         assert!(reqs.iter().all(|r| matches!(r.kind, MemReqKind::RegRestore { .. })));
         for r in reqs {
-            sm.handle_response(r, 200, &pcs);
+            sm.handle_response(r, 200);
         }
         let after: Vec<u64> =
             (first.0..first.0 + count).map(|r| sm.regfile.read_contents(RegNum(r))).collect();

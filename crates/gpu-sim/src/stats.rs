@@ -137,6 +137,22 @@ pub struct ProfileEvents {
     pub skip_to_window: u64,
     /// Fast-forward jumps capped at `max_cycles`.
     pub skip_to_max: u64,
+    /// Decoded access-descriptor cache hits (load/store executions that
+    /// replayed an interned descriptor instead of regenerating addresses).
+    pub desc_hits: u64,
+    /// Descriptor-cache misses (first execution of a (warp slot, load) pair
+    /// since its CTA launched: decode + intern).
+    pub desc_misses: u64,
+    /// Descriptor-table entries populated at run end (summed over SMs).
+    pub desc_entries: u64,
+    /// Bytes reserved by the descriptor tables (summed over SMs).
+    pub desc_bytes: u64,
+    /// SM-cycles the load/store unit entered with queued work (per-phase
+    /// attribution of `sm_stepped_cycles`).
+    pub sm_lsu_busy_cycles: u64,
+    /// SM-cycles the issue stage ran a real candidate scan (not
+    /// short-circuited by the sleep horizon).
+    pub sm_issue_scan_cycles: u64,
 }
 
 /// Counters of one memory partition (L2 slice + DRAM channel + icnt queue

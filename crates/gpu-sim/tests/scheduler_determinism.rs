@@ -79,6 +79,15 @@ fn run(n_sms: u32, factory: &PolicyFactory<'_>) -> String {
     digest(&s)
 }
 
+/// Like [`run`] but with the decoded access-descriptor cache disabled:
+/// every access goes through the original `gen_lines` path.
+fn run_uncached(n_sms: u32, factory: &PolicyFactory<'_>) -> String {
+    let s = run_kernel(config(n_sms).with_desc_cache(false), kernel(n_sms), factory);
+    assert_eq!(s.events.desc_hits, 0, "disabled cache must record no hits");
+    assert_eq!(s.events.desc_misses, 0, "disabled cache must record no decodes");
+    digest(&s)
+}
+
 /// Prints the digests for capture; run with
 /// `cargo test -p gpu-sim --test scheduler_determinism -- --ignored --nocapture`.
 #[test]
@@ -121,6 +130,92 @@ fn mixed_policy_digests_at_two_sms() {
     assert_eq!(run(4, &pcal_factory()), SMS4_PCAL);
     assert_eq!(run(4, &cerf_factory()), SMS4_CERF);
     assert_eq!(run(4, &linebacker_factory(LbConfig::default())), SMS4_LB);
+}
+
+/// The descriptor cache must be invisible in every counter: with it
+/// disabled, all four policies must still reproduce the locked digests at
+/// both SM counts (the cache-on runs above already match the same
+/// literals, so this pins cache-on == cache-off == golden).
+#[test]
+fn desc_cache_off_matches_golden_digests() {
+    assert_eq!(
+        run_uncached(2, &baseline_factory()),
+        "cycles=47386 insts=38400 l1_hits=1002 miss_cold=5223 miss_2c=5295 bypasses=0 reg_hits=0 stores=0 l2_hits=385 l2_misses=8308 rf_reads=76800 rf_writes=38400 mshr_stalls=0 dram_demand=1063424 dram_store=0 dram_backup=0 dram_restore=0 completed=true",
+    );
+    assert_eq!(
+        run_uncached(2, &pcal_factory()),
+        "cycles=47386 insts=38400 l1_hits=1002 miss_cold=5223 miss_2c=5295 bypasses=0 reg_hits=0 stores=0 l2_hits=385 l2_misses=8308 rf_reads=76800 rf_writes=38400 mshr_stalls=0 dram_demand=1063424 dram_store=0 dram_backup=0 dram_restore=0 completed=true",
+    );
+    assert_eq!(
+        run_uncached(2, &cerf_factory()),
+        "cycles=27355 insts=38400 l1_hits=1115 miss_cold=5225 miss_2c=924 bypasses=0 reg_hits=4256 stores=0 l2_hits=78 l2_misses=5581 rf_reads=82171 rf_writes=42738 mshr_stalls=11274 dram_demand=714368 dram_store=0 dram_backup=0 dram_restore=0 completed=true",
+    );
+    assert_eq!(
+        run_uncached(2, &linebacker_factory(LbConfig::default())),
+        "cycles=40199 insts=38400 l1_hits=1793 miss_cold=5223 miss_2c=2485 bypasses=0 reg_hits=2019 stores=0 l2_hits=272 l2_misses=6709 rf_reads=78819 rf_writes=39717 mshr_stalls=0 dram_demand=858752 dram_store=0 dram_backup=98304 dram_restore=98304 completed=true",
+    );
+    assert_eq!(run_uncached(4, &baseline_factory()), SMS4_BASELINE);
+    assert_eq!(run_uncached(4, &pcal_factory()), SMS4_PCAL);
+    assert_eq!(run_uncached(4, &cerf_factory()), SMS4_CERF);
+    assert_eq!(run_uncached(4, &linebacker_factory(LbConfig::default())), SMS4_LB);
+}
+
+/// SoA warp-slab slot reuse: an oversubscribed grid forces CTAs to retire
+/// and fresh CTAs to relaunch into the *same* warp slots mid-run. The
+/// relaunch must fully reset every slab column and invalidate the slot's
+/// descriptor row, so the run is (a) deterministic and (b) byte-identical
+/// with the descriptor cache off — any stale column or stale descriptor
+/// surviving a reap would diverge one of the two.
+#[test]
+fn slot_reuse_after_cta_reap_is_cache_invariant() {
+    // 24 CTAs on 2 SMs: far more than fit at once, so slots recycle.
+    let oversub = || {
+        KernelBuilder::new("oversub")
+            .grid(24, 8)
+            .regs_per_thread(24)
+            .iterations(40)
+            .alu(2)
+            .load_then_use(
+                AccessPattern::ReuseWorkingSet { ws_bytes: 16 * LINE_BYTES, shared: false },
+                1,
+            )
+            .load(AccessPattern::Streaming { bytes_per_access: LINE_BYTES })
+            .build()
+            .expect("kernel must validate")
+    };
+    let cached_a = run_kernel(config(2), oversub(), &baseline_factory());
+    let cached_b = run_kernel(config(2), oversub(), &baseline_factory());
+    let uncached = run_kernel(config(2).with_desc_cache(false), oversub(), &baseline_factory());
+    assert!(cached_a.completed, "oversubscribed grid must drain");
+    assert_eq!(digest(&cached_a), digest(&cached_b), "slot reuse must be deterministic");
+    assert_eq!(digest(&cached_a), digest(&uncached), "slot reuse must be cache-invariant");
+    // Relaunched warps decode fresh descriptors: strictly more decodes
+    // than the warp slots of a single residency.
+    assert!(cached_a.events.desc_misses > 0);
+    assert!(cached_a.events.desc_hits > cached_a.events.desc_misses);
+}
+
+/// Completion-ring overflow: an L1 hit latency beyond the 64-cycle ring
+/// span forces every local completion through the `comp_overflow` heap
+/// backstop instead of a ring slot. The run must still drain, stay
+/// deterministic, and stay descriptor-cache-invariant — the overflow path
+/// delivers the same completions on the same cycles as the ring.
+#[test]
+fn completion_ring_overflow_path_is_exact() {
+    let slow_l1 = |cached: bool| {
+        let mut cfg = config(2).with_desc_cache(cached);
+        cfg.l1_hit_latency = 100;
+        run_kernel(cfg, kernel(2), &baseline_factory())
+    };
+    let a = slow_l1(true);
+    let b = slow_l1(true);
+    let uncached = slow_l1(false);
+    assert!(a.completed, "slow-hit run must drain through the overflow heap");
+    assert_eq!(digest(&a), digest(&b), "overflow path must be deterministic");
+    assert_eq!(digest(&a), digest(&uncached), "overflow path must be cache-invariant");
+    // Sanity: the stretched hit latency really slows the machine down
+    // relative to the pinned default-latency digest for this SM count.
+    assert!(a.cycles > 24_000, "latency 100 should cost cycles (got {})", a.cycles);
 }
 
 // Digests captured on the pre-change (PR 2) simulator via `capture_digests`.
