@@ -24,11 +24,12 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut profile = false;
-    let mut profile_out = String::from("BENCH_PR7.json");
+    let mut profile_out = String::from("BENCH_PR8.json");
     let mut trace_dir: Option<String> = None;
     let mut trace_mask = gpu_sim::trace::MASK_ALL;
     let mut partitions: Option<u32> = None;
     let mut desc_cache = true;
+    let mut burst = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -84,22 +85,25 @@ fn main() {
                 };
             }
             "--no-desc-cache" => desc_cache = false,
+            "--no-burst" => burst = false,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: lb-experiments [--scale quick|default|full] [--jobs N] \
                      [--verbose] [--out FILE] [--csv-dir DIR] [--profile] \
                      [--profile-out FILE] [--trace DIR] [--trace-events MASK] \
-                     [--partitions N] [--no-desc-cache] [ids... | all]\n  \
+                     [--partitions N] [--no-desc-cache] [--no-burst] [ids... | all]\n  \
                      LB_JOBS=N overrides the default worker count (all cores); \
                      --jobs beats LB_JOBS\n  --profile prints a hot-path throughput \
-                     report to stderr and writes BENCH_PR7.json\n  --trace DIR \
+                     report to stderr and writes BENCH_PR8.json\n  --trace DIR \
                      captures one .lbt event trace per simulation into DIR; \
                      --trace-events narrows the captured kinds (names like \
                      issue,l1,dram, a 0x hex mask, or 'all')\n  --partitions N \
                      splits the memory subsystem into N L2-slice/DRAM-channel \
                      pairs (power of two; default 1)\n  --no-desc-cache disables \
                      the decoded access-descriptor cache (slower, byte-identical \
-                     output; a verification escape hatch)\n  ids: {}",
+                     output; a verification escape hatch)\n  --no-burst disables \
+                     greedy-run burst execution and SM local clocks (slower, \
+                     byte-identical output; a verification escape hatch)\n  ids: {}",
                     experiments::ALL.join(" ")
                 );
                 return;
@@ -120,6 +124,10 @@ fn main() {
     if !desc_cache {
         runner.set_desc_cache(false);
         eprintln!("[config] descriptor cache disabled (verification mode)");
+    }
+    if !burst {
+        runner.set_burst(false);
+        eprintln!("[config] burst execution disabled (verification mode)");
     }
     // Precedence: --jobs flag, then LB_JOBS, then available parallelism.
     let env_jobs = std::env::var("LB_JOBS").ok().and_then(|v| v.parse::<usize>().ok());

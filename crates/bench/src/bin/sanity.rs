@@ -3,7 +3,7 @@
 //! ```text
 //! sanity [--quick] [--profile] [--profile-out FILE]
 //!        [--trace DIR] [--trace-events MASK] [--partitions N]
-//!        [--no-desc-cache] [apps...]
+//!        [--no-desc-cache] [--no-burst] [apps...]
 //! ```
 //!
 //! With `--profile`, the IPC table moves to stderr and stdout carries a
@@ -31,6 +31,7 @@ fn main() {
     let mut trace_mask = MASK_ALL;
     let mut partitions: Option<u32> = None;
     let mut desc_cache = true;
+    let mut burst = true;
     let mut only: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -62,11 +63,12 @@ fn main() {
                 };
             }
             "--no-desc-cache" => desc_cache = false,
+            "--no-burst" => burst = false,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sanity [--quick] [--profile] [--profile-out FILE] \
                      [--trace DIR] [--trace-events MASK] [--partitions N] \
-                     [--no-desc-cache] [apps...]"
+                     [--no-desc-cache] [--no-burst] [apps...]"
                 );
                 return;
             }
@@ -87,6 +89,9 @@ fn main() {
     }
     if !desc_cache {
         cfg = cfg.with_desc_cache(false);
+    }
+    if !burst {
+        cfg = cfg.with_burst(false);
     }
     let started = std::time::Instant::now();
     let mut prof = Profile::default();

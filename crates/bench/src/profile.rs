@@ -1,6 +1,6 @@
 //! Built-in hot-path profiler: wall-clock and event accounting for every
 //! simulation the harness launches, reported by `--profile` and written to
-//! `BENCH_PR7.json` so the perf trajectory of the simulator has a recorded
+//! `BENCH_PR8.json` so the perf trajectory of the simulator has a recorded
 //! baseline. Since the component-calendar scheduler, the record includes
 //! per-component sleep fractions (how often each SM / the DRAM / the
 //! interconnect was gated) and a breakdown of what bounded each
@@ -8,7 +8,10 @@
 //! carries a per-partition breakdown (traffic and sleep fractions for
 //! each L2-slice/DRAM-channel pair); since the decoded access-descriptor
 //! cache it also reports the cache's hit rate (per run and aggregated)
-//! and splits stepped SM cycles into LSU-busy and issue-scan phases.
+//! and splits stepped SM cycles into LSU-busy and issue-scan phases; since
+//! greedy-run bursting the `sm_phases` block also carries a `burst`
+//! sub-record (span counts, a span-length histogram, and LSU entries
+//! serviced on batched local cycles).
 //!
 //! The workspace is std-only, so the JSON record is emitted by a small
 //! hand-rolled writer (and checked in tests by the equally small
@@ -33,6 +36,10 @@ pub struct SimRecord {
     pub desc_hits: u64,
     /// Descriptor-cache misses (decodes) in this simulation.
     pub desc_misses: u64,
+    /// Local-clock spans executed in this simulation.
+    pub bursts: u64,
+    /// SM-cycles covered by those spans (mean span length = cycles/spans).
+    pub burst_cycles: u64,
 }
 
 impl SimRecord {
@@ -53,6 +60,16 @@ impl SimRecord {
             0.0
         } else {
             self.desc_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean local-clock span length in SM-cycles; 1.0 when the run never
+    /// ticked an SM (degenerate) so a burst-free run reads as "no batching".
+    pub fn mean_burst_len(&self) -> f64 {
+        if self.bursts == 0 {
+            1.0
+        } else {
+            self.burst_cycles as f64 / self.bursts as f64
         }
     }
 }
@@ -106,6 +123,14 @@ pub struct Profile {
     pub sm_lsu_busy: u64,
     /// Stepped SM cycles that entered the issue candidate scan.
     pub sm_issue_scan: u64,
+    /// Local-clock spans executed across all simulations.
+    pub sm_bursts: u64,
+    /// SM-cycles covered by those spans.
+    pub sm_burst_cycles: u64,
+    /// Span-length histogram buckets: 1, 2–3, 4–7, 8–15, 16–63, 64+.
+    pub sm_burst_hist: [u64; 6],
+    /// LSU entries serviced on batched local cycles (no global step paid).
+    pub sm_lsu_batched: u64,
     /// Trace files written (when `--trace` is active).
     pub trace_files: u64,
     /// Total encoded trace bytes across those files.
@@ -177,6 +202,8 @@ impl Profile {
             skipped: e.skipped_cycles,
             desc_hits: e.desc_hits,
             desc_misses: e.desc_misses,
+            bursts: e.sm_bursts,
+            burst_cycles: e.sm_burst_cycles,
         });
         self.skip_jumps += e.skip_jumps;
         self.l2_requests += e.l2_requests;
@@ -200,6 +227,15 @@ impl Profile {
         self.desc_bytes += e.desc_bytes;
         self.sm_lsu_busy += e.sm_lsu_busy_cycles;
         self.sm_issue_scan += e.sm_issue_scan_cycles;
+        self.sm_bursts += e.sm_bursts;
+        self.sm_burst_cycles += e.sm_burst_cycles;
+        self.sm_burst_hist[0] += e.sm_burst_len_1;
+        self.sm_burst_hist[1] += e.sm_burst_len_2_3;
+        self.sm_burst_hist[2] += e.sm_burst_len_4_7;
+        self.sm_burst_hist[3] += e.sm_burst_len_8_15;
+        self.sm_burst_hist[4] += e.sm_burst_len_16_63;
+        self.sm_burst_hist[5] += e.sm_burst_len_64p;
+        self.sm_lsu_batched += e.sm_lsu_batched;
         if self.partitions.len() < stats.partitions.len() {
             self.partitions.resize(stats.partitions.len(), PartProfile::default());
         }
@@ -342,6 +378,20 @@ impl Profile {
              (of {} stepped SM-cycles)\n",
             self.sm_lsu_busy, self.sm_issue_scan, self.sm_stepped,
         ));
+        s.push_str(&format!(
+            "[profile] bursts: {} spans covering {} SM-cycles (mean {:.2}), \
+             {} lsu batched; len hist 1:{} 2-3:{} 4-7:{} 8-15:{} 16-63:{} 64+:{}\n",
+            self.sm_bursts,
+            self.sm_burst_cycles,
+            self.agg_mean_burst_len(),
+            self.sm_lsu_batched,
+            self.sm_burst_hist[0],
+            self.sm_burst_hist[1],
+            self.sm_burst_hist[2],
+            self.sm_burst_hist[3],
+            self.sm_burst_hist[4],
+            self.sm_burst_hist[5],
+        ));
         if self.partitions.len() > 1 {
             for (id, p) in self.partitions.iter().enumerate() {
                 s.push_str(&format!(
@@ -368,18 +418,29 @@ impl Profile {
         for r in slowest.iter().take(5) {
             s.push_str(&format!(
                 "[profile]   slow: {} {:.2}s {} cycles ({:.1}% skipped, \
-                 {:.1}% desc hits)\n",
+                 {:.1}% desc hits, {:.2} mean burst)\n",
                 r.key,
                 r.wall_s,
                 r.cycles,
                 r.skipped_fraction() * 100.0,
                 r.desc_hit_rate() * 100.0,
+                r.mean_burst_len(),
             ));
         }
         s
     }
 
-    /// The `BENCH_PR7.json` throughput record.
+    /// Mean local-clock span length across all simulations (1.0 when no SM
+    /// ever ticked).
+    pub fn agg_mean_burst_len(&self) -> f64 {
+        if self.sm_bursts == 0 {
+            1.0
+        } else {
+            self.sm_burst_cycles as f64 / self.sm_bursts as f64
+        }
+    }
+
+    /// The `BENCH_PR8.json` throughput record.
     ///
     /// `label` names the producing binary, `scale` the run scale, and
     /// `suite_wall_s` the end-to-end harness wall-clock.
@@ -392,12 +453,14 @@ impl Profile {
             .map(|r| {
                 format!(
                     "{{\"key\": {}, \"wall_s\": {:.3}, \"cycles\": {}, \
-                     \"skipped_fraction\": {:.6}, \"desc_hit_rate\": {:.6}}}",
+                     \"skipped_fraction\": {:.6}, \"desc_hit_rate\": {:.6}, \
+                     \"mean_burst_len\": {:.3}}}",
                     json_string(&r.key),
                     r.wall_s,
                     r.cycles,
                     r.skipped_fraction(),
                     r.desc_hit_rate(),
+                    r.mean_burst_len(),
                 )
             })
             .collect();
@@ -420,7 +483,7 @@ impl Profile {
             })
             .collect();
         format!(
-            "{{\n  \"bench\": \"PR7\",\n  \"binary\": {},\n  \"scale\": {},\n  \
+            "{{\n  \"bench\": \"PR8\",\n  \"binary\": {},\n  \"scale\": {},\n  \
              \"suite_wall_s\": {:.3},\n  \"sims\": {},\n  \"sim_wall_s\": {:.3},\n  \
              \"cycles\": {},\n  \"stepped_cycles\": {},\n  \"skipped_cycles\": {},\n  \
              \"skipped_fraction\": {:.6},\n  \"cycles_per_sec\": {:.1},\n  \
@@ -430,7 +493,10 @@ impl Profile {
              \"sm_stepped\": {}, \"sm_slept\": {}, \"sm_sleep_fraction\": {:.6}, \
              \"dram_stepped\": {}, \"dram_slept\": {}, \"dram_sleep_fraction\": {:.6}, \
              \"icnt_stepped\": {}, \"icnt_slept\": {}, \"icnt_sleep_fraction\": {:.6}}},\n  \
-             \"sm_phases\": {{\"lsu_busy_cycles\": {}, \"issue_scan_cycles\": {}}},\n  \
+             \"sm_phases\": {{\"lsu_busy_cycles\": {}, \"issue_scan_cycles\": {}, \
+             \"burst\": {{\"bursts\": {}, \"burst_cycles\": {}, \"mean_len\": {:.3}, \
+             \"lsu_batched\": {}, \"len_hist\": {{\"1\": {}, \"2_3\": {}, \"4_7\": {}, \
+             \"8_15\": {}, \"16_63\": {}, \"64p\": {}}}}}}},\n  \
              \"desc_cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \
              \"hit_rate\": {:.6}, \"bytes\": {}}},\n  \
              \"skip_bounds\": {{\"sm\": {}, \"dram\": {}, \"icnt\": {}, \
@@ -464,6 +530,16 @@ impl Profile {
             self.icnt_sleep_fraction(),
             self.sm_lsu_busy,
             self.sm_issue_scan,
+            self.sm_bursts,
+            self.sm_burst_cycles,
+            self.agg_mean_burst_len(),
+            self.sm_lsu_batched,
+            self.sm_burst_hist[0],
+            self.sm_burst_hist[1],
+            self.sm_burst_hist[2],
+            self.sm_burst_hist[3],
+            self.sm_burst_hist[4],
+            self.sm_burst_hist[5],
             self.desc_entries,
             self.desc_hits,
             self.desc_misses,
@@ -711,6 +787,12 @@ mod tests {
         stats.events.desc_bytes = 480;
         stats.events.sm_lsu_busy_cycles = 200;
         stats.events.sm_issue_scan_cycles = 450;
+        stats.events.sm_bursts = 50;
+        stats.events.sm_burst_cycles = 600;
+        stats.events.sm_burst_len_1 = 20;
+        stats.events.sm_burst_len_2_3 = 10;
+        stats.events.sm_burst_len_8_15 = 20;
+        stats.events.sm_lsu_batched = 120;
         p.record("app=GA arch=base".into(), 0.25, &stats);
         let j = p.to_json("test", "quick", 0.3);
         assert!(validate_json(&j).is_ok(), "emitted JSON must validate: {j}");
@@ -720,7 +802,15 @@ mod tests {
         assert!((p.desc_hit_rate() - 0.75).abs() < 1e-12);
         assert!((p.records[0].desc_hit_rate() - 0.75).abs() < 1e-12);
         assert!(j.contains("\"desc_cache\": {\"entries\": 10, \"hits\": 30, \"misses\": 10"));
-        assert!(j.contains("\"sm_phases\": {\"lsu_busy_cycles\": 200, \"issue_scan_cycles\": 450}"));
+        assert!(j.contains("\"sm_phases\": {\"lsu_busy_cycles\": 200, \"issue_scan_cycles\": 450"));
+        assert!(j.contains(
+            "\"burst\": {\"bursts\": 50, \"burst_cycles\": 600, \"mean_len\": 12.000, \
+             \"lsu_batched\": 120, \"len_hist\": {\"1\": 20, \"2_3\": 10, \"4_7\": 0, \
+             \"8_15\": 20, \"16_63\": 0, \"64p\": 0}}"
+        ));
+        assert!((p.agg_mean_burst_len() - 12.0).abs() < 1e-12);
+        assert!((p.records[0].mean_burst_len() - 12.0).abs() < 1e-12);
+        assert!(j.contains("\"mean_burst_len\": 12.000"));
     }
 
     #[test]

@@ -130,6 +130,13 @@ impl Runner {
         self.cfg = self.cfg.clone().with_desc_cache(on);
     }
 
+    /// Enables or disables greedy-run burst execution and SM local clocks
+    /// (the `--no-burst` escape hatch of the harness binaries). Output is
+    /// byte-identical either way; bursting is purely a speed optimization.
+    pub fn set_burst(&mut self, on: bool) {
+        self.cfg = self.cfg.clone().with_burst(on);
+    }
+
     /// The scale in use.
     pub fn scale(&self) -> Scale {
         self.scale

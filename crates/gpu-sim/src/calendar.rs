@@ -66,6 +66,15 @@ impl Calendar {
         }
     }
 
+    /// Parks `comp`: never self-due until the next `schedule`/`wake_at`.
+    /// One-shot components (the GPU's per-SM outbox flush slots) park
+    /// themselves after firing, and start parked — `new` arms every slot at
+    /// cycle 0, which is right for pipeline components that must discover
+    /// their own horizon but would pin `any_due` forever for event slots.
+    pub fn park(&mut self, comp: usize) {
+        self.next_due[comp] = Cycle::MAX;
+    }
+
     /// True when any component is due at `cycle`. Exits on the first due
     /// slot, so on a busy machine this is a couple of loads — the cheap
     /// pre-check `Gpu::try_skip_idle` runs every cycle before paying for
@@ -131,6 +140,17 @@ mod tests {
         // An external wake revives the component.
         c.wake_at(1, 7);
         assert_eq!(c.next_event(), Some((7, 1)));
+    }
+
+    #[test]
+    fn park_makes_component_never_due() {
+        let mut c = Calendar::new(2);
+        c.park(0);
+        c.schedule(1, 4);
+        assert!(!c.is_due(0, 1_000_000));
+        assert_eq!(c.next_event(), Some((4, 1)));
+        c.wake_at(0, 2);
+        assert_eq!(c.next_event(), Some((2, 0)));
     }
 
     #[test]

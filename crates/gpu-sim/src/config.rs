@@ -103,6 +103,17 @@ pub struct GpuConfig {
     /// (`warp slots x static loads`); a kernel exceeding it simply runs
     /// uncached, which cannot change simulated results.
     pub desc_cache_max_entries: u32,
+    /// Enable greedy-run burst execution and decoupled SM local clocks:
+    /// between interactions with the memory side, an SM simulates several
+    /// cycles per `Gpu::step` (a tight local loop bounded by the earliest
+    /// possible inbound delivery and the window edge, plus multi-cycle
+    /// greedy ALU runs issued in one scan). Every burst is provably
+    /// equivalent to cycle-lockstep stepping, so this is a pure simulator
+    /// speed knob — simulated results are byte-identical either way
+    /// (`--no-burst` is the escape hatch that proves it). Automatically
+    /// suspended while an event tracer is attached (the trace wire format
+    /// requires globally monotone cycle stamps).
+    pub burst: bool,
     /// Energy model parameters.
     pub energy: crate::energy::EnergyConfig,
 }
@@ -135,6 +146,7 @@ impl Default for GpuConfig {
             detailed_load_stats: false,
             desc_cache: true,
             desc_cache_max_entries: 64 * 1024,
+            burst: true,
             energy: crate::energy::EnergyConfig::default(),
         }
     }
@@ -209,6 +221,14 @@ impl GpuConfig {
     /// speed knob: simulated results are identical either way.
     pub fn with_desc_cache(mut self, enabled: bool) -> Self {
         self.desc_cache = enabled;
+        self
+    }
+
+    /// Returns a copy with greedy-run burst execution enabled or disabled
+    /// (the `--no-burst` escape hatch). Purely a simulator speed knob:
+    /// simulated results are identical either way.
+    pub fn with_burst(mut self, enabled: bool) -> Self {
+        self.burst = enabled;
         self
     }
 
@@ -350,6 +370,13 @@ mod tests {
         // default, sized far above any real kernel's slot x load product.
         assert!(c.desc_cache);
         assert_eq!(c.desc_cache_max_entries, 64 * 1024);
+        assert!(c.burst);
+    }
+
+    #[test]
+    fn burst_escape_hatch() {
+        assert!(!GpuConfig::default().with_burst(false).burst);
+        assert!(GpuConfig::default().with_burst(true).burst);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Top-level GPU: CTA dispatcher, memory partitions (interconnect + L2
 //! slices + DRAM channels), and the per-cycle simulation loop.
 
+use std::collections::VecDeque;
+
 use crate::calendar::Calendar;
 use crate::config::GpuConfig;
 use crate::energy::Activity;
@@ -36,12 +38,36 @@ pub struct Gpu {
     scratch_msgs: Vec<MemReq>,
     /// Reusable list of SM indices still accepting CTAs during a dispatch.
     dispatch_scratch: Vec<u32>,
-    /// Component calendar over the SMs (indices `0..n_sms`) and the DRAM
-    /// channels (index `n_sms + p` for partition `p`); `step` touches only
-    /// due components. The interconnect queues are not in the calendar:
-    /// their `next_due` is an O(1) head peek, cheaper read directly than
-    /// kept coherent here.
+    /// Component calendar over the SMs (indices `0..n_sms`), the DRAM
+    /// channels (index `n_sms + p` for partition `p`), and one outbox-flush
+    /// slot per SM (index `n_sms + n_parts + i`, see `pending_out`); `step`
+    /// touches only due components. The interconnect queues are not in the
+    /// calendar: their `next_due` is an O(1) head peek, cheaper read
+    /// directly than kept coherent here.
     calendar: Calendar,
+    /// Local-clock bursting enabled: `cfg.burst` and no event tracer
+    /// attached (the shared trace stream interleaves all components, so its
+    /// cycle stamps must be globally monotone; an SM running ahead of the
+    /// global clock would write future-stamped events between other
+    /// components' present-stamped ones).
+    burst: bool,
+    /// Per-SM count of memory requests in flight beyond the SM boundary.
+    /// Every outbox message produces exactly one response delivery, so a
+    /// zero count proves no inbound delivery can target the SM and its
+    /// local horizon is bounded by the window edge alone.
+    in_flight: Vec<u32>,
+    /// Per-SM held outbox batches: requests an SM emitted at local cycles
+    /// ahead of the global clock, each batch under its emission cycle in
+    /// increasing stamp order. Pushing them into the interconnect
+    /// immediately would interleave out of (cycle, SM id) order with other
+    /// SMs' traffic; instead each batch waits here and the SM's calendar
+    /// flush slot fires at the front batch's emission cycle, reproducing
+    /// the cycle-lockstep queue order exactly.
+    pending_out: Vec<VecDeque<(Cycle, Vec<MemReq>)>>,
+    /// Per-SM last locally simulated cycle. Only consulted at run end: an
+    /// SM's local clock may finish ahead of the global cycle (a pure-ALU
+    /// retirement mid-span), and the reported cycle count must cover it.
+    local_time: Vec<Cycle>,
     /// Per-component stepped-cycle counters: SMs at `0..n_sms`, DRAM
     /// channels at `n_sms..n_sms + P`, each partition's `to_l2` at
     /// `n_sms + P + p` and `from_l2` at `n_sms + 2P + p`. Slept cycles are
@@ -87,6 +113,13 @@ impl Gpu {
         let n_parts = cfg.n_mem_partitions as usize;
         let partitions =
             (0..cfg.n_mem_partitions).map(|p| MemPartition::new(&cfg, p, tracer.clone())).collect();
+        let n_sms = cfg.n_sms as usize;
+        let mut calendar = Calendar::new(n_sms + n_parts + n_sms);
+        for i in 0..n_sms {
+            // Flush slots are event components: parked until an SM holds a
+            // future-stamped outbox batch.
+            calendar.park(n_sms + n_parts + i);
+        }
         let mut gpu = Gpu {
             partitions,
             part_mask: cfg.n_mem_partitions as u64 - 1,
@@ -95,7 +128,11 @@ impl Gpu {
             next_window: cfg.window_cycles,
             scratch_msgs: Vec::new(),
             dispatch_scratch: Vec::new(),
-            calendar: Calendar::new(cfg.n_sms as usize + n_parts),
+            calendar,
+            burst: cfg.burst && !tracer.is_on(),
+            in_flight: vec![0; n_sms],
+            pending_out: vec![VecDeque::new(); n_sms],
+            local_time: vec![0; n_sms],
             comp_stepped: vec![0; cfg.n_sms as usize + 3 * n_parts],
             stepped_cycles: 0,
             skipped_cycles: 0,
@@ -195,6 +232,44 @@ impl Gpu {
                 break;
             }
         }
+        // An SM's local clock may finish ahead of the global one (a pure-ALU
+        // retirement mid-span ends the run with no further global events);
+        // the lockstep loop keeps stepping those tail cycles while any SM
+        // still has work, and an idle SM with an armed issue-scan wake-up
+        // performs that (futile) scan then. Replay exactly those calendar
+        // slots: anything due up to the furthest local time would have
+        // fired under lockstep; anything later would not (the run ends
+        // first). The machine is drained, so these ticks can only re-scan
+        // and re-arm — no architectural state moves.
+        let ahead = self.local_time.iter().copied().max().unwrap_or(0);
+        while self.cycle <= ahead {
+            if !self.calendar.any_due(self.cycle) {
+                match self.calendar.next_event() {
+                    Some((t, comp)) if t <= ahead => {
+                        let comp = comp as usize;
+                        if comp < self.sms.len() || comp >= self.sms.len() + self.partitions.len() {
+                            self.skip_to_sm += 1;
+                        } else {
+                            self.skip_to_dram += 1;
+                        }
+                        self.skipped_cycles += t - self.cycle;
+                        self.skip_jumps += 1;
+                        self.cycle = t;
+                    }
+                    _ => break,
+                }
+            }
+            self.step();
+        }
+        // The reported cycle count is the cycle after the last simulated
+        // one, exactly as the lockstep loop would have left it. Horizons
+        // never pass `max_cycles`, so this cannot overshoot the cap. The
+        // global loop never visited the remaining tail cycles, so for the
+        // stepped/skipped partition they count as fast-forwarded.
+        if ahead + 1 > self.cycle {
+            self.skipped_cycles += ahead + 1 - self.cycle;
+            self.cycle = ahead + 1;
+        }
         self.collect_stats()
     }
 
@@ -244,10 +319,11 @@ impl Gpu {
         if target <= cycle {
             return;
         }
-        // Attribute the jump to whichever horizon bounded it.
+        // Attribute the jump to whichever horizon bounded it. Outbox-flush
+        // slots (above the DRAM range) are SM-side work.
         if cal.is_some_and(|(t, _)| t == target) {
             let comp = cal.expect("checked").1 as usize;
-            if comp < self.sms.len() {
+            if comp < self.sms.len() || comp >= self.sms.len() + self.partitions.len() {
                 self.skip_to_sm += 1;
             } else {
                 self.skip_to_dram += 1;
@@ -265,11 +341,13 @@ impl Gpu {
         self.skip_jumps += 1;
     }
 
-    /// All work dispatched and drained.
+    /// All work dispatched and drained. A held outbox batch is in-flight
+    /// work the partitions have not seen yet, so it keeps the GPU alive.
     pub fn done(&self) -> bool {
         self.remaining_ctas == 0
             && self.sms.iter().all(|s| s.drained())
             && self.partitions.iter().all(|p| p.drained())
+            && self.pending_out.iter().all(|q| q.is_empty())
     }
 
     /// Advances the whole GPU one cycle, stepping only the components whose
@@ -285,14 +363,65 @@ impl Gpu {
         let part_mask = self.part_mask;
 
         // 1. SM pipelines (in SM-id order, as the exhaustive sweep was).
+        //    Each due SM runs a local-clock span up to its safe horizon; an
+        //    SM whose span ran ahead of the global clock parks its outbox
+        //    batch in `pending_out`, and the batch enters the interconnect
+        //    here, at its emission cycle, in SM-id order — the exact queue
+        //    position a cycle-lockstep run would have given it.
         for i in 0..n_sms {
+            if self.pending_out[i].front().is_some_and(|(stamp, _)| *stamp <= cycle) {
+                while let Some((stamp, _)) = self.pending_out[i].front() {
+                    if *stamp > cycle {
+                        break;
+                    }
+                    let (_, mut batch) = self.pending_out[i].pop_front().unwrap();
+                    for req in batch.drain(..) {
+                        self.partitions[(req.line.0 & part_mask) as usize].to_l2.push(req, cycle);
+                    }
+                    self.sms[i].outbox_pool.push(batch); // keep the allocation
+                }
+                match self.pending_out[i].front() {
+                    Some((stamp, _)) => self.calendar.schedule(n_sms + n_parts + i, *stamp),
+                    None => self.calendar.park(n_sms + n_parts + i),
+                }
+            }
             if !self.calendar.is_due(i, cycle) {
                 continue;
             }
-            self.comp_stepped[i] += 1;
+            // Every held batch flushes at a global step at its stamp, and
+            // stamps never reach the SM's next due cycle, so a due SM has
+            // nothing pending.
+            debug_assert!(self.pending_out[i].is_empty());
+            // Safe horizon (exclusive): nothing external can touch this SM
+            // before it. The window boundary runs `end_window` on every SM;
+            // with requests in flight, the earliest possible inbound
+            // delivery is bounded by the youngest queued response and the
+            // interconnect latency of one not yet queued — and a delivery
+            // at cycle `t` lands after the SM's own phase-1 view of `t`, so
+            // the SM may locally simulate through `t` itself.
+            let horizon = if self.burst {
+                let mut h = self.next_window.min(self.cfg.max_cycles);
+                if self.in_flight[i] > 0 {
+                    let mut t_del = cycle + self.cfg.icnt_latency as Cycle;
+                    for p in &self.partitions {
+                        if let Some(t) = p.from_l2.next_due() {
+                            t_del = t_del.min(t);
+                        }
+                    }
+                    h = h.min(t_del + 1);
+                }
+                h.max(cycle + 1)
+            } else {
+                cycle + 1
+            };
             let sm = &mut self.sms[i];
-            sm.tick(cycle, &self.kernel, &self.cfg);
-            let completed = sm.reap_completed_ctas(cycle);
+            let (end, ticks) = sm.tick_span(cycle, horizon, &self.kernel, &self.cfg);
+            self.comp_stepped[i] += ticks;
+            self.local_time[i] = end;
+            // CTA reap and refill happen at the SM's local time: the span
+            // ends on the cycle a CTA finishes, exactly where the per-cycle
+            // loop would have reaped it.
+            let completed = sm.reap_completed_ctas(end);
             if completed > 0 && self.remaining_ctas > 0 {
                 // Replace finished CTAs promptly (an inactive CTA, if any,
                 // was already re-activated inside the SM).
@@ -303,19 +432,52 @@ impl Gpu {
                     self.remaining_ctas -= 1;
                 }
             }
-            // Drain SM outbox into the interconnect, steering each request
-            // to the partition owning its line (power-of-two interleave).
-            for req in sm.outbox.drain(..) {
-                self.partitions[(req.line.0 & part_mask) as usize].to_l2.push(req, cycle);
+            // The reap/refill block above can itself emit (a CTA limit
+            // re-activation starts restore DMA, a launch may start
+            // backup); those requests leave the SM at its local time, so
+            // fold them in as one more emission batch stamped `end`.
+            if !sm.outbox.is_empty() {
+                let batch =
+                    std::mem::replace(&mut sm.outbox, sm.outbox_pool.pop().unwrap_or_default());
+                sm.emissions.push((end, batch));
             }
-            let due = self.sms[i].next_due(cycle).unwrap_or(Cycle::MAX);
+            // Drain the span's emission batches into the interconnect,
+            // steering each request to the partition owning its line
+            // (power-of-two interleave). Batches are stamped with their
+            // emission cycle in non-decreasing order; ones from the past
+            // of the global clock (at most the span's first tick and the
+            // reap above can produce them) go straight in, future ones
+            // wait for their flush slot.
+            if !sm.emissions.is_empty() {
+                for k in 0..sm.emissions.len() {
+                    let stamp = sm.emissions[k].0;
+                    let mut batch = std::mem::take(&mut sm.emissions[k].1);
+                    self.in_flight[i] += batch.len() as u32;
+                    if stamp <= cycle {
+                        for req in batch.drain(..) {
+                            self.partitions[(req.line.0 & part_mask) as usize]
+                                .to_l2
+                                .push(req, cycle);
+                        }
+                        sm.outbox_pool.push(batch);
+                    } else {
+                        self.pending_out[i].push_back((stamp, batch));
+                    }
+                }
+                sm.emissions.clear();
+                if let Some((stamp, _)) = self.pending_out[i].front() {
+                    self.calendar.wake_at(n_sms + n_parts + i, *stamp);
+                }
+            }
+            let due = self.sms[i].next_due(end).unwrap_or(Cycle::MAX);
             self.calendar.schedule(i, due);
         }
 
         // Phases 2-4 touch disjoint fields every iteration; one split
         // borrow up front replaces repeated `self.partitions[p]` indexing
         // in the per-cycle loops.
-        let Gpu { partitions, calendar, comp_stepped, scratch_msgs, sms, .. } = &mut *self;
+        let Gpu { partitions, calendar, comp_stepped, scratch_msgs, sms, in_flight, .. } =
+            &mut *self;
 
         // 2. L2 side: each partition consumes its arriving requests. A
         //    request pushed to DRAM here arrives at its `ready_at` cycle
@@ -368,6 +530,10 @@ impl Gpu {
                 for &rsp in scratch_msgs.iter() {
                     let sm = &mut sms[rsp.sm.0 as usize];
                     sm.handle_response(rsp, cycle);
+                    // Every delivery answers exactly one request this SM
+                    // emitted; the counter going dry re-opens its horizon.
+                    debug_assert!(in_flight[rsp.sm.0 as usize] > 0);
+                    in_flight[rsp.sm.0 as usize] -= 1;
                     calendar.wake_at(rsp.sm.0 as usize, cycle + 1);
                 }
             }
@@ -433,6 +599,7 @@ impl Gpu {
         let mut desc_bytes = 0u64;
         let mut sm_lsu_busy_cycles = 0u64;
         let mut sm_issue_scan_cycles = 0u64;
+        let mut burst = ProfileEvents::default();
         for sm in &mut self.sms {
             sm.finalize_stats();
             let s = &sm.stats;
@@ -442,6 +609,15 @@ impl Gpu {
             desc_bytes += s.events.desc_bytes;
             sm_lsu_busy_cycles += s.events.sm_lsu_busy_cycles;
             sm_issue_scan_cycles += s.events.sm_issue_scan_cycles;
+            burst.sm_bursts += s.events.sm_bursts;
+            burst.sm_burst_cycles += s.events.sm_burst_cycles;
+            burst.sm_burst_len_1 += s.events.sm_burst_len_1;
+            burst.sm_burst_len_2_3 += s.events.sm_burst_len_2_3;
+            burst.sm_burst_len_4_7 += s.events.sm_burst_len_4_7;
+            burst.sm_burst_len_8_15 += s.events.sm_burst_len_8_15;
+            burst.sm_burst_len_16_63 += s.events.sm_burst_len_16_63;
+            burst.sm_burst_len_64p += s.events.sm_burst_len_64p;
+            burst.sm_lsu_batched += s.events.sm_lsu_batched;
             total.instructions += s.instructions;
             total.l1_hits += s.l1_hits;
             total.miss_cold += s.miss_cold;
@@ -504,6 +680,15 @@ impl Gpu {
             desc_bytes,
             sm_lsu_busy_cycles,
             sm_issue_scan_cycles,
+            sm_bursts: burst.sm_bursts,
+            sm_burst_cycles: burst.sm_burst_cycles,
+            sm_burst_len_1: burst.sm_burst_len_1,
+            sm_burst_len_2_3: burst.sm_burst_len_2_3,
+            sm_burst_len_4_7: burst.sm_burst_len_4_7,
+            sm_burst_len_8_15: burst.sm_burst_len_8_15,
+            sm_burst_len_16_63: burst.sm_burst_len_16_63,
+            sm_burst_len_64p: burst.sm_burst_len_64p,
+            sm_lsu_batched: burst.sm_lsu_batched,
         };
         // Per-partition breakdown, indexed by partition id.
         total.partitions = (0..n_parts)

@@ -143,6 +143,15 @@ pub struct Sm {
     comp_overflow: BinaryHeap<Reverse<(Cycle, u32, u32)>>,
     /// Outgoing requests for the shared memory system (drained by the GPU).
     pub outbox: Vec<MemReq>,
+    /// Emission batches a local-clock span produced before returning: each
+    /// entry is one tick's outbox stamped with its emission cycle, in
+    /// non-decreasing stamp order. The GPU queues them for
+    /// interconnect entry at exactly those cycles, letting the span run on
+    /// through a miss drain instead of bouncing back to the global loop at
+    /// every emitting cycle.
+    pub emissions: Vec<(Cycle, Vec<MemReq>)>,
+    /// Recycled emission-batch allocations (refilled by the GPU's flush).
+    pub outbox_pool: Vec<Vec<MemReq>>,
     /// Current active-CTA limit imposed by the policy.
     cta_limit: Option<u32>,
     /// Monotone CTA launch counter (GTO age base; also makes global warp
@@ -166,6 +175,14 @@ pub struct Sm {
     /// Set by any event that can change warp eligibility (completion
     /// drain, memory response, CTA launch/reap/limit change, window end).
     issue_wake: bool,
+    /// Bit `s`: scheduler `s`'s greedily-held warp classified `Blocked`
+    /// (dependency, outstanding-load cap, or non-`Active` CTA) on a past
+    /// scan and no wake event has fired since, so it is still blocked and
+    /// the scan skips re-classifying it. Cleared wholesale when a scan
+    /// consumes `issue_wake` (the same events that end the issue sleep are
+    /// the only ones that can unblock a warp), and per scheduler when a
+    /// new pick replaces the held warp.
+    cur_blocked: u64,
     /// A warp retired or a CTA returned to `Active` since the last reap:
     /// only then can `is_complete() && Active` newly hold for some CTA, so
     /// `reap_completed_ctas` skips its slot scan otherwise.
@@ -203,6 +220,23 @@ pub struct Sm {
     lsu_busy_cycles: u64,
     /// Stepped SM-cycles whose issue phase ran a real candidate scan.
     issue_scan_cycles: u64,
+    /// Local-clock spans started (one per [`Sm::tick_span`] call with a
+    /// multi-cycle horizon).
+    bursts: u64,
+    /// Cycles simulated inside those spans (mean span length is
+    /// `burst_cycles / bursts`).
+    burst_cycles: u64,
+    /// Span-length histogram: buckets 1, 2–3, 4–7, 8–15, 16–63, 64+.
+    burst_hist: [u64; 6],
+    /// LSU queue entries serviced on local cycles after the first tick of a
+    /// span — i.e. drained without a global `Gpu::step` rendezvous.
+    lsu_batched: u64,
+    /// Monotone count of LSU entries serviced (popped with their access
+    /// resolved); `tick_span` differences it to attribute `lsu_batched`.
+    lsu_serviced: u64,
+    /// Scratch: the `(scheduler, warp)` picks of the current issue scan, in
+    /// scheduler order — the candidate set for a greedy-run burst.
+    burst_set: Vec<(u32, u32)>,
     /// Event-trace capture handle (shared with the GPU; off by default).
     tracer: Tracer,
 }
@@ -230,6 +264,8 @@ impl Sm {
             comp_head: 0,
             comp_overflow: BinaryHeap::new(),
             outbox: Vec::new(),
+            emissions: Vec::new(),
+            outbox_pool: Vec::new(),
             cta_limit: None,
             launch_seq: 0,
             warp_seq: 0,
@@ -241,6 +277,7 @@ impl Sm {
             waiter_buf: Vec::with_capacity(32),
             issue_sleep_until: 0,
             issue_wake: true,
+            cur_blocked: 0,
             reap_pending: false,
             stores_in_flight: 0,
             seed,
@@ -253,6 +290,12 @@ impl Sm {
             load_hpc: Vec::new(),
             lsu_busy_cycles: 0,
             issue_scan_cycles: 0,
+            bursts: 0,
+            burst_cycles: 0,
+            burst_hist: [0; 6],
+            lsu_batched: 0,
+            lsu_serviced: 0,
+            burst_set: Vec::with_capacity(cfg.schedulers_per_sm as usize),
             tracer: Tracer::off(),
         }
     }
@@ -281,6 +324,9 @@ impl Sm {
             return;
         }
         let s = self.sched_of(wi);
+        // This event may unblock this warp; if it is scheduler `s`'s held
+        // warp, the blocked memo no longer certifies anything.
+        self.cur_blocked &= !(1 << s);
         self.cands[s].insert(self.warps.age(wi), wi as u32);
     }
 
@@ -288,6 +334,7 @@ impl Sm {
     /// events (launch, reap, limit change, window end) whose eligibility
     /// effects span warps.
     fn wake_all_warps(&mut self) {
+        self.cur_blocked = 0;
         for v in &mut self.cands {
             v.clear();
         }
@@ -437,6 +484,22 @@ impl Sm {
 
     /// Advances this SM one cycle. Emits memory requests into `outbox`.
     pub fn tick(&mut self, cycle: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) {
+        self.tick_bounded(cycle, cycle + 1, kernel, cfg);
+    }
+
+    /// Advances this SM at `cycle`; with `limit > cycle + 1` the issue
+    /// stage may extend into a greedy-run burst, issuing K back-to-back
+    /// cycles of the held warps' independent ALU runs in this one call.
+    /// Returns the last cycle actually simulated (`cycle` unless a burst
+    /// ran). Every burst cycle is charged exactly as the per-cycle loop
+    /// would charge it; `limit` must not exceed the caller's safe horizon.
+    pub fn tick_bounded(
+        &mut self,
+        cycle: Cycle,
+        limit: Cycle,
+        kernel: &KernelSpec,
+        cfg: &GpuConfig,
+    ) -> Cycle {
         let probe = phase_timer::start();
         self.drain_completions(cycle);
         phase_timer::stop(probe, phase_timer::SM_DRAIN);
@@ -444,8 +507,82 @@ impl Sm {
         self.process_lsu(cycle, cfg);
         phase_timer::stop(probe, phase_timer::SM_LSU);
         let probe = phase_timer::start();
-        self.issue(cycle, kernel, cfg);
+        let end = self.issue(cycle, limit, kernel, cfg);
         phase_timer::stop(probe, phase_timer::SM_ISSUE);
+        end
+    }
+
+    /// Runs a tight local-clock loop from `cycle` up to (but excluding)
+    /// `horizon`: repeated exact single-cycle ticks at this SM's own due
+    /// cycles, plus in-issue greedy bursts, without returning to the global
+    /// step loop in between. An outbox emission does not end the span: the
+    /// batch is parked in `emissions` under its emission cycle (the GPU
+    /// feeds it to the interconnect at exactly that cycle), and the span
+    /// runs on — bounded by the earliest cycle a response to it could come
+    /// back, two interconnect flights after the emission. The span does
+    /// stop at the first pending CTA reap (the GPU refills freed slots the
+    /// same cycle). Returns `(last simulated cycle, locally stepped
+    /// cycles)`.
+    ///
+    /// The caller guarantees that no external event (memory response,
+    /// window boundary, CTA dispatch) can target this SM before `horizon`;
+    /// under that guarantee every local tick observes exactly the state the
+    /// per-cycle loop would have shown it, so stats, policy callbacks and
+    /// completion schedules are bit-identical.
+    pub fn tick_span(
+        &mut self,
+        cycle: Cycle,
+        horizon: Cycle,
+        kernel: &KernelSpec,
+        cfg: &GpuConfig,
+    ) -> (Cycle, u64) {
+        let mut c = cycle;
+        let mut ticks = 0u64;
+        let mut first = true;
+        // Inclusive last cycle this span may simulate. Tightened at each
+        // emission: a request entering the interconnect at `e` reaches its
+        // partition no sooner than `e + icnt_latency` and its response
+        // reaches this SM no sooner than `e + 2*icnt_latency` — and a
+        // delivery at cycle `t` lands after the SM's own phase-1 view of
+        // `t`, so the SM may still simulate `t` itself.
+        let mut bound = horizon - 1;
+        loop {
+            let serviced_before = self.lsu_serviced;
+            let end = self.tick_bounded(c, bound + 1, kernel, cfg);
+            ticks += end - c + 1;
+            if !first {
+                // LSU entries drained on a local cycle: no global step was
+                // paid for them.
+                self.lsu_batched += self.lsu_serviced - serviced_before;
+            }
+            first = false;
+            c = end;
+            if !self.outbox.is_empty() {
+                bound = bound.min(end + 2 * cfg.icnt_latency as Cycle);
+                let batch =
+                    std::mem::replace(&mut self.outbox, self.outbox_pool.pop().unwrap_or_default());
+                self.emissions.push((end, batch));
+            }
+            if self.reap_pending {
+                break;
+            }
+            match self.next_due(c) {
+                Some(n) if n <= bound => c = n,
+                _ => break,
+            }
+        }
+        self.bursts += 1;
+        self.burst_cycles += ticks;
+        let bucket = match ticks {
+            1 => 0,
+            2..=3 => 1,
+            4..=7 => 2,
+            8..=15 => 3,
+            16..=63 => 4,
+            _ => 5,
+        };
+        self.burst_hist[bucket] += 1;
+        (c, ticks)
     }
 
     fn drain_completions(&mut self, cycle: Cycle) {
@@ -519,7 +656,10 @@ impl Sm {
         }
         self.lsu_busy_cycles += 1;
         for _ in 0..cfg.l1_ports {
-            let Some(req) = self.lsu_queue.pop_front() else { break };
+            // Peek, don't pop: the blocked-head path (MSHR full) leaves the
+            // deque untouched instead of popping and pushing the same entry
+            // back every retry cycle.
+            let Some(&req) = self.lsu_queue.front() else { break };
             let hpc = req.hpc;
             let mut ctx = PolicyCtx {
                 cycle,
@@ -548,6 +688,8 @@ impl Sm {
                     line: req.line,
                     kind: MemReqKind::BypassRead,
                 });
+                self.lsu_queue.pop_front();
+                self.lsu_serviced += 1;
                 continue;
             }
             match self.l1.access(req.line, hpc) {
@@ -666,9 +808,9 @@ impl Sm {
                                     });
                                 }
                                 MshrOutcome::Full => {
-                                    // Structural stall: retry next cycle.
+                                    // Structural stall: the head stays in
+                                    // place and retries next cycle.
                                     self.stats.mshr_stalls += 1;
-                                    self.lsu_queue.push_front(req);
                                     return;
                                 }
                             }
@@ -676,10 +818,12 @@ impl Sm {
                     }
                 }
             }
+            self.lsu_queue.pop_front();
+            self.lsu_serviced += 1;
         }
     }
 
-    fn issue(&mut self, cycle: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) {
+    fn issue(&mut self, cycle: Cycle, limit: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) -> Cycle {
         // Event-driven fast path: if the last full scan proved every ready
         // set empty, nothing can become issueable before `issue_sleep_until`
         // unless a wake event fired (completion drain, memory response, CTA
@@ -687,10 +831,11 @@ impl Sm {
         // known cycles; everything else is event-driven, so skipping the
         // scan is exactly equivalent to running it.
         if !self.issue_wake && cycle < self.issue_sleep_until {
-            return;
+            return cycle;
         }
         self.issue_wake = false;
         self.issue_scan_cycles += 1;
+        self.burst_set.clear();
 
         // Fire due warp timers: re-list warps whose `next_ready` is now.
         let nw = self.wake_ring.len() / WAKE_RING as usize;
@@ -738,14 +883,21 @@ impl Sm {
                 // only classify as `Blocked`/`Time*` (never `Eligible` or
                 // `GatedLsu`, both of which require an expired timer), and
                 // the current-warp check ignores that distinction — so one
-                // column read replaces the full classify. Exact.
-                if self.warps.next_ready(cur.0 as usize) <= cycle {
+                // column read replaces the full classify. Exact. The
+                // `cur_blocked` memo is the same trick for event-blocked
+                // warps: `Blocked` can only end via a wake event, and every
+                // wake event clears the memo, so a set bit certifies the
+                // classify would return `Blocked` again.
+                if self.cur_blocked & (1 << s) == 0
+                    && self.warps.next_ready(cur.0 as usize) <= cycle
+                {
                     match self.classify(cur.0 as usize, cycle, cfg, lsu_full) {
                         WarpClass::Eligible => {
                             phase_timer::bump(phase_timer::PICK_WAS_CURRENT);
                             pick = Some(cur)
                         }
                         WarpClass::GatedLsu => gated_by_lsu = true,
+                        WarpClass::Blocked => self.cur_blocked |= 1 << s,
                         _ => {}
                     }
                 }
@@ -785,7 +937,9 @@ impl Sm {
                 }
             }
             if let Some(wid) = pick {
+                self.cur_blocked &= !(1 << s);
                 self.schedulers[s].note_pick(wid);
+                self.burst_set.push((s as u32, wid.0));
                 issued_any = true;
                 let probe = phase_timer::start();
                 self.execute_inst(wid, cycle, kernel, cfg);
@@ -793,12 +947,30 @@ impl Sm {
             }
         }
 
+        // Greedy-run burst: GTO holds each picked warp until it stalls, so
+        // while every picked warp keeps a back-to-back independent ALU run
+        // and no other warp can wake, the next scans are fully determined —
+        // replay them here instead of bouncing through the global loop.
+        // Preconditions: the caller granted local headroom, nothing escaped
+        // the SM this cycle (no LSU entry, no outbox message, no finished
+        // CTA), and no candidate is waiting on LSU back-pressure.
+        let mut end = cycle;
+        if limit > cycle + 1
+            && !self.burst_set.is_empty()
+            && !gated_by_lsu
+            && self.lsu_queue.is_empty()
+            && self.outbox.is_empty()
+            && !self.reap_pending
+        {
+            end = self.greedy_burst(cycle, limit, kernel, cfg);
+        }
+
         // Arm the sleep horizon only when this scan did nothing and no warp
         // was held back by LSU back-pressure (the LSU drains without firing
         // a wake event; but then the queue is non-empty, so those cycles
         // are busy anyway and re-scanning is cheap relative to the drain).
         self.issue_sleep_until = if issued_any || gated_by_lsu {
-            cycle // re-scan next cycle
+            end // re-scan next cycle
         } else {
             // The nearest parked timer bounds the horizon too. Any parked
             // wake lies within (cycle, cycle + WAKE_RING), so the forward
@@ -815,6 +987,97 @@ impl Sm {
             }
             timed_wake.unwrap_or(Cycle::MAX)
         };
+        end
+    }
+
+    /// Continues this cycle's issue into a greedy-run burst: re-issues the
+    /// exact set of warps just picked (`burst_set`) on consecutive cycles
+    /// for as long as the per-cycle scan would provably re-pick the same
+    /// set and nothing else, charging each cycle's stats and occupancy
+    /// identically. Returns the last cycle executed.
+    ///
+    /// Legality is all-or-nothing per cycle:
+    /// - no timer-wheel slot fires that cycle (a woken warp could create a
+    ///   pick on a scheduler outside the set; burst schedulers' held warps
+    ///   outrank any wake under GTO, but we end conservatively and let the
+    ///   real scan fire the timers),
+    /// - no load completion comes due (its drain could wake a
+    ///   dependency-blocked warp before the scan),
+    /// - every burst warp is ready exactly that cycle with a plain ALU op
+    ///   (`next_ready` chains back-to-back; live, not a load/store, no
+    ///   unresolved dependency),
+    /// - nothing escapes the SM (LSU queue and outbox stay empty, no CTA
+    ///   finishes).
+    fn greedy_burst(
+        &mut self,
+        cycle: Cycle,
+        limit: Cycle,
+        kernel: &KernelSpec,
+        cfg: &GpuConfig,
+    ) -> Cycle {
+        // Upper bound: the caller's horizon, the timer wheel's unambiguous
+        // range, and the first pending load completion.
+        let mut bound = (limit - 1).min(cycle + WAKE_RING - 1);
+        if self.comp_mask != 0 {
+            let base = (self.comp_head & (COMP_RING as u64 - 1)) as u32;
+            let d = self.comp_mask.rotate_right(base).trailing_zeros() as u64;
+            bound = bound.min((self.comp_head + d).saturating_sub(1));
+        }
+        if let Some(&Reverse((t, ..))) = self.comp_overflow.peek() {
+            bound = bound.min(t.saturating_sub(1));
+        }
+        // A non-burst scheduler's held warp that merely waits out a latency
+        // re-enters via its parked timer (caught per cycle below); capping
+        // on it directly as well is free, and divergence is not.
+        for s in 0..self.schedulers.len() {
+            if self.burst_set.iter().any(|&(bs, _)| bs as usize == s) {
+                continue;
+            }
+            if let Some(cur) = self.schedulers[s].current() {
+                let nr = self.warps.next_ready(cur.0 as usize);
+                if nr > cycle {
+                    bound = bound.min(nr - 1);
+                }
+            }
+        }
+        let nw = self.wake_ring.len() / WAKE_RING as usize;
+        let set = std::mem::take(&mut self.burst_set);
+        let mut end = cycle;
+        'cycles: for c in cycle + 1..=bound {
+            // The real scan fires due timers before picking; end the burst
+            // at the first cycle with a parked wake instead of replaying
+            // that path (the slot stays intact for the real scan).
+            if self.ring_timers > 0 {
+                let base = (c % WAKE_RING) as usize * nw;
+                if self.wake_ring[base..base + nw].iter().any(|&w| w != 0) {
+                    break;
+                }
+            }
+            for &(_, w) in &set {
+                let wi = w as usize;
+                let meta = self.warps.meta(wi);
+                if self.warps.next_ready(wi) != c
+                    || meta & META_READY != META_READY
+                    || meta & (META_LOAD | META_STORE) != 0
+                    || (meta & META_DEP != 0 && self.warps.outstanding(wi, LoadId(meta >> 16)) > 0)
+                {
+                    break 'cycles;
+                }
+            }
+            // This cycle is now exactly what the per-cycle loop would do:
+            // scan, re-pick every held warp, execute in scheduler order.
+            self.issue_scan_cycles += 1;
+            for &(s, w) in &set {
+                self.schedulers[s as usize].note_pick(WarpId(w));
+                self.execute_inst(WarpId(w), c, kernel, cfg);
+            }
+            end = c;
+            if self.reap_pending || !self.lsu_queue.is_empty() || !self.outbox.is_empty() {
+                break;
+            }
+        }
+        self.burst_set = set;
+        end
     }
 
     /// Classifies one warp slot's issue eligibility this cycle (pure; the
@@ -1419,6 +1682,15 @@ impl Sm {
             (self.desc_table.len() * std::mem::size_of::<Option<LineDesc>>()) as u64;
         self.stats.events.sm_lsu_busy_cycles = self.lsu_busy_cycles;
         self.stats.events.sm_issue_scan_cycles = self.issue_scan_cycles;
+        self.stats.events.sm_bursts = self.bursts;
+        self.stats.events.sm_burst_cycles = self.burst_cycles;
+        self.stats.events.sm_burst_len_1 = self.burst_hist[0];
+        self.stats.events.sm_burst_len_2_3 = self.burst_hist[1];
+        self.stats.events.sm_burst_len_4_7 = self.burst_hist[2];
+        self.stats.events.sm_burst_len_8_15 = self.burst_hist[3];
+        self.stats.events.sm_burst_len_16_63 = self.burst_hist[4];
+        self.stats.events.sm_burst_len_64p = self.burst_hist[5];
+        self.stats.events.sm_lsu_batched = self.lsu_batched;
     }
 }
 

@@ -153,6 +153,28 @@ pub struct ProfileEvents {
     /// SM-cycles the issue stage ran a real candidate scan (not
     /// short-circuited by the sleep horizon).
     pub sm_issue_scan_cycles: u64,
+    /// Local-clock spans executed (one per `Sm::tick_span` call; a span of
+    /// length 1 is an ordinary single-cycle tick).
+    pub sm_bursts: u64,
+    /// SM-cycles simulated inside local-clock spans (equals
+    /// `sm_stepped_cycles`; the ratio to `sm_bursts` is the mean burst
+    /// length).
+    pub sm_burst_cycles: u64,
+    /// Span-length histogram: spans of exactly 1 cycle.
+    pub sm_burst_len_1: u64,
+    /// Span-length histogram: spans of 2–3 cycles.
+    pub sm_burst_len_2_3: u64,
+    /// Span-length histogram: spans of 4–7 cycles.
+    pub sm_burst_len_4_7: u64,
+    /// Span-length histogram: spans of 8–15 cycles.
+    pub sm_burst_len_8_15: u64,
+    /// Span-length histogram: spans of 16–63 cycles.
+    pub sm_burst_len_16_63: u64,
+    /// Span-length histogram: spans of 64 cycles or more.
+    pub sm_burst_len_64p: u64,
+    /// LSU queue entries serviced on a locally simulated cycle (no global
+    /// step was paid for them).
+    pub sm_lsu_batched: u64,
 }
 
 /// Counters of one memory partition (L2 slice + DRAM channel + icnt queue

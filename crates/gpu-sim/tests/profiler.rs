@@ -136,12 +136,8 @@ fn idle_sms_sleep_while_busy_sms_step() {
     }
 }
 
-/// Compute-saturated kernels never have an idle machine, so skipping must
-/// not fire — guarding against over-eager fast-forward.
-#[test]
-fn no_skipping_when_machine_is_busy() {
-    let cfg = GpuConfig::default().with_sms(1).with_windows(5_000, 200_000);
-    let k = KernelBuilder::new("alu-bound")
+fn alu_bound_kernel() -> gpu_sim::kernel::KernelSpec {
+    KernelBuilder::new("alu-bound")
         .grid(2, 8)
         .regs_per_thread(16)
         .iterations(200)
@@ -149,10 +145,48 @@ fn no_skipping_when_machine_is_busy() {
         .alu(1)
         .alu(1)
         .build()
-        .expect("kernel must validate");
-    let s = run_kernel(cfg, k, &baseline_factory());
+        .expect("kernel must validate")
+}
+
+/// Compute-saturated kernels never have an idle machine, so with bursting
+/// disabled the idle skipper must not fire — guarding against over-eager
+/// fast-forward (with bursting the same cycles are covered by SM local
+/// clocks instead; see `bursting_batches_compute_bound_cycles`).
+#[test]
+fn no_skipping_when_machine_is_busy() {
+    let cfg = GpuConfig::default().with_sms(1).with_windows(5_000, 200_000).with_burst(false);
+    let s = run_kernel(cfg, alu_bound_kernel(), &baseline_factory());
     assert!(s.completed);
     assert_eq!(s.events.stepped_cycles + s.events.skipped_cycles, s.cycles);
     let frac = s.events.skipped_cycles as f64 / s.cycles as f64;
     assert!(frac < 0.05, "ALU-saturated kernel should step nearly every cycle, got {frac:.3}");
+}
+
+/// The same saturated kernel with bursting on: the SM still simulates
+/// (almost) every cycle, but on its local clock — long greedy-run spans,
+/// few global steps — with identical architectural results.
+#[test]
+fn bursting_batches_compute_bound_cycles() {
+    let cfg = GpuConfig::default().with_sms(1).with_windows(5_000, 200_000);
+    let off = run_kernel(cfg.clone().with_burst(false), alu_bound_kernel(), &baseline_factory());
+    let mut gpu = Gpu::new(cfg, alu_bound_kernel(), &baseline_factory());
+    let on = gpu.run();
+    assert!(on.completed);
+    assert_eq!(on.cycles, off.cycles, "bursting must not change the cycle count");
+    assert_eq!(on.instructions, off.instructions);
+    // The stepped/skipped partition still closes, but the SM's cycles are
+    // now covered locally: the global loop steps far less than the SM runs.
+    assert_eq!(on.events.stepped_cycles + on.events.skipped_cycles, on.cycles);
+    let (sm_stepped, _) = gpu.sm_activity(0);
+    assert!(
+        sm_stepped > 10 * on.events.stepped_cycles,
+        "local clock must batch SM work: {sm_stepped} SM cycles in {} global steps",
+        on.events.stepped_cycles
+    );
+    assert!(
+        on.events.sm_burst_cycles > on.events.sm_bursts,
+        "mean burst length must exceed 1 (got {} cycles / {} spans)",
+        on.events.sm_burst_cycles,
+        on.events.sm_bursts
+    );
 }
