@@ -9,13 +9,13 @@
 # Defaults compare a fresh BENCH_CI.json (produced in CI by the full
 # quick-scale `lb-experiments --jobs 1 --profile` suite — the same
 # binary, scale, and thread count as the committed record) against the
-# committed BENCH_PR8.json figure. The tolerance is deliberately wide
+# committed BENCH_PR9.json figure. The tolerance is deliberately wide
 # (15 %) because CI machines vary; the gate exists to catch
 # order-of-magnitude scheduling regressions, not noise.
 set -eu
 
 CURRENT=${1:-BENCH_CI.json}
-BASELINE=${2:-BENCH_PR8.json}
+BASELINE=${2:-BENCH_PR9.json}
 TOLERANCE=0.85
 
 extract() {

@@ -5,6 +5,7 @@ use baselines::{
     pcal_cerf_factory, pcal_factory, pcal_svc_factory, static_limit_factory,
 };
 use gpu_sim::config::GpuConfig;
+use gpu_sim::kernel::KernelSpec;
 use gpu_sim::policy::{baseline_factory, PolicyFactory};
 use linebacker::{
     linebacker_factory, selective_victim_caching_factory, victim_caching_factory, LbConfig,
@@ -107,9 +108,16 @@ impl Arch {
     /// Transforms the base configuration (CacheExt variants enlarge the L1).
     pub fn transform_config(&self, cfg: &GpuConfig, app: &AppSpec) -> GpuConfig {
         let kernel = app.kernel(cfg.n_sms);
+        self.transform_config_with(cfg, &kernel)
+    }
+
+    /// [`Arch::transform_config`] against an explicit kernel spec — the
+    /// trace-replay path has a concrete kernel (the trace's stub) rather
+    /// than an [`AppSpec`] to instantiate one from.
+    pub fn transform_config_with(&self, cfg: &GpuConfig, kernel: &KernelSpec) -> GpuConfig {
         match self {
-            Arch::CacheExt | Arch::LbCacheExt => cache_ext_config(cfg, &kernel),
-            Arch::BestSwlCacheExt(l) => best_swl_cache_ext_config(cfg, &kernel, *l),
+            Arch::CacheExt | Arch::LbCacheExt => cache_ext_config(cfg, kernel),
+            Arch::BestSwlCacheExt(l) => best_swl_cache_ext_config(cfg, kernel, *l),
             _ => cfg.clone(),
         }
     }

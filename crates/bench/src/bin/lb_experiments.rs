@@ -24,12 +24,13 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut profile = false;
-    let mut profile_out = String::from("BENCH_PR8.json");
+    let mut profile_out = String::from("BENCH_PR9.json");
     let mut trace_dir: Option<String> = None;
     let mut trace_mask = gpu_sim::trace::MASK_ALL;
     let mut partitions: Option<u32> = None;
     let mut desc_cache = true;
     let mut burst = true;
+    let mut workloads_specs: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -86,15 +87,22 @@ fn main() {
             }
             "--no-desc-cache" => desc_cache = false,
             "--no-burst" => burst = false,
+            "--workload" => {
+                workloads_specs.push(args.next().unwrap_or_else(|| {
+                    eprintln!("--workload expects trace:PATH");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: lb-experiments [--scale quick|default|full] [--jobs N] \
                      [--verbose] [--out FILE] [--csv-dir DIR] [--profile] \
                      [--profile-out FILE] [--trace DIR] [--trace-events MASK] \
-                     [--partitions N] [--no-desc-cache] [--no-burst] [ids... | all]\n  \
+                     [--partitions N] [--no-desc-cache] [--no-burst] \
+                     [--workload trace:PATH]... [ids... | all]\n  \
                      LB_JOBS=N overrides the default worker count (all cores); \
                      --jobs beats LB_JOBS\n  --profile prints a hot-path throughput \
-                     report to stderr and writes BENCH_PR8.json\n  --trace DIR \
+                     report to stderr and writes BENCH_PR9.json\n  --trace DIR \
                      captures one .lbt event trace per simulation into DIR; \
                      --trace-events narrows the captured kinds (names like \
                      issue,l1,dram, a 0x hex mask, or 'all')\n  --partitions N \
@@ -103,7 +111,10 @@ fn main() {
                      the decoded access-descriptor cache (slower, byte-identical \
                      output; a verification escape hatch)\n  --no-burst disables \
                      greedy-run burst execution and SM local clocks (slower, \
-                     byte-identical output; a verification escape hatch)\n  ids: {}",
+                     byte-identical output; a verification escape hatch)\n  \
+                     --workload trace:PATH loads a workload trace (.lbw1, or \
+                     .traceg to import) into the trace_replay experiment; \
+                     repeatable\n  ids: {}",
                     experiments::ALL.join(" ")
                 );
                 return;
@@ -111,8 +122,26 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+    // Bare `--workload trace:PATH` runs just the trace study; otherwise an
+    // empty id list (or an explicit `all`) expands to the default suite.
+    if ids.iter().any(|i| i == "all") || (ids.is_empty() && workloads_specs.is_empty()) {
         ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    // Loaded traces register under `trace:<stem>` keys and surface through
+    // the (opt-in) trace_replay experiment; pull it in if not requested.
+    for spec in &workloads_specs {
+        let (key, rep) = lb_replay::load_workload_spec(spec).unwrap_or_else(|e| {
+            eprintln!("--workload: {e}");
+            std::process::exit(2);
+        });
+        eprintln!(
+            "[workload] {key}: {} streams, {} dynamic insts",
+            rep.total_streams(),
+            rep.dyn_insts()
+        );
+        if !ids.iter().any(|i| i == "trace_replay") {
+            ids.push("trace_replay".to_string());
+        }
     }
 
     let mut runner = Runner::new(scale);

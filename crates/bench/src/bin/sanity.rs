@@ -14,9 +14,10 @@
 
 use baselines::{best_swl_sweep, cerf_factory, pcal_factory};
 use gpu_sim::config::GpuConfig;
-use gpu_sim::gpu::{run_kernel, run_kernel_traced};
+use gpu_sim::gpu::{run_kernel, run_kernel_traced, run_replay_kernel, run_replay_kernel_traced};
 use gpu_sim::kernel::KernelSpec;
 use gpu_sim::policy::{baseline_factory, PolicyFactory};
+use gpu_sim::replay::ReplayKernel;
 use gpu_sim::trace::{parse_mask, TraceWriter, Tracer, MASK_ALL};
 use lb_bench::profile::Profile;
 use lb_bench::runner::sanitize_key;
@@ -33,6 +34,7 @@ fn main() {
     let mut desc_cache = true;
     let mut burst = true;
     let mut only: Vec<String> = Vec::new();
+    let mut workload_specs: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -64,11 +66,20 @@ fn main() {
             }
             "--no-desc-cache" => desc_cache = false,
             "--no-burst" => burst = false,
+            "--workload" => {
+                workload_specs.push(args.next().unwrap_or_else(|| {
+                    eprintln!("--workload expects trace:PATH");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sanity [--quick] [--profile] [--profile-out FILE] \
                      [--trace DIR] [--trace-events MASK] [--partitions N] \
-                     [--no-desc-cache] [--no-burst] [apps...]"
+                     [--no-desc-cache] [--no-burst] [--workload trace:PATH]... \
+                     [apps...]\n  --workload replays a workload trace (.lbw1, \
+                     or .traceg to import) as an extra table row (no Best-SWL \
+                     sweep for traces)"
                 );
                 return;
             }
@@ -118,6 +129,28 @@ fn main() {
         prof.record(name, t0.elapsed().as_secs_f64(), &s);
         s
     };
+    let timed_replay = |prof: &mut Profile,
+                        name: String,
+                        cfg: &GpuConfig,
+                        rep: &std::sync::Arc<ReplayKernel>,
+                        factory: &PolicyFactory<'_>| {
+        let t0 = std::time::Instant::now();
+        let s = match &trace {
+            None => run_replay_kernel(cfg.clone(), rep, factory),
+            Some((dir, mask)) => {
+                let path = format!("{dir}/{}.lbt", sanitize_key(&name));
+                let writer = TraceWriter::to_file(std::path::Path::new(&path), *mask)
+                    .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
+                let tracer = Tracer::new(writer);
+                let s = run_replay_kernel_traced(cfg.clone(), rep, factory, tracer.clone());
+                tracer.finish().unwrap_or_else(|e| panic!("cannot flush trace file {path}: {e}"));
+                prof.record_trace(tracer.bytes(), tracer.events());
+                s
+            }
+        };
+        prof.record(name, t0.elapsed().as_secs_f64(), &s);
+        s
+    };
 
     let header = format!(
         "{:<4} {:>8} {:>8} {:>8} {:>8} {:>8}  reg_hit%  periods",
@@ -159,6 +192,43 @@ fn main() {
             app.abbrev,
             base.ipc(),
             swl.stats.ipc(),
+            pcal.ipc(),
+            cerf.ipc(),
+            lb.ipc(),
+            lb.outcome_fraction(gpu_sim::types::AccessOutcome::RegHit) * 100.0,
+            lb.monitor_periods,
+        ));
+    }
+    // Trace rows: replayed workloads under the same policies. Best-SWL's
+    // CTA-limit sweep is a synthetic-grid oracle, so that column stays "-".
+    for spec in &workload_specs {
+        let (key, rep) = lb_replay::load_workload_spec(spec).unwrap_or_else(|e| {
+            eprintln!("--workload: {e}");
+            std::process::exit(2);
+        });
+        let base = timed_replay(
+            &mut prof,
+            format!("app={key} arch=base"),
+            &cfg,
+            &rep,
+            &baseline_factory(),
+        );
+        let pcal =
+            timed_replay(&mut prof, format!("app={key} arch=pcal"), &cfg, &rep, &pcal_factory());
+        let cerf =
+            timed_replay(&mut prof, format!("app={key} arch=cerf"), &cfg, &rep, &cerf_factory());
+        let lb = timed_replay(
+            &mut prof,
+            format!("app={key} arch=lb"),
+            &cfg,
+            &rep,
+            &linebacker_factory(LbConfig::default()),
+        );
+        table.push(format!(
+            "{:<4} {:>8.3} {:>8} {:>8.3} {:>8.3} {:>8.3}  {:>6.1}%  {}",
+            key.strip_prefix("trace:").unwrap_or(key),
+            base.ipc(),
+            "-",
             pcal.ipc(),
             cerf.ipc(),
             lb.ipc(),

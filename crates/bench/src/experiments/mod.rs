@@ -19,6 +19,7 @@ pub mod fig18;
 pub mod overhead;
 pub mod partition;
 pub mod table2;
+pub mod trace_replay;
 
 use crate::runkey::RunKey;
 use crate::runner::Runner;
@@ -26,9 +27,10 @@ use crate::table::Table;
 
 /// Experiment ids in presentation order.
 ///
-/// The `partition` sensitivity sweep is runnable by explicit id but
-/// deliberately not listed here: the default suite's output must stay
-/// byte-identical to the pre-partition harness.
+/// The `partition` sensitivity sweep and the `trace_replay` corpus study
+/// are runnable by explicit id but deliberately not listed here: the
+/// default suite's output must stay byte-identical to the synthetic-only
+/// harness.
 pub const ALL: [&str; 18] = [
     "table2", "fig01", "fig02", "fig03", "fig04", "fig05", "overhead", "fig09", "fig10", "fig11",
     "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation",
@@ -56,6 +58,7 @@ pub fn run(id: &str, r: &Runner) -> Option<Table> {
         "overhead" => overhead::run(r),
         "ablation" => ablation::run(r),
         "partition" => partition::run(r),
+        "trace_replay" => trace_replay::run(r),
         _ => return None,
     };
     Some(t)
@@ -87,6 +90,7 @@ pub fn plan(id: &str, r: &Runner) -> Option<Vec<RunKey>> {
         "overhead" => overhead::runs(r),
         "ablation" => ablation::runs(r),
         "partition" => partition::runs(r),
+        "trace_replay" => trace_replay::runs(r),
         _ => return None,
     };
     Some(keys)
@@ -127,6 +131,16 @@ mod tests {
         let r = crate::shared_quick_runner();
         assert!(plan("partition", r).is_some());
         assert!(followup("partition", r).is_some());
+    }
+
+    #[test]
+    fn trace_replay_is_opt_in() {
+        // Runnable by explicit id, absent from the default suite (whose
+        // output must stay byte-identical to the synthetic-only harness).
+        assert!(!ALL.contains(&"trace_replay"));
+        let r = crate::shared_quick_runner();
+        assert!(plan("trace_replay", r).is_some());
+        assert!(followup("trace_replay", r).is_some());
     }
 
     #[test]

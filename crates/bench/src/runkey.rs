@@ -139,11 +139,23 @@ impl ArchSpec {
     /// 50 k-cycle windows regardless of scale, so reuse distances are
     /// observable).
     pub fn config(&self, base: &GpuConfig, app: &AppSpec) -> GpuConfig {
+        let kernel = app.kernel(base.n_sms);
+        self.config_for_kernel(base, &kernel)
+    }
+
+    /// [`ArchSpec::config`] against an explicit kernel spec. The trace-replay
+    /// path resolves the architecture transform from the trace's kernel stub
+    /// rather than instantiating an [`AppSpec`].
+    pub fn config_for_kernel(
+        &self,
+        base: &GpuConfig,
+        kernel: &gpu_sim::kernel::KernelSpec,
+    ) -> GpuConfig {
         let mut cfg = base.clone();
         if let Some(l1) = self.l1_override {
             cfg = cfg.with_l1_size(l1);
         }
-        cfg = self.arch.transform_config(&cfg, app);
+        cfg = self.arch.transform_config_with(&cfg, kernel);
         if let Some(p) = self.partitions {
             cfg = cfg.with_mem_partitions(p);
         }

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use gpu_sim::config::GpuConfig;
-use gpu_sim::gpu::{run_kernel, run_kernel_traced};
+use gpu_sim::gpu::{run_kernel, run_kernel_traced, run_replay_kernel, run_replay_kernel_traced};
 use gpu_sim::stats::SimStats;
 use gpu_sim::trace::{TraceWriter, Tracer};
 use workloads::AppSpec;
@@ -201,14 +201,26 @@ impl Runner {
     /// config from the key's [`crate::runkey::ArchSpec`] and calls the pure
     /// `run_kernel`.
     fn compute(&self, key: &RunKey) -> SimStats {
-        let app =
-            workloads::app(key.app).unwrap_or_else(|| panic!("unknown app in run key: {key}"));
-        let cfg = key.spec().config(&self.cfg, &app);
-        let kernel = app.kernel(cfg.n_sms);
+        // Trace-driven workloads (`trace:<name>` keys) resolve through the
+        // runtime registry; everything else through the synthetic app table.
+        let replay = workloads::traces::get(key.app);
+        let (cfg, kernel) = match &replay {
+            Some(rep) => (key.spec().config_for_kernel(&self.cfg, &rep.stub), None),
+            None => {
+                let app = workloads::app(key.app)
+                    .unwrap_or_else(|| panic!("unknown app in run key: {key}"));
+                let cfg = key.spec().config(&self.cfg, &app);
+                let kernel = app.kernel(cfg.n_sms);
+                (cfg, Some(kernel))
+            }
+        };
         let t0 = std::time::Instant::now();
         let mut trace_io = None;
         let stats = match &self.trace {
-            None => run_kernel(cfg, kernel, &key.arch.factory()),
+            None => match &replay {
+                Some(rep) => run_replay_kernel(cfg, rep, &key.arch.factory()),
+                None => run_kernel(cfg, kernel.unwrap(), &key.arch.factory()),
+            },
             Some(spec) => {
                 // Partitioned runs carry per-record partition ids in the
                 // wire format; the flag bit sits outside `parse_mask`'s
@@ -222,7 +234,14 @@ impl Runner {
                 let writer = TraceWriter::to_file(&path, mask)
                     .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
                 let tracer = Tracer::new(writer);
-                let stats = run_kernel_traced(cfg, kernel, &key.arch.factory(), tracer.clone());
+                let stats = match &replay {
+                    Some(rep) => {
+                        run_replay_kernel_traced(cfg, rep, &key.arch.factory(), tracer.clone())
+                    }
+                    None => {
+                        run_kernel_traced(cfg, kernel.unwrap(), &key.arch.factory(), tracer.clone())
+                    }
+                };
                 tracer
                     .finish()
                     .unwrap_or_else(|e| panic!("cannot flush trace file {}: {e}", path.display()));

@@ -1,0 +1,107 @@
+//! Capture → replay must be a statistical no-op: a trace captured from a
+//! one-wave synthetic run, replayed under ANY policy, must reproduce the
+//! direct synthetic run of that policy field-for-field.
+//!
+//! The only digest exclusions are the decoded-descriptor-cache telemetry
+//! counters: the replay frontend feeds recorded lines straight to the LSU
+//! and never consults the descriptor cache, so `desc_*` legitimately read
+//! zero on the replay side. Everything else — cycles, instruction counts,
+//! cache outcomes, RF traffic, energy, burst telemetry, idle-skip splits —
+//! must match exactly, which is what makes the trace frontend safe to use
+//! for policy studies.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use baselines::{cache_ext_config, cerf_factory, pcal_factory};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::run_kernel;
+use gpu_sim::kernel::KernelSpec;
+use gpu_sim::policy::{baseline_factory, PolicyFactory};
+use gpu_sim::replay::ReplayKernel;
+use gpu_sim::stats::SimStats;
+use linebacker::{linebacker_factory, LbConfig};
+
+/// Policy set matching the trace_replay experiment: Baseline, CacheExt
+/// (baseline scheduling over the enlarged L1), PCAL, Linebacker. The bool
+/// marks the CacheExt config transform.
+fn policies() -> Vec<(&'static str, bool, Box<PolicyFactory<'static>>)> {
+    vec![
+        ("base", false, baseline_factory()),
+        ("cache-ext", true, baseline_factory()),
+        ("pcal", false, pcal_factory()),
+        ("cerf", false, cerf_factory()),
+        ("lb", false, linebacker_factory(LbConfig::default())),
+    ]
+}
+
+/// Full-stats digest minus the descriptor-cache counters (unused on the
+/// replay path by design).
+fn digest(stats: &SimStats) -> String {
+    let mut s = stats.clone();
+    let per_load: BTreeMap<u32, String> =
+        s.per_load.iter().map(|(k, v)| (*k, format!("{v:?}"))).collect();
+    s.per_load.clear();
+    s.events.desc_hits = 0;
+    s.events.desc_misses = 0;
+    s.events.desc_entries = 0;
+    s.events.desc_bytes = 0;
+    format!("{s:?}|per_load={per_load:?}")
+}
+
+fn cap_cfg() -> GpuConfig {
+    GpuConfig::default().with_sms(2).with_windows(5_000, 400_000)
+}
+
+fn policy_cfg(cfg: &GpuConfig, kernel: &KernelSpec, cache_ext: bool) -> GpuConfig {
+    if cache_ext {
+        cache_ext_config(cfg, kernel)
+    } else {
+        cfg.clone()
+    }
+}
+
+/// Captures `abbrev` once under baseline, then checks direct-vs-replay
+/// digests for every policy.
+fn assert_round_trip(abbrev: &str) {
+    let cfg = cap_cfg();
+    let (_, rep) =
+        lb_replay::capture_app(abbrev, &cfg, 6, &baseline_factory()).expect("capture succeeds");
+    let kernel = rep.stub.clone();
+    let rep: Arc<ReplayKernel> = Arc::new(rep);
+    for (name, cache_ext, factory) in policies() {
+        let run_cfg = policy_cfg(&cfg, &kernel, cache_ext);
+        let direct = run_kernel(run_cfg.clone(), kernel.clone(), &factory);
+        let replayed = gpu_sim::run_replay_kernel(run_cfg, &rep, &factory);
+        assert!(direct.completed, "app={abbrev} arch={name}: direct run must complete");
+        assert_eq!(
+            digest(&direct),
+            digest(&replayed),
+            "app={abbrev} arch={name}: replay diverged from the direct synthetic run"
+        );
+    }
+}
+
+/// Round trip across the three behaviour classes the corpus covers:
+/// cache-sensitive reuse (S1), mixed with stores (GE), divergent (BI).
+#[test]
+fn replay_reproduces_direct_runs_across_policies() {
+    for abbrev in ["S1", "GE", "BI"] {
+        assert_round_trip(abbrev);
+    }
+}
+
+/// A trace decoded from the canonical byte format (not just the in-memory
+/// capture) replays identically too: bytes are the contract, not the
+/// struct.
+#[test]
+fn decoded_bytes_replay_identically_to_in_memory_capture() {
+    let cfg = cap_cfg();
+    let (_, rep) =
+        lb_replay::capture_app("S1", &cfg, 6, &baseline_factory()).expect("capture succeeds");
+    let bytes = lb_replay::encode(&rep);
+    let decoded = Arc::new(lb_replay::decode(&bytes).expect("decode succeeds"));
+    let from_mem = gpu_sim::run_replay_kernel(cfg.clone(), &Arc::new(rep), &baseline_factory());
+    let from_bytes = gpu_sim::run_replay_kernel(cfg, &decoded, &baseline_factory());
+    assert_eq!(digest(&from_mem), digest(&from_bytes));
+}

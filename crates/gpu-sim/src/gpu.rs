@@ -2,6 +2,7 @@
 //! slices + DRAM channels), and the per-cycle simulation loop.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::calendar::Calendar;
 use crate::config::GpuConfig;
@@ -11,6 +12,7 @@ use crate::mem::MemReq;
 use crate::partition::MemPartition;
 use crate::phase_timer;
 use crate::policy::{PolicyFactory, SmPolicy};
+use crate::replay::{CaptureError, ReplayKernel, WarpStream};
 use crate::sm::Sm;
 use crate::stats::{PartitionCounters, ProfileEvents, SimStats};
 use crate::types::{Cycle, SmId};
@@ -29,6 +31,11 @@ pub struct Gpu {
     part_mask: u64,
     /// CTAs of the grid not yet dispatched.
     remaining_ctas: u32,
+    /// Grid-wide dispatch ordinal of the next CTA to launch. In trace mode
+    /// this is the stream-block index (`ordinal * warps_per_cta` is the
+    /// first stream of the CTA); in synthetic mode it is threaded but
+    /// unread, so maintaining it costs one dead store per launch.
+    cta_ordinal: u64,
     cycle: Cycle,
     /// The next window-boundary cycle (`k * window_cycles`); advanced by one
     /// window each time it fires so the per-cycle boundary test is a compare
@@ -102,11 +109,41 @@ impl Gpu {
         factory: &PolicyFactory<'_>,
         tracer: Tracer,
     ) -> Self {
+        Self::new_inner(cfg, kernel, None, false, factory, tracer)
+    }
+
+    /// Builds a GPU that replays `rep` instead of generating addresses: each
+    /// warp executes its recorded stream through the unmodified pipeline.
+    /// The stub kernel drives occupancy and policy transforms exactly as a
+    /// synthetic kernel would.
+    pub fn new_replay(cfg: GpuConfig, rep: Arc<ReplayKernel>, factory: &PolicyFactory<'_>) -> Self {
+        let kernel = rep.stub.clone();
+        Self::new_inner(cfg, kernel, Some(rep), false, factory, Tracer::off())
+    }
+
+    /// Shared builder behind the synthetic, replay and capture frontends.
+    /// `replay` installs per-warp streams on every SM before the initial
+    /// dispatch; `capture` arms per-SM stream recorders sized to the grid.
+    fn new_inner(
+        cfg: GpuConfig,
+        kernel: KernelSpec,
+        replay: Option<Arc<ReplayKernel>>,
+        capture: bool,
+        factory: &PolicyFactory<'_>,
+        tracer: Tracer,
+    ) -> Self {
+        let n_streams = kernel.grid_ctas as usize * kernel.warps_per_cta as usize;
         let sms = (0..cfg.n_sms)
             .map(|i| {
                 let policy: Box<dyn SmPolicy> = factory(SmId(i), &cfg, &kernel);
                 let mut sm = Sm::new(SmId(i), &cfg, policy, 0x5eed ^ (i as u64));
                 sm.set_tracer(tracer.clone());
+                if let Some(rep) = &replay {
+                    sm.set_replay(Arc::clone(rep));
+                }
+                if capture {
+                    sm.enable_capture(n_streams);
+                }
                 sm
             })
             .collect();
@@ -124,6 +161,7 @@ impl Gpu {
             partitions,
             part_mask: cfg.n_mem_partitions as u64 - 1,
             remaining_ctas: kernel.grid_ctas,
+            cta_ordinal: 0,
             cycle: 0,
             next_window: cfg.window_cycles,
             scratch_msgs: Vec::new(),
@@ -203,8 +241,10 @@ impl Gpu {
                     return false;
                 }
                 let sm = &mut self.sms[i as usize];
+                sm.set_next_cta_ordinal(self.cta_ordinal);
                 if sm.wants_new_cta() && sm.try_launch_cta(&self.kernel, &self.cfg) {
                     self.remaining_ctas -= 1;
+                    self.cta_ordinal += 1;
                     true
                 } else {
                     false
@@ -425,11 +465,13 @@ impl Gpu {
             if completed > 0 && self.remaining_ctas > 0 {
                 // Replace finished CTAs promptly (an inactive CTA, if any,
                 // was already re-activated inside the SM).
-                while self.remaining_ctas > 0
-                    && sm.wants_new_cta()
-                    && sm.try_launch_cta(&self.kernel, &self.cfg)
-                {
+                while self.remaining_ctas > 0 && sm.wants_new_cta() {
+                    sm.set_next_cta_ordinal(self.cta_ordinal);
+                    if !sm.try_launch_cta(&self.kernel, &self.cfg) {
+                        break;
+                    }
                     self.remaining_ctas -= 1;
+                    self.cta_ordinal += 1;
                 }
             }
             // The reap/refill block above can itself emit (a CTA limit
@@ -728,6 +770,26 @@ impl Gpu {
         total.energy_mj = self.cfg.energy.total_mj(&activity);
         total
     }
+
+    /// Collects the per-warp streams recorded by a capture run. Each stream
+    /// executes on exactly one SM, so the merge picks, per grid-wide stream
+    /// index, the single SM whose recorder holds its ops; a stream no SM
+    /// recorded (its CTA never launched) stays empty for the caller's
+    /// completeness check.
+    fn take_capture(&mut self) -> Vec<WarpStream> {
+        let n = self.kernel.grid_ctas as usize * self.kernel.warps_per_cta as usize;
+        let mut merged = vec![WarpStream::default(); n];
+        for sm in &mut self.sms {
+            if let Some(cap) = sm.take_capture() {
+                for (i, s) in cap.into_iter().enumerate() {
+                    if !s.ops.is_empty() {
+                        merged[i] = s;
+                    }
+                }
+            }
+        }
+        merged
+    }
 }
 
 impl std::fmt::Debug for Gpu {
@@ -771,6 +833,74 @@ pub fn run_kernel_traced(
     tracer: Tracer,
 ) -> SimStats {
     Gpu::new_traced(cfg, kernel, factory, tracer).run()
+}
+
+/// Runs a replay workload to completion: every warp executes its recorded
+/// stream through the unmodified pipeline. Deterministic and thread-safe on
+/// the same terms as [`run_kernel`]; the shared [`ReplayKernel`] is
+/// read-only throughout.
+pub fn run_replay_kernel(
+    cfg: GpuConfig,
+    rep: &Arc<ReplayKernel>,
+    factory: &PolicyFactory<'_>,
+) -> SimStats {
+    Gpu::new_replay(cfg, Arc::clone(rep), factory).run()
+}
+
+/// Like [`run_replay_kernel`], but capturing microarchitectural events
+/// through `tracer` (strictly observational, as in [`run_kernel_traced`]).
+pub fn run_replay_kernel_traced(
+    cfg: GpuConfig,
+    rep: &Arc<ReplayKernel>,
+    factory: &PolicyFactory<'_>,
+    tracer: Tracer,
+) -> SimStats {
+    Gpu::new_inner(cfg, rep.stub.clone(), Some(Arc::clone(rep)), false, factory, tracer).run()
+}
+
+/// Runs `kernel` synthetically while recording every warp's issue-order
+/// instruction/address stream, returning the run's stats and the recorded
+/// [`ReplayKernel`]. Fails if the run hits the cycle cap (the streams would
+/// be truncated) or any warp never executed (the grid exceeds one dispatch
+/// wave, so stream placement would not be policy-invariant).
+pub fn capture_kernel(
+    cfg: GpuConfig,
+    kernel: KernelSpec,
+    factory: &PolicyFactory<'_>,
+) -> Result<(SimStats, ReplayKernel), CaptureError> {
+    let stub = kernel.clone();
+    let mut gpu = Gpu::new_inner(cfg, kernel, None, true, factory, Tracer::off());
+    let stats = gpu.run();
+    if !stats.completed {
+        return Err(CaptureError::Incomplete { cycles: stats.cycles });
+    }
+    let streams = gpu.take_capture();
+    if let Some(i) = streams.iter().position(|s| s.ops.is_empty()) {
+        return Err(CaptureError::EmptyStream { stream: i });
+    }
+    Ok((stats, ReplayKernel { stub, streams }))
+}
+
+/// Replays `rep` while re-capturing the executed streams. A faithful replay
+/// re-captures exactly what it consumed, so encoding the result must be
+/// byte-identical to the input file — the self-check `ci/replay_smoke.sh`
+/// runs on every captured corpus.
+pub fn run_replay_capture(
+    cfg: GpuConfig,
+    rep: &Arc<ReplayKernel>,
+    factory: &PolicyFactory<'_>,
+) -> Result<(SimStats, ReplayKernel), CaptureError> {
+    let mut gpu =
+        Gpu::new_inner(cfg, rep.stub.clone(), Some(Arc::clone(rep)), true, factory, Tracer::off());
+    let stats = gpu.run();
+    if !stats.completed {
+        return Err(CaptureError::Incomplete { cycles: stats.cycles });
+    }
+    let streams = gpu.take_capture();
+    if let Some(i) = streams.iter().position(|s| s.ops.is_empty()) {
+        return Err(CaptureError::EmptyStream { stream: i });
+    }
+    Ok((stats, ReplayKernel { stub: rep.stub.clone(), streams }))
 }
 
 #[cfg(test)]
@@ -876,6 +1006,57 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.l1_hits, b.l1_hits);
         assert_eq!(a.miss_2c, b.miss_2c);
+    }
+
+    #[test]
+    fn capture_replay_round_trip_matches() {
+        let cfg = fast_cfg();
+        let k = KernelBuilder::new("rt")
+            .grid(4, 2)
+            .regs_per_thread(16)
+            .load_then_use(AccessPattern::reuse_working_set(8 * 1024, true), 2)
+            .alu(2)
+            .iterations(50)
+            .build()
+            .unwrap();
+        // One-wave grid: every CTA places at construction time, so stream
+        // placement is identical in the direct, capture and replay runs.
+        assert!(crate::replay::resident_ctas(&cfg, &k) * cfg.n_sms >= k.grid_ctas);
+        let direct = run_kernel(cfg.clone(), k.clone(), &baseline_factory());
+        let (cap_stats, rep) = capture_kernel(cfg.clone(), k, &baseline_factory()).unwrap();
+        rep.validate().unwrap();
+        assert_eq!(direct.instructions, cap_stats.instructions);
+        assert_eq!(direct.cycles, cap_stats.cycles);
+        let rep = std::sync::Arc::new(rep);
+        let replayed = run_replay_kernel(cfg, &rep, &baseline_factory());
+        assert!(replayed.completed);
+        assert_eq!(direct.cycles, replayed.cycles);
+        assert_eq!(direct.instructions, replayed.instructions);
+        assert_eq!(direct.l1_hits, replayed.l1_hits);
+        assert_eq!(direct.miss_cold, replayed.miss_cold);
+        assert_eq!(direct.miss_2c, replayed.miss_2c);
+        assert_eq!(direct.stores, replayed.stores);
+        assert_eq!(direct.rf_reads, replayed.rf_reads);
+        assert_eq!(direct.rf_writes, replayed.rf_writes);
+        // Replay-with-capture reproduces the consumed streams exactly.
+        let (_, rep2) = run_replay_capture(fast_cfg(), &rep, &baseline_factory()).unwrap();
+        assert_eq!(*rep, rep2);
+    }
+
+    #[test]
+    fn capture_rejects_truncated_run() {
+        let cfg = GpuConfig::default().with_sms(1).with_windows(1_000, 3_000);
+        let k = KernelBuilder::new("long")
+            .grid(2, 2)
+            .regs_per_thread(16)
+            .load_then_use(AccessPattern::streaming(128), 1)
+            .iterations(100_000)
+            .build()
+            .unwrap();
+        match capture_kernel(cfg, k, &baseline_factory()) {
+            Err(crate::replay::CaptureError::Incomplete { cycles }) => assert!(cycles <= 3_000),
+            other => panic!("expected Incomplete, got {other:?}"),
+        }
     }
 
     #[test]

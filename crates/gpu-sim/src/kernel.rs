@@ -107,6 +107,35 @@ impl KernelSpec {
         &self.loads[id.0 as usize]
     }
 
+    /// Assembles a spec from pre-built parts and validates it — the
+    /// constructor for deserialized kernels (the `LBW1` decoder, the
+    /// Accel-Sim trace importer), where PCs and load ids arrive from the
+    /// input instead of a [`KernelBuilder`] counter.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw(
+        name: String,
+        grid_ctas: u32,
+        warps_per_cta: u32,
+        regs_per_thread: u32,
+        shared_mem_per_cta: u64,
+        body: Vec<StaticInst>,
+        iterations: u32,
+        loads: Vec<LoadSpec>,
+    ) -> Result<KernelSpec, String> {
+        let spec = KernelSpec {
+            name,
+            grid_ctas,
+            warps_per_cta,
+            regs_per_thread,
+            shared_mem_per_cta,
+            body,
+            iterations,
+            loads,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
     /// Validates internal consistency; returns a description of the first
     /// problem found, if any.
     pub fn validate(&self) -> Result<(), String> {

@@ -55,6 +55,7 @@ pub mod pattern;
 pub mod phase_timer;
 pub mod policy;
 pub mod regfile;
+pub mod replay;
 pub mod scheduler;
 pub mod sm;
 pub mod stats;
@@ -62,11 +63,15 @@ pub mod types;
 pub mod warp;
 
 pub use config::GpuConfig;
-pub use gpu::{run_kernel, run_kernel_traced, Gpu};
+pub use gpu::{
+    capture_kernel, run_kernel, run_kernel_traced, run_replay_capture, run_replay_kernel,
+    run_replay_kernel_traced, Gpu,
+};
 pub use kernel::{KernelBuilder, KernelSpec};
 /// The event-trace crate, re-exported so simulator users need not name the
 /// `lb-trace` dependency themselves.
 pub use lb_trace as trace;
 pub use pattern::AccessPattern;
 pub use policy::{NullPolicy, SmPolicy};
+pub use replay::{CaptureError, ReplayKernel, TraceOp, WarpStream};
 pub use stats::SimStats;

@@ -446,12 +446,36 @@ fn lines_per_access(bytes: u64) -> u64 {
     (bytes / LINE_BYTES).max(1)
 }
 
+/// Coalesces per-thread byte addresses into the access's distinct line
+/// addresses, preserving first-touch order — the merge a GPU's coalescing
+/// unit performs across a warp's lanes. Used by the trace importer to
+/// normalize external per-lane address lists into the line-granular streams
+/// the replay frontend consumes; the synthetic generator produces
+/// already-coalesced lines and never calls this.
+pub fn coalesce_bytes(byte_addrs: &[u64], out: &mut Vec<LineAddr>) {
+    out.clear();
+    for &b in byte_addrs {
+        let line = LineAddr(b / LINE_BYTES);
+        if !out.contains(&line) {
+            out.push(line);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn ctx(warp: u64, idx: u64) -> AccessCtx {
         AccessCtx { seed: 7, sm: SmId(0), global_warp: warp, load: LoadId(0), access_index: idx }
+    }
+
+    #[test]
+    fn coalesce_dedups_in_first_touch_order() {
+        let mut out = Vec::new();
+        // Lanes touching lines 1, 0, 1, 2 coalesce to [1, 0, 2].
+        coalesce_bytes(&[128, 0, 130, 300], &mut out);
+        assert_eq!(out, vec![LineAddr(1), LineAddr(0), LineAddr(2)]);
     }
 
     fn gen(p: &AccessPattern, warp: u64, idx: u64) -> Vec<LineAddr> {

@@ -1,0 +1,248 @@
+//! Trace-replay workload frontend: per-warp instruction/address streams.
+//!
+//! The synthetic frontend generates each warp's addresses on the fly from an
+//! [`AccessPattern`](crate::pattern::AccessPattern); the replay frontend
+//! instead feeds every warp a pre-recorded stream — captured from a synthetic
+//! run ([`crate::gpu::capture_kernel`]) or imported from an external
+//! SASS-style text trace (the `lb-replay` crate). A [`ReplayKernel`] pairs a
+//! plain [`KernelSpec`] *stub* (grid shape, resources, static body — the
+//! header every policy transform reads) with one [`WarpStream`] per warp of
+//! the grid: the warp's dynamic instruction sequence as indices into the
+//! stub body, plus the coalesced line addresses of its memory operations,
+//! interned in a per-stream line pool and referenced by (offset, length).
+//!
+//! Stream identity is by *CTA dispatch ordinal*: the k-th CTA the GPU
+//! launches (grid-wide, across SMs) executes streams
+//! `k * warps_per_cta .. (k + 1) * warps_per_cta`. Initial dispatch is
+//! deterministic round-robin, so a capture sized to one wave (every CTA
+//! placed before cycle 0) replays each stream on exactly the SM and warp
+//! slot that produced it — the property the cross-policy round-trip tests
+//! rely on.
+
+use crate::config::GpuConfig;
+use crate::kernel::{InstKind, KernelSpec};
+use crate::types::{Cycle, LineAddr};
+
+/// One dynamic instruction of a warp's replay stream.
+///
+/// `pos` indexes the stub kernel's `body`; the static instruction there
+/// supplies the kind, latency, PC and scoreboard edge. Memory operations
+/// carry their coalesced line addresses as a `line_off .. line_off +
+/// line_len` slice of the owning stream's line pool; ALU operations have
+/// `line_len == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Index into the stub kernel's `body`.
+    pub pos: u32,
+    /// First line of this access in the stream's line pool.
+    pub line_off: u32,
+    /// Number of coalesced lines (0 for ALU operations).
+    pub line_len: u32,
+}
+
+/// The recorded execution of one warp: its dynamic instruction sequence and
+/// the interned line pool its memory operations reference.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WarpStream {
+    /// Dynamic instructions in issue order.
+    pub ops: Vec<TraceOp>,
+    /// Line pool referenced by the memory operations' (offset, length)
+    /// slices. Capture appends raw per-access slices; the `LBW1` encoder
+    /// interns duplicates, so a decoded stream shares repeated accesses.
+    pub lines: Vec<LineAddr>,
+}
+
+/// A trace-driven workload: a kernel stub plus one stream per warp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayKernel {
+    /// Grid shape, resources and static body. Policy transforms and
+    /// occupancy read only this; the stub's `AccessPattern`s are never
+    /// executed in replay (imported kernels carry placeholders).
+    pub stub: KernelSpec,
+    /// One stream per warp, indexed `cta_ordinal * warps_per_cta + lane`.
+    pub streams: Vec<WarpStream>,
+}
+
+impl ReplayKernel {
+    /// Total warps in the grid (`grid_ctas * warps_per_cta`).
+    pub fn total_streams(&self) -> usize {
+        self.stub.grid_ctas as usize * self.stub.warps_per_cta as usize
+    }
+
+    /// Total dynamic instructions across all streams.
+    pub fn dyn_insts(&self) -> u64 {
+        self.streams.iter().map(|s| s.ops.len() as u64).sum()
+    }
+
+    /// Validates internal consistency: the stub itself, the stream count
+    /// against the grid, every op's body position and line slice, and the
+    /// kind agreement between ops and the static instructions they index
+    /// (ALU ops must not carry lines; memory ops may carry zero when a
+    /// sparse pattern skipped the instance).
+    pub fn validate(&self) -> Result<(), String> {
+        self.stub.validate()?;
+        if self.streams.len() != self.total_streams() {
+            return Err(format!(
+                "stream count {} does not match grid {} CTAs x {} warps",
+                self.streams.len(),
+                self.stub.grid_ctas,
+                self.stub.warps_per_cta
+            ));
+        }
+        for (si, s) in self.streams.iter().enumerate() {
+            if s.ops.is_empty() {
+                return Err(format!("stream {si} is empty"));
+            }
+            for (oi, op) in s.ops.iter().enumerate() {
+                let inst = self.stub.body.get(op.pos as usize).ok_or_else(|| {
+                    format!("stream {si} op {oi}: body position {} out of range", op.pos)
+                })?;
+                let end = op.line_off as u64 + op.line_len as u64;
+                if end > s.lines.len() as u64 {
+                    return Err(format!(
+                        "stream {si} op {oi}: line slice {}..{end} exceeds pool of {}",
+                        op.line_off,
+                        s.lines.len()
+                    ));
+                }
+                // A memory op with zero lines is legal: sparse patterns
+                // (e.g. `SparseStream`) skip most instances, touching
+                // nothing. Only the converse — an ALU op carrying lines —
+                // is a structural error.
+                if let InstKind::Alu { .. } = inst.kind {
+                    if op.line_len != 0 {
+                        return Err(format!(
+                            "stream {si} op {oi}: ALU op carries {} lines",
+                            op.line_len
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A capture run could not produce a complete trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaptureError {
+    /// The run hit the cycle cap before every warp retired; the recorded
+    /// streams would be truncated mid-execution.
+    Incomplete {
+        /// Cycles simulated when the cap fired.
+        cycles: Cycle,
+    },
+    /// A warp of the grid never issued an instruction (its CTA was never
+    /// dispatched) — the grid does not fit the capture configuration.
+    EmptyStream {
+        /// Index of the first empty stream.
+        stream: usize,
+    },
+}
+
+impl std::fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptureError::Incomplete { cycles } => {
+                write!(f, "capture run incomplete after {cycles} cycles (raise max_cycles or shrink the kernel)")
+            }
+            CaptureError::EmptyStream { stream } => {
+                write!(f, "warp stream {stream} never executed (grid exceeds capture occupancy)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
+/// CTAs of `kernel` simultaneously resident on one SM under `cfg` (the
+/// occupancy minimum over warp slots, threads, registers and shared
+/// memory — the same limits [`crate::sm::Sm::try_launch_cta`] enforces).
+/// Capture grids are sized to `resident_ctas * n_sms` so the whole grid
+/// dispatches in one wave and stream placement is policy-invariant.
+pub fn resident_ctas(cfg: &GpuConfig, kernel: &KernelSpec) -> u32 {
+    let wpc = kernel.warps_per_cta.max(1);
+    let by_warps = cfg.max_warps_per_sm / wpc;
+    let by_threads = cfg.max_threads_per_sm / (wpc * cfg.simd_width);
+    let by_regs = cfg.warp_regs_per_sm() / kernel.regs_per_cta().max(1);
+    let by_smem = cfg
+        .shared_mem_bytes_per_sm
+        .checked_div(kernel.shared_mem_per_cta)
+        .map_or(u32::MAX, |n| n.min(u64::from(u32::MAX)) as u32);
+    by_warps.min(by_threads).min(by_regs).min(by_smem).min(cfg.max_ctas_per_sm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::pattern::AccessPattern;
+
+    fn stub() -> KernelSpec {
+        KernelBuilder::new("t")
+            .grid(1, 1)
+            .load_then_use(AccessPattern::streaming(128), 0)
+            .iterations(1)
+            .build()
+            .unwrap()
+    }
+
+    fn valid_rep() -> ReplayKernel {
+        ReplayKernel {
+            stub: stub(),
+            streams: vec![WarpStream {
+                ops: vec![
+                    TraceOp { pos: 0, line_off: 0, line_len: 1 },
+                    TraceOp { pos: 1, line_off: 0, line_len: 0 },
+                ],
+                lines: vec![LineAddr(42)],
+            }],
+        }
+    }
+
+    #[test]
+    fn valid_replay_kernel_passes() {
+        assert!(valid_rep().validate().is_ok());
+    }
+
+    #[test]
+    fn stream_count_mismatch_rejected() {
+        let mut r = valid_rep();
+        r.streams.push(WarpStream::default());
+        assert!(r.validate().unwrap_err().contains("stream count"));
+    }
+
+    #[test]
+    fn out_of_range_pos_rejected() {
+        let mut r = valid_rep();
+        r.streams[0].ops[0].pos = 99;
+        assert!(r.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn line_slice_overflow_rejected() {
+        let mut r = valid_rep();
+        r.streams[0].ops[0].line_len = 7;
+        assert!(r.validate().unwrap_err().contains("exceeds pool"));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let mut r = valid_rep();
+        // The ALU consumer at pos 1 must not carry lines.
+        r.streams[0].ops[1] = TraceOp { pos: 1, line_off: 0, line_len: 1 };
+        assert!(r.validate().unwrap_err().contains("ALU op carries"));
+        // A memory op with zero lines is legal (sparse-pattern skip).
+        let mut r = valid_rep();
+        r.streams[0].ops[0].line_len = 0;
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn resident_ctas_respects_register_limit() {
+        let cfg = GpuConfig::default();
+        let k = KernelBuilder::new("r").grid(64, 8).regs_per_thread(64).alu(1).build().unwrap();
+        // 8 warps x 64 regs = 512 regs/CTA; a 2048-reg file fits 4.
+        assert_eq!(resident_ctas(&cfg, &k), cfg.warp_regs_per_sm() / 512);
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use crate::cache::{L1Cache, L1Lookup, MshrOutcome};
 use crate::config::GpuConfig;
@@ -13,6 +14,7 @@ use crate::pattern::{AccessCtx, DecodeCtx, LineDesc};
 use crate::phase_timer;
 use crate::policy::{MissService, PolicyCtx, PreAccess, SmPolicy, WindowInfo};
 use crate::regfile::RegFile;
+use crate::replay::{ReplayKernel, TraceOp, WarpStream};
 use crate::scheduler::{CandList, GtoScheduler};
 use crate::stats::{RfSpaceSample, SimStats};
 use crate::types::{
@@ -239,6 +241,19 @@ pub struct Sm {
     burst_set: Vec<(u32, u32)>,
     /// Event-trace capture handle (shared with the GPU; off by default).
     tracer: Tracer,
+    /// Trace-replay frontend: when set, warps execute their pre-recorded
+    /// streams instead of the synthetic pattern generator (`body_pos`
+    /// becomes a stream cursor; `gen_access_lines` is never called).
+    replay: Option<Arc<ReplayKernel>>,
+    /// Workload-trace capture: when set, every executed instruction appends
+    /// a [`TraceOp`] (memory ops with their coalesced lines) to its warp's
+    /// stream. Indexed by grid-wide stream id; each stream executes on
+    /// exactly one SM, so the GPU merges per-SM vectors at run end.
+    capture: Option<Vec<WarpStream>>,
+    /// Grid-wide dispatch ordinal of the *next* CTA this SM launches
+    /// (stream base = ordinal x warps_per_cta). Set by the GPU immediately
+    /// before every `try_launch_cta`; a dead store outside trace mode.
+    next_cta_ordinal: u64,
 }
 
 impl Sm {
@@ -297,12 +312,43 @@ impl Sm {
             lsu_serviced: 0,
             burst_set: Vec::with_capacity(cfg.schedulers_per_sm as usize),
             tracer: Tracer::off(),
+            replay: None,
+            capture: None,
+            next_cta_ordinal: 0,
         }
     }
 
     /// Installs an event-trace capture handle (a clone of the GPU's).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Switches this SM to the trace-replay frontend: warps execute the
+    /// streams of `rep` instead of generating accesses synthetically. Must
+    /// be installed before the first CTA launch.
+    pub fn set_replay(&mut self, rep: Arc<ReplayKernel>) {
+        debug_assert_eq!(self.launch_seq, 0, "replay must be installed before any launch");
+        self.replay = Some(rep);
+    }
+
+    /// Enables workload-trace capture with `n_streams` grid-wide streams.
+    /// Must be installed before the first CTA launch.
+    pub fn enable_capture(&mut self, n_streams: usize) {
+        debug_assert_eq!(self.launch_seq, 0, "capture must be enabled before any launch");
+        self.capture = Some(vec![WarpStream::default(); n_streams]);
+    }
+
+    /// Takes the captured streams (empty entries belong to CTAs launched on
+    /// other SMs); `None` when capture was never enabled.
+    pub fn take_capture(&mut self) -> Option<Vec<WarpStream>> {
+        self.capture.take()
+    }
+
+    /// Sets the grid-wide dispatch ordinal of the next CTA launched here
+    /// (called by the GPU before every `try_launch_cta`).
+    #[inline]
+    pub fn set_next_cta_ordinal(&mut self, ord: u64) {
+        self.next_cta_ordinal = ord;
     }
 
     /// Scheduler owning warp slot `wi` (`wi % schedulers_per_sm`, with the
@@ -385,7 +431,14 @@ impl Sm {
             let span = kernel.regs_per_warp().max(1);
             self.rot3 = (0..kernel.body.len() as u32).map(|p| (p * 3) % span).collect();
             let entries = self.warps.len() * kernel.loads.len();
-            if cfg.desc_cache && entries > 0 && entries <= cfg.desc_cache_max_entries as usize {
+            // Replay never decodes patterns (lines come from the trace, and
+            // the stream's interned line pool already plays the descriptor
+            // role), so the table would only cost memory and stats noise.
+            if self.replay.is_none()
+                && cfg.desc_cache
+                && entries > 0
+                && entries <= cfg.desc_cache_max_entries as usize
+            {
                 self.desc_stride = kernel.loads.len();
                 self.desc_table = vec![None; entries];
             }
@@ -421,6 +474,11 @@ impl Sm {
         };
         let seq = self.launch_seq;
         self.launch_seq += 1;
+        // Trace frontend: the k-th dispatched CTA (grid-wide) executes
+        // streams `k * warps_per_cta + lane`. The Arc clone keeps the borrow
+        // checker off the slab while launching (CTA launches are rare).
+        let rep = self.replay.clone();
+        let stream_base = self.next_cta_ordinal * kernel.warps_per_cta as u64;
         let mut warp_ids = Vec::with_capacity(warps_per_cta as usize);
         for i in 0..warps_per_cta {
             let wid = warp_base + i;
@@ -431,14 +489,35 @@ impl Sm {
             // it per instruction.
             let op_base =
                 first_reg.0 + (wid % kernel.warps_per_cta.max(1)) * kernel.regs_per_warp();
-            self.warps.launch(
-                wid as usize,
-                CtaId(slot),
-                gw,
-                seq * 1000 + i as u64,
-                op_base,
-                kernel,
-            );
+            match &rep {
+                Some(rep) => {
+                    let sid = stream_base + i as u64;
+                    let first =
+                        WarpSlab::inst_meta_at(kernel, rep.streams[sid as usize].ops[0].pos);
+                    self.warps.launch_trace(
+                        wid as usize,
+                        CtaId(slot),
+                        gw,
+                        seq * 1000 + i as u64,
+                        op_base,
+                        first,
+                    );
+                    self.warps.set_stream(wid as usize, sid as u32);
+                }
+                None => {
+                    self.warps.launch(
+                        wid as usize,
+                        CtaId(slot),
+                        gw,
+                        seq * 1000 + i as u64,
+                        op_base,
+                        kernel,
+                    );
+                    if self.capture.is_some() {
+                        self.warps.set_stream(wid as usize, (stream_base + i as u64) as u32);
+                    }
+                }
+            }
             // Slot reuse changes the global warp number: stale descriptors
             // of the previous tenant must never replay.
             if self.desc_stride != 0 {
@@ -1173,6 +1252,9 @@ impl Sm {
     }
 
     fn execute_inst(&mut self, wid: WarpId, cycle: Cycle, kernel: &KernelSpec, cfg: &GpuConfig) {
+        if self.replay.is_some() {
+            return self.execute_trace_inst(wid, cycle, kernel, cfg);
+        }
         let slot = wid.0 as usize;
         let body_pos = self.warps.body_pos(slot);
         let inst = &kernel.body[body_pos as usize];
@@ -1194,11 +1276,13 @@ impl Sm {
 
         match inst.kind {
             InstKind::Alu { latency } => {
+                self.capture_op(slot, body_pos, false);
                 self.warps.set_next_ready(slot, cycle + latency.max(1) as u64 + extra_delay as u64);
             }
             InstKind::Load { load } => {
                 let idx = self.warps.next_access_index(slot, load);
                 self.gen_access_lines(slot, load, idx, kernel);
+                self.capture_op(slot, body_pos, true);
                 let n = self.line_buf.len() as u32;
                 self.warps.add_outstanding(slot, load, n);
                 self.warps.set_next_ready(slot, cycle + 1 + extra_delay as u64);
@@ -1215,6 +1299,7 @@ impl Sm {
             InstKind::Store { load } => {
                 let idx = self.warps.next_access_index(slot, load);
                 self.gen_access_lines(slot, load, idx, kernel);
+                self.capture_op(slot, body_pos, true);
                 self.warps.set_next_ready(slot, cycle + 1 + extra_delay as u64);
                 // Write-evict (hit) / write-no-allocate (miss): invalidate L1
                 // copy, notify the policy so victim copies are invalidated
@@ -1251,6 +1336,128 @@ impl Sm {
             let cta = self.ctas[cta_id.0 as usize].as_mut().expect("CTA exists");
             cta.warps_done += 1;
             self.reap_pending = true;
+        }
+    }
+
+    /// Trace-mode twin of [`Sm::execute_inst`]: the warp's dynamic
+    /// instruction comes from its stream cursor (`body_pos`), the static
+    /// instruction from the stub body at the op's recorded position, and a
+    /// memory op's coalesced lines from the stream's interned line pool —
+    /// `gen_access_lines` (and the access-index counter feeding it) is never
+    /// consulted. Everything downstream — operand traffic, scoreboard,
+    /// LSU/L1 path, store write-through, retirement — is byte-for-byte the
+    /// synthetic path, so the burst legality checks (which read only the
+    /// packed meta word) and every policy hook keep working unchanged.
+    fn execute_trace_inst(
+        &mut self,
+        wid: WarpId,
+        cycle: Cycle,
+        kernel: &KernelSpec,
+        cfg: &GpuConfig,
+    ) {
+        let rep = self.replay.clone().expect("trace mode");
+        let slot = wid.0 as usize;
+        let stream = &rep.streams[self.warps.stream(slot) as usize];
+        let cursor = self.warps.body_pos(slot) as usize;
+        let op = stream.ops[cursor];
+        let pos = op.pos;
+        let inst = &kernel.body[pos as usize];
+        self.stats.instructions += 1;
+        self.tracer.emit(
+            cycle,
+            TraceEvent::Issue { sm: self.id.0 as u64, warp: wid.0 as u64, pos: pos as u64 },
+        );
+
+        let extra_delay = self.regfile.access_operands(
+            self.warps.op_base(slot),
+            kernel.regs_per_warp().max(1),
+            self.rot3[pos as usize],
+            cycle,
+        );
+
+        match inst.kind {
+            InstKind::Alu { latency } => {
+                self.capture_op(slot, pos, false);
+                self.warps.set_next_ready(slot, cycle + latency.max(1) as u64 + extra_delay as u64);
+            }
+            InstKind::Load { load } => {
+                self.line_buf.clear();
+                self.line_buf.extend_from_slice(
+                    &stream.lines[op.line_off as usize..(op.line_off + op.line_len) as usize],
+                );
+                self.capture_op(slot, pos, true);
+                let n = self.line_buf.len() as u32;
+                self.warps.add_outstanding(slot, load, n);
+                self.warps.set_next_ready(slot, cycle + 1 + extra_delay as u64);
+                let pc = kernel.load(load).pc;
+                let hpc = self.load_hpc[load.0 as usize];
+                let gen = self.warps.generation(slot);
+                for &line in &self.line_buf {
+                    if cfg.detailed_load_stats {
+                        self.stats.record_line_touch(load, line.0);
+                    }
+                    self.lsu_queue.push_back(LsuReq { warp: wid.0, gen, load, pc, hpc, line });
+                }
+            }
+            InstKind::Store { load } => {
+                self.line_buf.clear();
+                self.line_buf.extend_from_slice(
+                    &stream.lines[op.line_off as usize..(op.line_off + op.line_len) as usize],
+                );
+                self.capture_op(slot, pos, true);
+                self.warps.set_next_ready(slot, cycle + 1 + extra_delay as u64);
+                for i in 0..self.line_buf.len() {
+                    let line = self.line_buf[i];
+                    self.stats.stores += 1;
+                    self.stores_in_flight += 1;
+                    self.l1.invalidate(line);
+                    let mut ctx = PolicyCtx {
+                        cycle,
+                        sm: self.id,
+                        regfile: &mut self.regfile,
+                        stats: &mut self.stats,
+                    };
+                    self.policy.on_store(line, &mut ctx);
+                    self.outbox.push(MemReq {
+                        sm: self.id,
+                        warp: wid.0,
+                        gen: 0,
+                        load,
+                        line,
+                        kind: MemReqKind::Store,
+                    });
+                }
+            }
+        }
+
+        // Advance the stream cursor; the warp retires at stream end.
+        let next_meta = stream.ops.get(cursor + 1).map(|o| WarpSlab::inst_meta_at(kernel, o.pos));
+        self.warps.advance_trace(slot, next_meta);
+        if self.warps.done(slot) {
+            let cta_id = self.warps.cta(slot);
+            self.schedulers[(wid.0 % cfg.schedulers_per_sm) as usize].release(wid);
+            let cta = self.ctas[cta_id.0 as usize].as_mut().expect("CTA exists");
+            cta.warps_done += 1;
+            self.reap_pending = true;
+        }
+    }
+
+    /// Appends the instruction just executed to its warp's capture stream
+    /// (no-op unless capture is enabled). Memory ops record the current
+    /// `line_buf` contents as a raw slice appended to the stream's line
+    /// pool; the `LBW1` encoder interns duplicate slices at serialization
+    /// time, so capture stays allocation-cheap on the hot path.
+    #[inline]
+    fn capture_op(&mut self, slot: usize, pos: u32, mem: bool) {
+        let Sm { capture, line_buf, warps, .. } = self;
+        let Some(cap) = capture.as_mut() else { return };
+        let s = &mut cap[warps.stream(slot) as usize];
+        if mem {
+            let off = s.lines.len() as u32;
+            s.lines.extend_from_slice(line_buf);
+            s.ops.push(TraceOp { pos, line_off: off, line_len: line_buf.len() as u32 });
+        } else {
+            s.ops.push(TraceOp { pos, line_off: 0, line_len: 0 });
         }
     }
 

@@ -68,6 +68,10 @@ pub struct WarpSlab {
     /// load (one no instruction waits on) is still in flight cannot have
     /// the stale response credited to its new resident.
     gen: Vec<u32>,
+    /// Replay/capture stream id of the warp (`cta_ordinal * warps_per_cta +
+    /// lane`). Written at every launch; read only by the trace frontend
+    /// (replay execution and capture recording) — dead in synthetic runs.
+    stream: Vec<u32>,
     /// Outstanding line-requests per static load (scoreboard), flattened.
     outstanding: Vec<u32>,
     /// Per-load dynamic access counter (pattern phase), flattened.
@@ -91,6 +95,7 @@ impl WarpSlab {
             op_base: vec![0; n_slots],
             meta: vec![0; n_slots],
             gen: vec![0; n_slots],
+            stream: vec![0; n_slots],
             outstanding: Vec::new(),
             access_index: Vec::new(),
         }
@@ -135,6 +140,14 @@ impl WarpSlab {
         m
     }
 
+    /// Public view of [`WarpSlab::inst_meta`] for the trace frontend: the
+    /// replay path advances by stream cursor, so the SM computes the next
+    /// instruction's meta bits from the *trace op's* body position instead
+    /// of the warp's own (which is the cursor, not a body index).
+    pub(crate) fn inst_meta_at(kernel: &KernelSpec, pos: u32) -> u32 {
+        Self::inst_meta(kernel, pos)
+    }
+
     /// Launches a warp into `slot`, resetting every column of the row. A
     /// freshly-launched CTA is `Active`, so the slot starts CTA-schedulable.
     pub fn launch(
@@ -145,6 +158,34 @@ impl WarpSlab {
         age: u64,
         op_base: u32,
         kernel: &KernelSpec,
+    ) {
+        self.launch_inner(slot, cta, global_warp, age, op_base, Self::inst_meta(kernel, 0));
+    }
+
+    /// Launches a warp in trace-replay mode: identical to [`WarpSlab::launch`]
+    /// except the first instruction's meta bits come from the warp's trace
+    /// stream (its first op's body position) rather than body position 0,
+    /// and `body_pos` starts as a stream cursor.
+    pub fn launch_trace(
+        &mut self,
+        slot: usize,
+        cta: CtaId,
+        global_warp: u64,
+        age: u64,
+        op_base: u32,
+        first_meta: u32,
+    ) {
+        self.launch_inner(slot, cta, global_warp, age, op_base, first_meta);
+    }
+
+    fn launch_inner(
+        &mut self,
+        slot: usize,
+        cta: CtaId,
+        global_warp: u64,
+        age: u64,
+        op_base: u32,
+        first_meta: u32,
     ) {
         debug_assert!(!self.occupied[slot], "launch into an occupied slot");
         self.occupied[slot] = true;
@@ -157,10 +198,23 @@ impl WarpSlab {
         self.next_ready[slot] = 0;
         self.total_outstanding[slot] = 0;
         self.op_base[slot] = op_base;
-        self.meta[slot] = META_READY | Self::inst_meta(kernel, 0);
+        self.meta[slot] = META_READY | first_meta;
         let lo = slot * self.n_loads;
         self.outstanding[lo..lo + self.n_loads].fill(0);
         self.access_index[lo..lo + self.n_loads].fill(0);
+    }
+
+    /// Replay/capture stream id of the warp in `slot`.
+    #[inline]
+    pub fn stream(&self, slot: usize) -> u32 {
+        self.stream[slot]
+    }
+
+    /// Assigns the replay/capture stream id of the warp in `slot` (set at
+    /// launch by the trace frontend).
+    #[inline]
+    pub fn set_stream(&mut self, slot: usize, id: u32) {
+        self.stream[slot] = id;
     }
 
     /// Frees `slot` at CTA reap; the row is re-zeroed by the next launch.
@@ -293,6 +347,21 @@ impl WarpSlab {
         }
         self.meta[slot] =
             (self.meta[slot] & META_READY) | Self::inst_meta(kernel, self.body_pos[slot]);
+    }
+
+    /// Advances the warp in `slot` along its trace stream: `body_pos` is
+    /// the stream cursor, `next_meta` the meta bits of the next op's body
+    /// position (`None` at stream end retires the warp). The stub kernel's
+    /// `iterations` is ignored — a stream's length *is* its trip count.
+    pub fn advance_trace(&mut self, slot: usize, next_meta: Option<u32>) {
+        self.body_pos[slot] += 1;
+        match next_meta {
+            Some(m) => self.meta[slot] = (self.meta[slot] & META_READY) | m,
+            None => {
+                self.done[slot] = true;
+                self.meta[slot] &= !META_LIVE;
+            }
+        }
     }
 
     /// Packed issue metadata of the warp in `slot` (`META_*` flags plus the

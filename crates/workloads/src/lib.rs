@@ -22,6 +22,7 @@
 pub mod apps;
 pub mod spec;
 pub mod suite;
+pub mod traces;
 
 pub use apps::{all_apps, app};
 pub use spec::{AppLoad, AppSpec, Sensitivity};
