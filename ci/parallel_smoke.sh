@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Multi-threaded burst execution smoke test (DESIGN.md §2.13).
+#
+# `--sim-threads N` steps each step's due SMs on a work-stealing pool and
+# merges their emissions at a rendezvous barrier in canonical order; it is
+# a pure speed optimization and must be byte-invisible at any thread
+# count. This script proves it end to end at quick scale:
+#
+#   1. transparency - `--sim-threads 2` experiment output is byte-identical
+#                     to the default serial run, across both harness
+#                     binaries (rendered tables AND the sanity IPC table);
+#   2. engagement   - the threads=2 profile reports pool rounds, spans,
+#                     and at least one steal on a heterogeneous workload
+#                     mix, so the identity above compared a genuinely
+#                     parallel execution, not a silently serial one;
+#   3. composition  - jobs x sim-threads splits the thread budget instead
+#                     of multiplying it (the profile's workers block
+#                     records the effective split).
+#
+#   usage: ci/parallel_smoke.sh [lb-experiments-binary] [sanity-binary]
+set -eu
+
+LBX=${1:-target/release/lb-experiments}
+SANITY=${2:-target/release/sanity}
+
+T=$(mktemp -d)
+trap 'rm -rf "$T"' EXIT
+
+echo "parallel_smoke: lb-experiments serial vs --sim-threads 2 (must be byte-identical)"
+"$LBX" --scale quick --jobs 1 --out "$T/serial.txt" fig01 table2 2> /dev/null
+"$LBX" --scale quick --jobs 1 --sim-threads 2 --out "$T/par2.txt" fig01 table2 2> /dev/null
+cmp "$T/serial.txt" "$T/par2.txt" || {
+    echo "parallel_smoke: FAIL - sim-threads 2 changed experiment output" >&2
+    exit 1
+}
+
+echo "parallel_smoke: sanity serial vs --sim-threads 4 (must be byte-identical)"
+# GA (reuse) + MC mix gives the pool imbalanced spans worth stealing.
+"$SANITY" --quick GA MC > "$T/sanity_serial.txt"
+"$SANITY" --quick --sim-threads 4 GA MC > "$T/sanity_par.txt"
+cmp "$T/sanity_serial.txt" "$T/sanity_par.txt" || {
+    echo "parallel_smoke: FAIL - sim-threads changed the sanity table" >&2
+    exit 1
+}
+
+echo "parallel_smoke: threads=2 profile reports pool engagement (non-vacuous identity)"
+"$SANITY" --quick --sim-threads 2 --profile GA MC > "$T/profile.json" 2> /dev/null
+rounds=$(grep -o '"rounds": *[0-9]*' "$T/profile.json" | head -1 | grep -o '[0-9]*$')
+spans=$(grep -o '"spans": *[0-9]*' "$T/profile.json" | head -1 | grep -o '[0-9]*$')
+steals=$(grep -o '"steals": *[0-9]*' "$T/profile.json" | head -1 | grep -o '[0-9]*$')
+[ -n "$rounds" ] || { echo "parallel_smoke: no parallel block in profile" >&2; exit 2; }
+[ "$rounds" -gt 0 ] || {
+    echo "parallel_smoke: FAIL - threads=2 run recorded zero pool rounds" >&2
+    exit 1
+}
+[ "$spans" -ge "$rounds" ] || {
+    echo "parallel_smoke: FAIL - fewer spans than rounds ($spans / $rounds)" >&2
+    exit 1
+}
+[ "$steals" -gt 0 ] || {
+    echo "parallel_smoke: FAIL - no steals on a heterogeneous workload" >&2
+    exit 1
+}
+echo "parallel_smoke: $rounds rounds, $spans spans, $steals steals"
+
+echo "parallel_smoke: jobs x sim-threads budget split is recorded"
+"$LBX" --scale quick --jobs 2 --sim-threads 4 --profile \
+    --profile-out "$T/split.json" --out /dev/null fig01 2> /dev/null
+grep -q '"workers": {"jobs": 2, "sim_threads": 2}' "$T/split.json" || {
+    echo "parallel_smoke: FAIL - budget 4 across 2 jobs must record 2 threads/sim" >&2
+    grep -o '"workers": {[^}]*}' "$T/split.json" >&2 || true
+    exit 1
+}
+
+echo "parallel_smoke: OK"

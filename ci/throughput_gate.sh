@@ -8,14 +8,16 @@
 #
 # Defaults compare a fresh BENCH_CI.json (produced in CI by the full
 # quick-scale `lb-experiments --jobs 1 --profile` suite — the same
-# binary, scale, and thread count as the committed record) against the
-# committed BENCH_PR9.json figure. The tolerance is deliberately wide
+# binary, scale, and thread count as the committed record; the gate always
+# runs sim-threads=1 so the committed threads=1 record is the like-for-like
+# baseline) against the committed BENCH_PR10.json figure. The tolerance is
+# deliberately wide
 # (15 %) because CI machines vary; the gate exists to catch
 # order-of-magnitude scheduling regressions, not noise.
 set -eu
 
 CURRENT=${1:-BENCH_CI.json}
-BASELINE=${2:-BENCH_PR9.json}
+BASELINE=${2:-BENCH_PR10.json}
 TOLERANCE=0.85
 
 extract() {

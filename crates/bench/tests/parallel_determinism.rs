@@ -1,0 +1,147 @@
+//! Multi-threaded burst execution must be invisible: `sim_threads = N`
+//! runs the due SMs of each step on a work-stealing pool, but the
+//! rendezvous merge re-establishes the canonical (SM id, flush-then-drain)
+//! order, so *every* statistic — architectural and engine-scheduling alike
+//! — must be byte-identical to the serial path at any thread count.
+//!
+//! This digest is therefore stricter than the burst-equivalence one: it
+//! keeps the stepped/skipped splits, skip-bound breakdowns and burst
+//! counters (the parallel executor must not change scheduling at all) and
+//! scrubs only the pool's own telemetry (`par_*`), which is zero on the
+//! serial path and partly timing-dependent (steals, barrier waits) on the
+//! pool.
+
+use std::collections::BTreeMap;
+
+use baselines::{cerf_factory, pcal_factory};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::{run_kernel, run_kernel_traced};
+use gpu_sim::policy::{baseline_factory, PolicyFactory};
+use gpu_sim::stats::{LoadWindowDetail, SimStats};
+use gpu_sim::trace::{diff, TraceWriter, Tracer, MASK_ALL};
+use linebacker::{linebacker_factory, LbConfig};
+
+/// The four single-run policies (Best-SWL is a sweep over baseline runs,
+/// so baseline coverage covers it).
+fn policies() -> Vec<(&'static str, Box<PolicyFactory<'static>>)> {
+    vec![
+        ("base", baseline_factory()),
+        ("pcal", pcal_factory()),
+        ("cerf", cerf_factory()),
+        ("lb", linebacker_factory(LbConfig::default())),
+    ]
+}
+
+/// HashMap iteration order is per-instance; sort line counts before
+/// formatting so two equal details digest equally.
+fn detail_digest(d: &LoadWindowDetail) -> String {
+    let lines: BTreeMap<u64, u32> = d.line_counts.iter().map(|(k, v)| (*k, *v)).collect();
+    format!("lines={lines:?} windows={:?}", d.windows)
+}
+
+/// Full-stats digest scrubbing only the pool telemetry. Everything else —
+/// per-load maps, timelines, energy, stepped/skipped splits, skip bounds,
+/// burst histograms, partition counters — must match the serial run.
+fn digest(stats: &SimStats) -> String {
+    let mut s = stats.clone();
+    let per_load: BTreeMap<u32, String> =
+        s.per_load.iter().map(|(k, v)| (*k, format!("{v:?}"))).collect();
+    let load_detail: BTreeMap<u32, String> =
+        s.load_detail.iter().map(|(k, v)| (*k, detail_digest(v))).collect();
+    let detail_dense: Vec<String> = s.load_detail_dense.iter().map(detail_digest).collect();
+    s.per_load.clear();
+    s.load_detail.clear();
+    s.load_detail_dense.clear();
+    let e = &mut s.events;
+    e.par_threads = 0;
+    e.par_rounds = 0;
+    e.par_spans = 0;
+    e.par_steals = 0;
+    e.par_barrier_wait_ns = 0;
+    format!("{s:?}|per_load={per_load:?}|detail={load_detail:?}|dense={detail_dense:?}")
+}
+
+fn quick_cfg() -> GpuConfig {
+    GpuConfig::default().with_sms(4).with_windows(5_000, 60_000)
+}
+
+/// Full-stats identity across `--sim-threads {1, 2, 4}` for all four
+/// policies on a mixed-behaviour workload. Thread count 1 is the exact
+/// serial path, so this also anchors the pool runs to the PR 9 baseline.
+#[test]
+fn sim_threads_digest_identical_across_policies() {
+    let app = workloads::app("GE").expect("known app");
+    let k = app.kernel(quick_cfg().n_sms);
+    for (name, factory) in policies() {
+        let serial = digest(&run_kernel(quick_cfg().with_sim_threads(1), k.clone(), &factory));
+        for threads in [2u32, 4] {
+            let par =
+                digest(&run_kernel(quick_cfg().with_sim_threads(threads), k.clone(), &factory));
+            assert_eq!(
+                serial, par,
+                "arch={name} sim-threads={threads}: stats must match the serial run byte for byte"
+            );
+        }
+    }
+}
+
+/// The merge must also reproduce the serial interconnect arrival order
+/// when emissions fan out across several L2 slices, and compose with the
+/// lockstep (no-burst) engine, where every span is one cycle long.
+#[test]
+fn sim_threads_identical_with_partitions_and_without_burst() {
+    let app = workloads::app("GA").expect("known app");
+    let k = app.kernel(quick_cfg().n_sms);
+    let factory = linebacker_factory(LbConfig::default());
+    for cfg in [quick_cfg().with_mem_partitions(4), quick_cfg().with_burst(false)] {
+        let serial = digest(&run_kernel(cfg.clone(), k.clone(), &factory));
+        let par = digest(&run_kernel(cfg.with_sim_threads(4), k.clone(), &factory));
+        assert_eq!(serial, par);
+    }
+}
+
+/// Pool engagement is real, not vacuous: a multi-threaded run must report
+/// pool rounds and spans, and a serial run must report none — proving the
+/// digests above compared a genuinely parallel execution to a genuinely
+/// serial one.
+#[test]
+fn parallel_runs_actually_engage_the_pool() {
+    let app = workloads::app("GE").expect("known app");
+    let k = app.kernel(quick_cfg().n_sms);
+    let factory = baseline_factory();
+    let par = run_kernel(quick_cfg().with_sim_threads(2), k.clone(), &factory);
+    assert_eq!(par.events.par_threads, 2);
+    assert!(par.events.par_rounds > 0, "multi-SM workload must hit parallel rounds");
+    assert!(par.events.par_spans >= 2 * par.events.par_rounds);
+    let serial = run_kernel(quick_cfg(), k, &factory);
+    assert_eq!(serial.events.par_threads, 0);
+    assert_eq!(serial.events.par_rounds, 0);
+}
+
+/// Tracing pins the engine to one thread (the tracer is not shareable
+/// across the pool), so a traced run at any requested `sim_threads` is the
+/// lockstep single-threaded engine: its event stream must be byte-identical
+/// to a traced `sim_threads = 1` run, with zero pool telemetry.
+#[test]
+fn traced_runs_pin_to_one_thread_and_diverge_nowhere() {
+    let app = workloads::app("GA").expect("known app");
+    let k = app.kernel(quick_cfg().n_sms);
+    let capture = |threads: u32| {
+        let tracer = Tracer::new(TraceWriter::to_memory(MASK_ALL));
+        let s = run_kernel_traced(
+            quick_cfg().with_sim_threads(threads),
+            k.clone(),
+            &linebacker_factory(LbConfig::default()),
+            tracer.clone(),
+        );
+        (s, tracer.take_bytes().expect("memory sink"))
+    };
+    let (s_one, bytes_one) = capture(1);
+    let (s_four, bytes_four) = capture(4);
+    assert_eq!(s_four.events.par_threads, 0, "traced run must never build a pool");
+    assert_eq!(s_four.events.par_rounds, 0);
+    assert_eq!(digest(&s_one), digest(&s_four));
+    assert_eq!(bytes_one, bytes_four, "traced runs must produce identical event streams");
+    let outcome = diff(&bytes_one, &bytes_four).expect("valid traces");
+    assert!(outcome.is_identical(), "trace diff must report zero divergence");
+}

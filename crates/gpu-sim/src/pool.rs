@@ -1,0 +1,417 @@
+//! Std-only work-stealing worker pool for parallel SM spans.
+//!
+//! `Gpu::step` executes the due SMs' `Sm::tick_span` calls as one *round*:
+//! the main thread publishes a round, every pool thread (the main thread
+//! participates as thread 0) claims items until none remain, and the main
+//! thread blocks at a rendezvous barrier until the round is fully drained.
+//! The workspace is offline and std-only, so the pool is built from
+//! `std::thread` plus a `Mutex`/`Condvar` pair — no rayon, no crossbeam.
+//!
+//! Work distribution is chunked stealing: the round's items are split into
+//! one contiguous chunk per thread, each with an atomic claim cursor. A
+//! thread drains its own chunk first (`fetch_add` per item), then sweeps
+//! the other chunks and claims their leftovers — so one long LSU-drain
+//! span cannot serialize the round behind it; the other threads steal the
+//! rest of its owner's chunk and keep the barrier short. Every claim is an
+//! atomic `fetch_add` on the chunk cursor, so each item index is executed
+//! exactly once no matter how the threads race.
+//!
+//! Determinism: the pool never touches simulation state itself — it only
+//! hands out item indices. The caller's round closure must confine item
+//! `k` to state owned by item `k` (for the GPU: the due SM's own state
+//! plus a private result slot); everything order-sensitive (partition
+//! queue pushes, CTA refill, calendar updates) happens *after* the
+//! barrier, on the main thread, in canonical SM-id order. Under that
+//! contract the simulation output is byte-identical at any thread count;
+//! only the telemetry split across threads (`steals`, barrier-wait time)
+//! is timing-dependent.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Raw-pointer wrapper asserting cross-thread use is safe. The GPU's round
+/// closure captures `*mut Sm` / `*mut` result slots through this: the pool
+/// claims each item index exactly once, item `k` touches only SM `k`'s
+/// state and slot `k`, and the publishing thread blocks until the round
+/// completes — so the aliasing and lifetime rules hold even though the
+/// compiler cannot see it.
+pub struct SendPtr<T>(pub *mut T);
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Prefer this over field access inside a round
+    /// closure: a method call captures the whole wrapper (which is
+    /// `Sync`), while `ptr.0` would make the closure capture the bare
+    /// field — a raw pointer, which is not.
+    pub fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> std::fmt::Debug for SendPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SendPtr({:p})", self.0)
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: see the type-level comment — exclusivity is enforced by the
+// round protocol (unique item claims + barrier), not by the type.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// One thread's contiguous slice of a round, with its claim cursor.
+struct Chunk {
+    /// Next unclaimed item index; claimed by `fetch_add(1)`.
+    next: AtomicUsize,
+    /// One past the last item of this chunk.
+    end: AtomicUsize,
+}
+
+/// Type-erased pointer to the round closure. The closure lives on the
+/// publishing thread's stack; erasing its lifetime is sound because the
+/// publisher clears the slot and joins the barrier before returning.
+#[derive(Clone, Copy)]
+struct RoundPtr(*const (dyn Fn(usize) + Sync + 'static));
+// SAFETY: only dereferenced between round publication and the barrier,
+// while the pointee is alive and shared (`Fn + Sync`).
+unsafe impl Send for RoundPtr {}
+
+struct State {
+    /// Round generation counter; bumped on publication so a worker that
+    /// re-acquires the lock late still sees exactly one round per bump.
+    epoch: u64,
+    /// The active round's closure, `None` between rounds.
+    round: Option<RoundPtr>,
+    /// Worker threads still inside the active round.
+    running: usize,
+    /// A worker panicked inside a round; the publisher re-raises.
+    poisoned: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: new round published, or shutdown.
+    work: Condvar,
+    /// Signals the publisher: `running` reached zero (or a worker died).
+    done: Condvar,
+    /// Per-thread chunks, reset by the publisher before each round.
+    chunks: Vec<Chunk>,
+    /// Per-thread spans executed, summed over all rounds. The total is
+    /// deterministic (every due SM runs exactly once); the per-thread
+    /// split is timing-dependent.
+    spans: Vec<AtomicU64>,
+    /// Per-thread items claimed from *another* thread's chunk.
+    steals: Vec<AtomicU64>,
+}
+
+/// Decrements `running` even if the round closure panics, so the publisher
+/// observes the failure at the barrier instead of deadlocking on it.
+struct RoundGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for RoundGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        if std::thread::panicking() {
+            st.poisoned = true;
+        }
+        st.running -= 1;
+        if st.running == 0 || st.poisoned {
+            self.shared.done.notify_one();
+        }
+    }
+}
+
+/// Aggregate pool telemetry (see [`SmPool::telemetry`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolTelemetry {
+    /// Rounds executed. Deterministic for a fixed configuration.
+    pub rounds: u64,
+    /// Items (SM spans) executed across all rounds. Deterministic.
+    pub spans: u64,
+    /// Items claimed from another thread's chunk. Timing-dependent.
+    pub steals: u64,
+    /// Nanoseconds the publisher spent blocked at the rendezvous barrier
+    /// after finishing its own share. Timing-dependent.
+    pub barrier_wait_ns: u64,
+    /// Per-thread `(spans, steals)`, thread 0 being the publisher.
+    pub per_thread: Vec<(u64, u64)>,
+}
+
+/// Persistent worker pool executing rounds of SM spans (see module docs).
+pub struct SmPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    n_threads: usize,
+    rounds: u64,
+    barrier_wait_ns: u64,
+}
+
+impl SmPool {
+    /// Spawns a pool with `n_threads` total threads (the calling thread
+    /// counts as thread 0, so `n_threads - 1` are spawned; clamped to at
+    /// least 2 — a 1-thread pool is pointless, use the serial path).
+    pub fn new(n_threads: usize) -> Self {
+        let n = n_threads.max(2);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                round: None,
+                running: 0,
+                poisoned: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            chunks: (0..n)
+                .map(|_| Chunk { next: AtomicUsize::new(0), end: AtomicUsize::new(0) })
+                .collect(),
+            spans: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            steals: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let workers = (1..n)
+            .map(|t| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lb-sim-{t}"))
+                    .spawn(move || worker_loop(&sh, t))
+                    .expect("spawn simulation worker")
+            })
+            .collect();
+        SmPool { shared, workers, n_threads: n, rounds: 0, barrier_wait_ns: 0 }
+    }
+
+    /// Total threads participating in rounds (including the caller).
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Executes one round: `run(k)` is called exactly once for every
+    /// `k in 0..n_items`, distributed over all pool threads, and this call
+    /// returns only after every item has completed (rendezvous barrier).
+    ///
+    /// `run` must confine item `k` to state owned by item `k` (see module
+    /// docs); it may run on any thread.
+    pub fn run_round(&mut self, n_items: usize, run: &(dyn Fn(usize) + Sync)) {
+        if n_items == 0 {
+            return;
+        }
+        self.rounds += 1;
+        // Split the items into one contiguous chunk per thread (the first
+        // `n_items % n` chunks take one extra). Plain stores: the mutex
+        // publication below orders them before any worker claim.
+        let n = self.n_threads;
+        let base = n_items / n;
+        let extra = n_items % n;
+        let mut start = 0usize;
+        for (t, c) in self.shared.chunks.iter().enumerate() {
+            let len = base + usize::from(t < extra);
+            c.next.store(start, Ordering::Relaxed);
+            c.end.store(start + len, Ordering::Relaxed);
+            start += len;
+        }
+        // SAFETY: erase the closure's lifetime for publication; the slot is
+        // cleared and the barrier joined before `run` goes out of scope.
+        let ptr = RoundPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(run as *const _)
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert_eq!(st.running, 0, "previous round not drained");
+            st.epoch += 1;
+            st.round = Some(ptr);
+            st.running = self.workers.len();
+            self.shared.work.notify_all();
+        }
+        // The publisher participates as thread 0 rather than idling.
+        drive(&self.shared, run, 0);
+        // Rendezvous: wait for the workers to drain their shares. This is
+        // the barrier-wait the profiler reports — time thread 0 spent idle
+        // because the round was imbalanced beyond what stealing fixed.
+        let t0 = std::time::Instant::now();
+        let mut st = self.shared.state.lock().unwrap();
+        while st.running > 0 && !st.poisoned {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.round = None;
+        let poisoned = st.poisoned;
+        drop(st);
+        self.barrier_wait_ns += t0.elapsed().as_nanos() as u64;
+        if poisoned {
+            panic!("simulation worker panicked inside a parallel SM round");
+        }
+    }
+
+    /// Aggregate telemetry over every round so far.
+    pub fn telemetry(&self) -> PoolTelemetry {
+        let per_thread: Vec<(u64, u64)> = self
+            .shared
+            .spans
+            .iter()
+            .zip(&self.shared.steals)
+            .map(|(s, t)| (s.load(Ordering::Relaxed), t.load(Ordering::Relaxed)))
+            .collect();
+        PoolTelemetry {
+            rounds: self.rounds,
+            spans: per_thread.iter().map(|(s, _)| s).sum(),
+            steals: per_thread.iter().map(|(_, t)| t).sum(),
+            barrier_wait_ns: self.barrier_wait_ns,
+            per_thread,
+        }
+    }
+}
+
+impl std::fmt::Debug for SmPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmPool")
+            .field("n_threads", &self.n_threads)
+            .field("rounds", &self.rounds)
+            .finish()
+    }
+}
+
+impl Drop for SmPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Claims and executes items for thread `t`: own chunk first, then steal
+/// the other chunks' leftovers in cyclic order.
+fn drive(shared: &Shared, run: &(dyn Fn(usize) + Sync), t: usize) {
+    let n = shared.chunks.len();
+    let mut spans = 0u64;
+    let mut steals = 0u64;
+    for o in 0..n {
+        let c = &shared.chunks[(t + o) % n];
+        let end = c.end.load(Ordering::Relaxed);
+        loop {
+            let k = c.next.fetch_add(1, Ordering::Relaxed);
+            if k >= end {
+                break;
+            }
+            run(k);
+            spans += 1;
+            steals += u64::from(o != 0);
+        }
+    }
+    if spans > 0 {
+        shared.spans[t].fetch_add(spans, Ordering::Relaxed);
+        shared.steals[t].fetch_add(steals, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(shared: &Shared, t: usize) {
+    let mut seen = 0u64;
+    loop {
+        let round = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen {
+                    if let Some(r) = st.round {
+                        seen = st.epoch;
+                        break r;
+                    }
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        let guard = RoundGuard { shared };
+        // SAFETY: the publisher keeps the closure alive until the barrier.
+        let run = unsafe { &*round.0 };
+        drive(shared, run, t);
+        drop(guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let mut pool = SmPool::new(4);
+        for round in 0..50 {
+            let n = 1 + (round % 13);
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            pool.run_round(n, &|k| {
+                hits[k].fetch_add(1, Ordering::Relaxed);
+            });
+            for (k, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "item {k} of round {round}");
+            }
+        }
+        let t = pool.telemetry();
+        assert_eq!(t.rounds, 50);
+        assert_eq!(t.spans, (0..50).map(|r| 1 + (r % 13)).sum::<u64>());
+        assert_eq!(t.per_thread.len(), 4);
+        assert_eq!(t.per_thread.iter().map(|(s, _)| s).sum::<u64>(), t.spans);
+    }
+
+    #[test]
+    fn imbalanced_round_is_stolen() {
+        let mut pool = SmPool::new(2);
+        // Thread 0's chunk is one long item; thread 1 finishes its own
+        // chunk and must steal the remainder of chunk 0 — but on a
+        // single-core host the publisher itself usually steals chunk 1.
+        // Either way, across many imbalanced rounds *someone* steals.
+        for _ in 0..200 {
+            let slow = AtomicU64::new(0);
+            pool.run_round(8, &|k| {
+                if k == 0 {
+                    while slow.fetch_add(1, Ordering::Relaxed) < 2_000 {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        }
+        let t = pool.telemetry();
+        assert_eq!(t.spans, 200 * 8);
+        assert!(t.steals > 0, "no steals across 200 imbalanced rounds: {t:?}");
+    }
+
+    #[test]
+    fn writes_from_workers_are_visible_after_barrier() {
+        let mut pool = SmPool::new(3);
+        let mut results = vec![0u64; 64];
+        let ptr = SendPtr(results.as_mut_ptr());
+        pool.run_round(64, &move |k| {
+            // SAFETY: distinct k → distinct slot; barrier orders the reads.
+            unsafe { *ptr.get().add(k) = (k as u64) * 3 + 1 };
+        });
+        for (k, &v) in results.iter().enumerate() {
+            assert_eq!(v, (k as u64) * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn single_item_round_runs_on_some_thread() {
+        let mut pool = SmPool::new(4);
+        let hit = AtomicU64::new(0);
+        pool.run_round(1, &|_| {
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.telemetry().rounds, 1);
+    }
+}
